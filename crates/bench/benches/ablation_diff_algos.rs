@@ -1,0 +1,70 @@
+//! **Ablation B (§8.3)** — differential-comparison algorithm choice.
+//!
+//! "There are different algorithms proposed to compute the differences
+//! between two files [MM85, Tic84]. We will study these algorithms and
+//! adopt the one that offers better performance." This Criterion bench
+//! measures real CPU time and delta size for:
+//!
+//! * Hunt–McIlroy (the prototype's `diff`(1) algorithm),
+//! * Myers O(ND) linear-space (Miller–Myers [MM85] family),
+//! * Tichy block-move ([Tic84], byte-level).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use shadow::{diff, DiffAlgorithm, Document, EditModel, FileSpec};
+use shadow::block_diff;
+
+fn bench_diff_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diff_algorithms");
+    for &size in &[10_000usize, 100_000] {
+        for &fraction in &[0.01f64, 0.20] {
+            let base = shadow::generate_file(&FileSpec::new(size, 42));
+            let edited = EditModel::fraction(fraction, 43).apply(&base);
+            let old_doc = Document::from_bytes(base.clone());
+            let new_doc = Document::from_bytes(edited.clone());
+            group.throughput(Throughput::Bytes(size as u64));
+            let label = format!("{}b_{}pct", size, (fraction * 100.0) as u32);
+
+            group.bench_with_input(
+                BenchmarkId::new("hunt_mcilroy", &label),
+                &(&old_doc, &new_doc),
+                |b, (o, n)| b.iter(|| diff(DiffAlgorithm::HuntMcIlroy, o, n)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("myers", &label),
+                &(&old_doc, &new_doc),
+                |b, (o, n)| b.iter(|| diff(DiffAlgorithm::Myers, o, n)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("tichy_blockmove", &label),
+                &(&base, &edited),
+                |b, (o, n)| b.iter(|| block_diff(o, n)),
+            );
+
+            // Report delta sizes once per configuration (the wire cost the
+            // service actually pays).
+            let hm = diff(DiffAlgorithm::HuntMcIlroy, &old_doc, &new_doc).wire_len();
+            let my = diff(DiffAlgorithm::Myers, &old_doc, &new_doc).wire_len();
+            let bm = block_diff(&base, &edited).wire_len();
+            println!(
+                "delta sizes {label}: hunt-mcilroy={hm}B myers={my}B tichy={bm}B (file {size}B)"
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apply_delta");
+    let base = shadow::generate_file(&FileSpec::new(100_000, 42));
+    let edited = EditModel::fraction(0.05, 43).apply(&base);
+    let old_doc = Document::from_bytes(base.clone());
+    let script = diff(DiffAlgorithm::HuntMcIlroy, &old_doc, &Document::from_bytes(edited));
+    group.throughput(Throughput::Bytes(base.len() as u64));
+    group.bench_function("ed_script_100k_5pct", |b| {
+        b.iter(|| script.apply(&old_doc).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_diff_algorithms, bench_apply);
+criterion_main!(benches);

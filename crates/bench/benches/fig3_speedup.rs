@@ -1,0 +1,40 @@
+//! **Figure 3** — speedup-factor table (ARPANET).
+//!
+//! Paper values (speedup = F-time / S-time, data gathered from ARPANET):
+//!
+//! | File size | 1% | 5% | 10% | 20% |
+//! |---|---|---|---|---|
+//! | 10 K  | 13.5 |  9.3 | 6.5 | 3.7 |
+//! | 50 K  | 22.5 | 11.9 | 7.1 | 4.3 |
+//! | 100 K | 24.2 | 12.0 | 7.5 | 4.3 |
+//! | 500 K | 24.9 | 12.5 | 7.6 | 4.3 |
+//!
+//! The shape to reproduce: speedup falls with the modified fraction,
+//! grows with file size, and *saturates* for large files (the client-side
+//! differential comparison is itself O(file size)).
+
+use shadow::experiment::{figure_rows, render_speedup_table};
+use shadow::{profiles, CpuModel, PAPER_PERCENTS_FIG3, PAPER_SIZES_FIG3};
+use shadow_bench::{banner, quick_mode};
+
+fn main() {
+    banner(
+        "Figure 3: speedup factors F-time/S-time (ARPANET)",
+        "paper: 13.5-24.9x at 1% modified, 3.7-4.3x at 20% modified",
+    );
+    let sizes: &[usize] = if quick_mode() {
+        &[10_000, 100_000]
+    } else {
+        &PAPER_SIZES_FIG3
+    };
+    let points = figure_rows(
+        &profiles::arpanet(),
+        sizes,
+        &PAPER_PERCENTS_FIG3,
+        CpuModel::default(),
+    );
+    print!("{}", render_speedup_table(&points, &PAPER_PERCENTS_FIG3));
+    println!();
+    println!("(paper reported: 1%: 13.5/22.5/24.2/24.9, 5%: 9.3/11.9/12.0/12.5,");
+    println!(" 10%: 6.5/7.1/7.5/7.6, 20%: 3.7/4.3/4.3/4.3)");
+}

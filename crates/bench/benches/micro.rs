@@ -1,0 +1,87 @@
+//! Micro-benchmarks (Criterion, real CPU time): the hot paths a production
+//! deployment cares about — wire codec, compressors, content digest, and
+//! the end-to-end in-memory protocol round trip.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use shadow::{
+    Codec, ContentDigest, DomainId, FileId, FileSpec, Frame, HostName, Lzss, Rle,
+    ClientMessage, TransferEncoding, UpdatePayload, VersionNumber,
+};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    let payload = shadow::generate_file(&FileSpec::new(100_000, 1));
+    let digest = ContentDigest::of(&payload);
+    let msg = ClientMessage::Update {
+        file: FileId::new(7),
+        version: VersionNumber::new(3),
+        payload: UpdatePayload::Full {
+            encoding: TransferEncoding::Identity,
+            data: bytes::Bytes::from(payload.clone()),
+            digest,
+        },
+    };
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("encode_update_100k", |b| b.iter(|| Frame::encode(&msg)));
+    let frame = Frame::encode(&msg);
+    group.bench_function("decode_update_100k", |b| {
+        b.iter(|| Frame::decode::<ClientMessage>(&frame).unwrap().unwrap())
+    });
+    let hello = ClientMessage::Hello {
+        domain: DomainId::new(1),
+        host: HostName::new("ws1"),
+        protocol: 1,
+    };
+    group.bench_function("encode_hello", |b| b.iter(|| Frame::encode(&hello)));
+    group.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    let text = shadow::generate_file(&FileSpec::new(100_000, 2));
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("lzss_compress_100k", |b| {
+        b.iter(|| Lzss::default().compress(&text))
+    });
+    let packed = Lzss::default().compress(&text);
+    group.bench_function("lzss_decompress_100k", |b| {
+        b.iter(|| Lzss::default().decompress(&packed).unwrap())
+    });
+    group.bench_function("rle_compress_100k", |b| b.iter(|| Rle.compress(&text)));
+    group.finish();
+}
+
+fn bench_digest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("digest");
+    let data = shadow::generate_file(&FileSpec::new(500_000, 3));
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("fnv_500k", |b| b.iter(|| ContentDigest::of(&data)));
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    use shadow::{profiles, ClientConfig, CpuModel, ServerConfig, Simulation, SubmitOptions};
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("sim_cycle_20k_lan", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1).with_cpu(CpuModel::instant());
+            let server = sim.add_server("sc", ServerConfig::new("sc"));
+            let client = sim.add_client("ws", ClientConfig::new("ws", 1));
+            let conn = sim.connect(client, server, profiles::lan()).unwrap();
+            let content = shadow::generate_file(&FileSpec::new(20_000, 4));
+            sim.edit_file(client, "/d", move |_| content.clone()).unwrap();
+            let name = sim.canonical_name(client, "/d").unwrap();
+            sim.edit_file(client, "/j", move |_| format!("wc {name}\n").into_bytes())
+                .unwrap();
+            sim.submit(client, conn, "/j", &["/d"], SubmitOptions::default())
+                .unwrap();
+            sim.run_until_quiet();
+            assert_eq!(sim.finished_jobs(client).len(), 1);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_compress, bench_digest, bench_end_to_end);
+criterion_main!(benches);

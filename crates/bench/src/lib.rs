@@ -1,0 +1,24 @@
+//! Shared helpers for the benchmark harnesses.
+//!
+//! Each `[[bench]]` target under `benches/` regenerates one table or
+//! figure of the paper's evaluation (or one ablation of a design choice
+//! from DESIGN.md) and prints the rows to stdout; `cargo bench` runs them
+//! all. The micro-benchmarks (`micro`, `ablation_diff_algos`) additionally
+//! use Criterion for real CPU-time measurements.
+
+#![forbid(unsafe_code)]
+
+/// Prints a banner so `cargo bench` output separates cleanly per figure.
+pub fn banner(title: &str, context: &str) {
+    println!();
+    println!("==============================================================");
+    println!("{title}");
+    println!("{context}");
+    println!("==============================================================");
+}
+
+/// True when the harness should run a reduced sweep (CI smoke mode),
+/// controlled by `SHADOW_BENCH_QUICK=1`.
+pub fn quick_mode() -> bool {
+    std::env::var("SHADOW_BENCH_QUICK").is_ok_and(|v| v == "1")
+}

@@ -1,0 +1,86 @@
+//! Property tests: the shadow store never exceeds its budget, never loses
+//! accounting, and always finds room for a fitting insertion.
+
+use proptest::prelude::*;
+use shadow_cache::{EvictionPolicy, ShadowStore};
+use shadow_proto::{DomainId, FileId, FileKey, VersionNumber};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { file: u64, size: usize },
+    Get { file: u64 },
+    Remove { file: u64 },
+    Clear,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u64..12, 0usize..400).prop_map(|(file, size)| Op::Insert { file, size }),
+        3 => (0u64..12).prop_map(|file| Op::Get { file }),
+        1 => (0u64..12).prop_map(|file| Op::Remove { file }),
+        1 => Just(Op::Clear),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = EvictionPolicy> {
+    prop_oneof![
+        Just(EvictionPolicy::Lru),
+        Just(EvictionPolicy::Fifo),
+        Just(EvictionPolicy::Lfu),
+        Just(EvictionPolicy::LargestFirst),
+    ]
+}
+
+fn key(n: u64) -> FileKey {
+    FileKey::new(DomainId::new(1), FileId::new(n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn budget_and_accounting_invariants(
+        budget in 1usize..1000,
+        policy in arb_policy(),
+        ops in prop::collection::vec(arb_op(), 0..64),
+    ) {
+        let mut store = ShadowStore::new(budget, policy);
+        let mut version = 0u64;
+        for op in ops {
+            match op {
+                Op::Insert { file, size } => {
+                    version += 1;
+                    store.insert(key(file), VersionNumber::new(version), vec![0; size]);
+                    if size <= budget {
+                        // A fitting insertion always lands.
+                        prop_assert!(store.peek(&key(file)).is_some());
+                    } else {
+                        prop_assert!(store.peek(&key(file)).is_none());
+                    }
+                }
+                Op::Get { file } => { store.get(&key(file)); }
+                Op::Remove { file } => { store.remove(&key(file)); }
+                Op::Clear => store.clear(),
+            }
+            // Budget never exceeded; used bytes always equals the sum of
+            // the entries.
+            prop_assert!(store.used_bytes() <= budget);
+            let sum: usize = store.iter().map(|(_, e)| e.content.len()).sum();
+            prop_assert_eq!(sum, store.used_bytes());
+        }
+    }
+
+    #[test]
+    fn entry_content_is_never_corrupted(
+        sizes in prop::collection::vec(1usize..64, 1..16),
+    ) {
+        let mut store = ShadowStore::new(4096, EvictionPolicy::Lru);
+        for (i, size) in sizes.iter().enumerate() {
+            let content: Vec<u8> = (0..*size).map(|b| (b + i) as u8).collect();
+            store.insert(key(i as u64), VersionNumber::new(1), content.clone());
+            let e = store.peek(&key(i as u64)).unwrap();
+            prop_assert_eq!(&e.content, &content);
+            prop_assert_eq!(e.digest, shadow_proto::ContentDigest::of(&content));
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Client configuration and the shadow environment (§6.3.1).
+
+use shadow_diff::DiffAlgorithm;
+use shadow_proto::{DomainId, HostName, TransferEncoding};
+
+/// How the client moves file content to servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TransferMode {
+    /// Shadow processing: notify on edit, answer demand-driven pulls with
+    /// deltas against the server's cached base.
+    #[default]
+    Shadow,
+    /// The conventional batch baseline the paper measures against: push
+    /// every file in full with each submission ("the client must transfer
+    /// all the files needed for remote processing over the network every
+    /// time he submits a job").
+    Conventional,
+}
+
+/// When to prefer a delta over a full transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DeltaPolicy {
+    /// Send the smaller of {delta, full} — adaptive, the default (§3's
+    /// adaptability goal: heavily edited files ship whole).
+    #[default]
+    Adaptive,
+    /// Always send a delta when a base is available (the naive prototype
+    /// behaviour; the ablation bench quantifies the difference).
+    Always,
+}
+
+/// The per-user customization database (§6.3.1: "the shadow environment is
+/// a database that contains … customization information for each user.
+/// Though the environment is set up automatically, a user has an option to
+/// customize it").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShadowEnv {
+    /// Default supercomputer host for `submit` without an explicit host.
+    pub default_server: Option<HostName>,
+    /// The user's editor command (informational; the
+    /// [`ShadowEditor`](crate::ShadowEditor)
+    /// wrapper invokes whatever [`Editor`](crate::Editor) it is given,
+    /// leaving the user's tool unchanged).
+    pub editor: String,
+    /// Older versions retained per file (§6.3.2 customization).
+    pub version_retention: usize,
+    /// Transfer encoding for update payloads.
+    pub encoding: TransferEncoding,
+    /// Delta-versus-full decision policy.
+    pub delta_policy: DeltaPolicy,
+    /// Diff algorithm for producing deltas.
+    pub algorithm: DiffAlgorithm,
+}
+
+impl Default for ShadowEnv {
+    fn default() -> Self {
+        ShadowEnv {
+            default_server: None,
+            editor: "vi".to_string(),
+            version_retention: 4,
+            encoding: TransferEncoding::Identity,
+            delta_policy: DeltaPolicy::default(),
+            algorithm: DiffAlgorithm::default(),
+        }
+    }
+}
+
+/// Configuration of a [`ClientNode`](crate::ClientNode).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientConfig {
+    /// This workstation's host name.
+    pub host: HostName,
+    /// The naming domain this client resolves names within.
+    pub domain: DomainId,
+    /// Transfer mode (shadow vs. conventional baseline).
+    pub mode: TransferMode,
+    /// The user's shadow environment.
+    pub env: ShadowEnv,
+    /// Completed job outputs retained per connection as reverse-shadow
+    /// bases.
+    pub output_retention: usize,
+}
+
+impl ClientConfig {
+    /// A client with the default shadow environment.
+    pub fn new(host: impl Into<String>, domain: u64) -> Self {
+        ClientConfig {
+            host: HostName::new(host.into()),
+            domain: DomainId::new(domain),
+            mode: TransferMode::default(),
+            env: ShadowEnv::default(),
+            output_retention: 4,
+        }
+    }
+
+    /// Switches to the conventional (full-transfer) baseline mode.
+    #[must_use]
+    pub fn conventional(mut self) -> Self {
+        self.mode = TransferMode::Conventional;
+        self
+    }
+
+    /// Sets the shadow environment.
+    #[must_use]
+    pub fn with_env(mut self, env: ShadowEnv) -> Self {
+        self.env = env;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = ClientConfig::new("ws", 3);
+        assert_eq!(c.mode, TransferMode::Shadow);
+        assert_eq!(c.env.version_retention, 4);
+        assert_eq!(c.env.delta_policy, DeltaPolicy::Adaptive);
+        assert_eq!(c.env.editor, "vi");
+        assert_eq!(c.domain, DomainId::new(3));
+    }
+
+    #[test]
+    fn conventional_builder() {
+        let c = ClientConfig::new("ws", 1).conventional();
+        assert_eq!(c.mode, TransferMode::Conventional);
+    }
+
+    #[test]
+    fn env_customization() {
+        let env = ShadowEnv {
+            editor: "emacs".into(),
+            version_retention: 9,
+            encoding: TransferEncoding::Lzss,
+            ..ShadowEnv::default()
+        };
+        let c = ClientConfig::new("ws", 1).with_env(env.clone());
+        assert_eq!(c.env, env);
+    }
+}

@@ -1,0 +1,1178 @@
+//! The client state machine.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+use bytes::Bytes;
+use shadow_compress::{Codec, Lzss, Rle};
+use shadow_diff::{Document, EdScript};
+use shadow_proto::{
+    ClientMessage, ContentDigest, FileId, HostName, JobId, JobStats, JobStatusEntry,
+    OutputPayload, RequestId, ServerMessage, SubmitOptions, TransferEncoding, UpdatePayload,
+    VersionNumber, PROTOCOL_VERSION,
+};
+use shadow_version::VersionStore;
+
+use crate::config::{ClientConfig, DeltaPolicy, TransferMode};
+use crate::jobs::JobTracker;
+
+/// Handle for one connection to one shadow server (driver-assigned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(u64);
+
+impl ConnId {
+    /// Wraps a raw connection number.
+    pub const fn new(raw: u64) -> Self {
+        ConnId(raw)
+    }
+
+    /// The raw value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn-{}", self.0)
+    }
+}
+
+/// A file as the client refers to it: resolved id plus canonical name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FileRef {
+    /// The domain-unique file id (from name resolution).
+    pub id: FileId,
+    /// The canonical name (sent to servers for their mapping directory).
+    pub name: String,
+}
+
+impl FileRef {
+    /// Creates a reference.
+    pub fn new(id: FileId, name: impl Into<String>) -> Self {
+        FileRef {
+            id,
+            name: name.into(),
+        }
+    }
+}
+
+/// Inputs to [`ClientNode::handle`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// A message arrived from a server.
+    Message {
+        /// The connection it arrived on.
+        conn: ConnId,
+        /// The message.
+        message: ServerMessage,
+        /// Client clock, milliseconds.
+        now_ms: u64,
+    },
+}
+
+/// Outputs of the client state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientAction {
+    /// Send a message on a connection.
+    Send {
+        /// The connection.
+        conn: ConnId,
+        /// The message.
+        message: ClientMessage,
+    },
+    /// Surface something to the user / driving application.
+    Notify(Notification),
+}
+
+/// User-visible happenings ("notifies the user of job completion", §4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Notification {
+    /// The server accepted our session.
+    SessionReady {
+        /// The connection.
+        conn: ConnId,
+        /// The server's name.
+        server: HostName,
+    },
+    /// A submission was accepted.
+    JobAccepted {
+        /// The connection.
+        conn: ConnId,
+        /// The request that was acked.
+        request: RequestId,
+        /// The job id assigned by the server.
+        job: JobId,
+    },
+    /// A submission was rejected.
+    JobRejected {
+        /// The connection.
+        conn: ConnId,
+        /// The request that failed.
+        request: RequestId,
+        /// The server's reason.
+        reason: String,
+    },
+    /// An answer to a status query.
+    StatusReport {
+        /// The connection.
+        conn: ConnId,
+        /// The correlated request.
+        request: RequestId,
+        /// Per-job entries.
+        entries: Vec<JobStatusEntry>,
+    },
+    /// A job finished and its output was reconstructed.
+    JobFinished {
+        /// The connection.
+        conn: ConnId,
+        /// The job.
+        job: JobId,
+        /// Standard output (after any reverse-shadow reconstruction).
+        output: Vec<u8>,
+        /// Error output.
+        errors: Vec<u8>,
+        /// Server-side accounting.
+        stats: JobStats,
+    },
+    /// A job's output delta could not be reconstructed (missing or
+    /// corrupt base); the output was lost and no ack was sent.
+    OutputCorrupt {
+        /// The connection.
+        conn: ConnId,
+        /// The job whose output failed.
+        job: JobId,
+    },
+    /// The server closed the session.
+    SessionClosed {
+        /// The connection.
+        conn: ConnId,
+    },
+}
+
+/// Client-side errors from command methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The connection is unknown or not yet ready.
+    NotConnected(ConnId),
+    /// A file was never registered via
+    /// [`edit_finished`](ClientNode::edit_finished).
+    UnknownFile(FileId),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::NotConnected(c) => write!(f, "connection {c} is not established"),
+            ClientError::UnknownFile(id) => {
+                write!(f, "{id} has no recorded version at this client")
+            }
+        }
+    }
+}
+
+impl Error for ClientError {}
+
+/// Counters describing client traffic decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientMetrics {
+    /// Delta updates sent.
+    pub deltas_sent: u64,
+    /// Full updates sent.
+    pub fulls_sent: u64,
+    /// Payload bytes across all updates sent.
+    pub update_payload_bytes: u64,
+    /// `NotifyVersion` messages sent.
+    pub notifies_sent: u64,
+    /// Output deltas successfully reconstructed.
+    pub output_deltas_applied: u64,
+}
+
+#[derive(Debug, Default)]
+struct Conn {
+    ready: bool,
+    server: Option<HostName>,
+}
+
+/// The shadow client state machine. See the [crate docs](crate).
+#[derive(Debug)]
+pub struct ClientNode {
+    config: ClientConfig,
+    versions: VersionStore,
+    names: HashMap<FileId, String>,
+    conns: HashMap<ConnId, Conn>,
+    interest: HashMap<ConnId, HashSet<FileId>>,
+    announced: HashMap<(ConnId, FileId), VersionNumber>,
+    acked: HashMap<(ConnId, FileId), VersionNumber>,
+    outputs: HashMap<ConnId, VecDeque<(JobId, Vec<u8>)>>,
+    jobs: JobTracker,
+    next_request: u64,
+    metrics: ClientMetrics,
+}
+
+impl ClientNode {
+    /// Creates a client from its configuration.
+    pub fn new(config: ClientConfig) -> Self {
+        let versions =
+            VersionStore::new(config.env.version_retention).with_algorithm(config.env.algorithm);
+        ClientNode {
+            config,
+            versions,
+            names: HashMap::new(),
+            conns: HashMap::new(),
+            interest: HashMap::new(),
+            announced: HashMap::new(),
+            acked: HashMap::new(),
+            outputs: HashMap::new(),
+            jobs: JobTracker::default(),
+            next_request: 0,
+            metrics: ClientMetrics::default(),
+        }
+    }
+
+    /// The client's configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Traffic counters.
+    pub fn metrics(&self) -> ClientMetrics {
+        self.metrics
+    }
+
+    /// Version-store summary (diagnostics).
+    pub fn version_stats(&self) -> shadow_version::VersionStoreStats {
+        self.versions.stats()
+    }
+
+    /// Size in bytes of the latest version of a file, if tracked (drives
+    /// CPU cost models: differential comparison reads the whole file).
+    pub fn file_size(&self, file: FileId) -> Option<usize> {
+        self.versions.latest(file).map(|(_, c)| c.len())
+    }
+
+    /// Digest of the latest version of a file, if tracked (coherence
+    /// checks against a server's cache).
+    pub fn latest_digest(&self, file: FileId) -> Option<ContentDigest> {
+        self.versions.latest_digest(file)
+    }
+
+    /// Restores a persisted version chain entry (shadow environments that
+    /// survive process restarts, §6.3.1). Must be called before new edits
+    /// of the file and in ascending version order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the existing newer/equal latest version when out of order.
+    pub fn restore_version(
+        &mut self,
+        file: &FileRef,
+        version: VersionNumber,
+        content: Vec<u8>,
+    ) -> Result<(), VersionNumber> {
+        self.names.insert(file.id, file.name.clone());
+        self.versions.restore(file.id, version, content)
+    }
+
+    /// The retained `(version, content)` pairs of a file, ascending (for
+    /// persisting the shadow environment).
+    pub fn retained_versions(&self, file: FileId) -> Vec<(VersionNumber, Vec<u8>)> {
+        self.versions
+            .retained(file)
+            .map(|(v, c)| (v, c.to_vec()))
+            .collect()
+    }
+
+    /// The table of jobs this client has submitted (§6.2: "the client
+    /// maintains the information on the status of all the jobs").
+    pub fn jobs(&self) -> &JobTracker {
+        &self.jobs
+    }
+
+    /// Every file this client tracks, with its canonical name.
+    pub fn tracked_files(&self) -> Vec<FileRef> {
+        self.versions
+            .files()
+            .map(|id| FileRef {
+                id,
+                name: self.names.get(&id).cloned().unwrap_or_default(),
+            })
+            .collect()
+    }
+
+    /// Opens a connection: emits the `Hello`.
+    pub fn connect(&mut self, conn: ConnId) -> Vec<ClientAction> {
+        self.conns.insert(conn, Conn::default());
+        vec![ClientAction::Send {
+            conn,
+            message: ClientMessage::Hello {
+                domain: self.config.domain,
+                host: self.config.host.clone(),
+                protocol: PROTOCOL_VERSION,
+            },
+        }]
+    }
+
+    /// Drops a connection's local state (transport already gone).
+    pub fn disconnect(&mut self, conn: ConnId) {
+        self.conns.remove(&conn);
+        self.interest.remove(&conn);
+        self.outputs.remove(&conn);
+        self.announced.retain(|(c, _), _| *c != conn);
+        self.acked.retain(|(c, _), _| *c != conn);
+    }
+
+    fn next_request(&mut self) -> RequestId {
+        self.next_request += 1;
+        RequestId::new(self.next_request)
+    }
+
+    /// The shadow post-processor (§6.2): records the edited content as a
+    /// new version and notifies every interested server — "whenever a
+    /// scientist finishes editing a shadow file, the shadow editor
+    /// notifies the server … of the change to the file."
+    pub fn edit_finished(&mut self, file: &FileRef, content: Vec<u8>) -> (VersionNumber, Vec<ClientAction>) {
+        self.names.insert(file.id, file.name.clone());
+        let size = content.len() as u64;
+        let digest = ContentDigest::of(&content);
+        let version = self.versions.record_edit(file.id, content);
+        let mut actions = Vec::new();
+        if self.config.mode == TransferMode::Shadow {
+            let conns: Vec<ConnId> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| c.ready)
+                .map(|(id, _)| *id)
+                .collect();
+            for conn in conns {
+                let interested = self
+                    .interest
+                    .get(&conn)
+                    .is_some_and(|set| set.contains(&file.id));
+                let already = self
+                    .announced
+                    .get(&(conn, file.id))
+                    .is_some_and(|&v| v >= version);
+                if interested && !already {
+                    self.announced.insert((conn, file.id), version);
+                    self.metrics.notifies_sent += 1;
+                    actions.push(ClientAction::Send {
+                        conn,
+                        message: ClientMessage::NotifyVersion {
+                            file: file.id,
+                            name: file.name.clone(),
+                            version,
+                            size,
+                            digest,
+                        },
+                    });
+                }
+            }
+        }
+        (version, actions)
+    }
+
+    /// Submits a job: the command file plus data files, all previously
+    /// registered via [`edit_finished`](Self::edit_finished).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::NotConnected`] before the `HelloAck`, and
+    /// [`ClientError::UnknownFile`] for unregistered files.
+    pub fn submit(
+        &mut self,
+        conn: ConnId,
+        job_file: &FileRef,
+        data_files: &[FileRef],
+        options: SubmitOptions,
+    ) -> Result<(RequestId, Vec<ClientAction>), ClientError> {
+        if !self.conns.get(&conn).is_some_and(|c| c.ready) {
+            return Err(ClientError::NotConnected(conn));
+        }
+        let mut versions = Vec::with_capacity(1 + data_files.len());
+        for fref in std::iter::once(job_file).chain(data_files) {
+            let (v, _) = self
+                .versions
+                .latest(fref.id)
+                .ok_or(ClientError::UnknownFile(fref.id))?;
+            versions.push((fref.clone(), v));
+        }
+        let mut actions = Vec::new();
+        match self.config.mode {
+            TransferMode::Shadow => {
+                // Announce whatever this server has not heard about yet;
+                // the server pulls on demand.
+                for (fref, v) in &versions {
+                    self.interest.entry(conn).or_default().insert(fref.id);
+                    let already = self
+                        .announced
+                        .get(&(conn, fref.id))
+                        .is_some_and(|&av| av >= *v);
+                    if !already {
+                        let content = self.versions.latest(fref.id).expect("checked").1;
+                        let (size, digest) =
+                            (content.len() as u64, ContentDigest::of(content));
+                        self.announced.insert((conn, fref.id), *v);
+                        self.metrics.notifies_sent += 1;
+                        actions.push(ClientAction::Send {
+                            conn,
+                            message: ClientMessage::NotifyVersion {
+                                file: fref.id,
+                                name: fref.name.clone(),
+                                version: *v,
+                                size,
+                                digest,
+                            },
+                        });
+                    }
+                }
+            }
+            TransferMode::Conventional => {
+                // The baseline: ship every file whole, every time. The
+                // server still needs name mappings, so notify too.
+                for (fref, v) in &versions {
+                    let content = self.versions.latest(fref.id).expect("checked").1.to_vec();
+                    let digest = ContentDigest::of(&content);
+                    self.metrics.notifies_sent += 1;
+                    actions.push(ClientAction::Send {
+                        conn,
+                        message: ClientMessage::NotifyVersion {
+                            file: fref.id,
+                            name: fref.name.clone(),
+                            version: *v,
+                            size: content.len() as u64,
+                            digest,
+                        },
+                    });
+                    self.metrics.fulls_sent += 1;
+                    self.metrics.update_payload_bytes += content.len() as u64;
+                    actions.push(ClientAction::Send {
+                        conn,
+                        message: ClientMessage::Update {
+                            file: fref.id,
+                            version: *v,
+                            payload: UpdatePayload::Full {
+                                encoding: TransferEncoding::Identity,
+                                data: Bytes::from(content),
+                                digest,
+                            },
+                        },
+                    });
+                }
+            }
+        }
+        let request = self.next_request();
+        self.jobs.submitted(request, conn, 0);
+        actions.push(ClientAction::Send {
+            conn,
+            message: ClientMessage::Submit {
+                request,
+                job_file: job_file.id,
+                job_version: versions[0].1,
+                data_files: versions[1..].iter().map(|(f, v)| (f.id, *v)).collect(),
+                options,
+            },
+        });
+        Ok((request, actions))
+    }
+
+    /// Queries the status of one job (`Some`) or all pending jobs (`None`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::NotConnected`] before the `HelloAck`.
+    pub fn status(
+        &mut self,
+        conn: ConnId,
+        job: Option<JobId>,
+    ) -> Result<(RequestId, Vec<ClientAction>), ClientError> {
+        if !self.conns.get(&conn).is_some_and(|c| c.ready) {
+            return Err(ClientError::NotConnected(conn));
+        }
+        let request = self.next_request();
+        Ok((
+            request,
+            vec![ClientAction::Send {
+                conn,
+                message: ClientMessage::StatusQuery { request, job },
+            }],
+        ))
+    }
+
+    /// Feeds one event through the state machine.
+    pub fn handle(&mut self, event: ClientEvent) -> Vec<ClientAction> {
+        let ClientEvent::Message { conn, message, now_ms } = event;
+        let mut actions = Vec::new();
+        match message {
+            ServerMessage::HelloAck { server, .. } => {
+                if let Some(c) = self.conns.get_mut(&conn) {
+                    c.ready = true;
+                    c.server = Some(server.clone());
+                    actions.push(ClientAction::Notify(Notification::SessionReady {
+                        conn,
+                        server,
+                    }));
+                }
+            }
+            ServerMessage::UpdateRequest { file, have } => {
+                self.answer_update_request(conn, file, have, &mut actions);
+            }
+            ServerMessage::VersionAck { file, version } => {
+                self.acked.insert((conn, file), version);
+                // Prune only up to the *minimum* acked version across all
+                // connections that shadow this file: another server may
+                // still need an older base.
+                let mut min_acked = Some(version);
+                for (c, set) in &self.interest {
+                    if set.contains(&file) {
+                        match self.acked.get(&(*c, file)) {
+                            Some(&v) => min_acked = Some(min_acked.unwrap().min(v)),
+                            None => min_acked = None,
+                        }
+                        if min_acked.is_none() {
+                            break;
+                        }
+                    }
+                }
+                if let Some(v) = min_acked {
+                    self.versions.acknowledge(file, v);
+                }
+            }
+            ServerMessage::SubmitAck { request, job } => {
+                self.jobs.accepted(request, job, now_ms);
+                actions.push(ClientAction::Notify(Notification::JobAccepted {
+                    conn,
+                    request,
+                    job,
+                }));
+            }
+            ServerMessage::SubmitError { request, reason } => {
+                self.jobs.rejected(request);
+                actions.push(ClientAction::Notify(Notification::JobRejected {
+                    conn,
+                    request,
+                    reason,
+                }));
+            }
+            ServerMessage::StatusReport { request, entries } => {
+                for e in &entries {
+                    self.jobs.status_update(e.job, e.status);
+                }
+                actions.push(ClientAction::Notify(Notification::StatusReport {
+                    conn,
+                    request,
+                    entries,
+                }));
+            }
+            ServerMessage::JobComplete {
+                job,
+                output,
+                errors,
+                stats,
+            } => {
+                self.jobs
+                    .completed(job, stats.output_bytes, stats.exit_code != 0, now_ms);
+                self.on_job_complete(conn, job, output, errors.to_vec(), stats, &mut actions);
+            }
+            ServerMessage::Bye => {
+                actions.push(ClientAction::Notify(Notification::SessionClosed { conn }));
+                self.disconnect(conn);
+            }
+        }
+        actions
+    }
+
+    fn encode_with(encoding: TransferEncoding, raw: &[u8]) -> (TransferEncoding, Vec<u8>) {
+        let packed = match encoding {
+            TransferEncoding::Identity => return (TransferEncoding::Identity, raw.to_vec()),
+            TransferEncoding::Rle => Rle.compress(raw),
+            TransferEncoding::Lzss => Lzss::default().compress(raw),
+        };
+        if packed.len() < raw.len() {
+            (encoding, packed)
+        } else {
+            (TransferEncoding::Identity, raw.to_vec())
+        }
+    }
+
+    fn answer_update_request(
+        &mut self,
+        conn: ConnId,
+        file: FileId,
+        have: Option<VersionNumber>,
+        actions: &mut Vec<ClientAction>,
+    ) {
+        let Some((latest, content)) = self.versions.latest(file) else {
+            return; // we know nothing about this file; nothing to send
+        };
+        let content = content.to_vec();
+        let digest = ContentDigest::of(&content);
+        let delta = match (self.config.mode, have) {
+            (TransferMode::Shadow, Some(base)) if base < latest => {
+                self.versions.delta_from(file, base)
+            }
+            _ => None,
+        };
+        let use_delta = match (&delta, self.config.env.delta_policy) {
+            (Some((_, script)), DeltaPolicy::Adaptive) => script.wire_len() < content.len(),
+            (Some(_), DeltaPolicy::Always) => true,
+            (None, _) => false,
+        };
+        let payload = if use_delta {
+            let (base, script) = delta.expect("checked");
+            let (encoding, data) = Self::encode_with(self.config.env.encoding, &script.to_text());
+            self.metrics.deltas_sent += 1;
+            self.metrics.update_payload_bytes += data.len() as u64;
+            UpdatePayload::Delta {
+                base,
+                encoding,
+                data: Bytes::from(data),
+                digest,
+            }
+        } else {
+            let (encoding, data) = Self::encode_with(self.config.env.encoding, &content);
+            self.metrics.fulls_sent += 1;
+            self.metrics.update_payload_bytes += data.len() as u64;
+            UpdatePayload::Full {
+                encoding,
+                data: Bytes::from(data),
+                digest,
+            }
+        };
+        actions.push(ClientAction::Send {
+            conn,
+            message: ClientMessage::Update {
+                file,
+                version: latest,
+                payload,
+            },
+        });
+    }
+
+    fn on_job_complete(
+        &mut self,
+        conn: ConnId,
+        job: JobId,
+        output: OutputPayload,
+        errors: Vec<u8>,
+        stats: JobStats,
+        actions: &mut Vec<ClientAction>,
+    ) {
+        let reconstructed: Result<Vec<u8>, ()> = match output {
+            OutputPayload::Full { encoding, data } => match encoding {
+                TransferEncoding::Identity => Ok(data.to_vec()),
+                TransferEncoding::Rle => Rle.decompress(&data).map_err(|_| ()),
+                TransferEncoding::Lzss => Lzss::default().decompress(&data).map_err(|_| ()),
+            },
+            OutputPayload::Delta {
+                base_job,
+                encoding,
+                data,
+                digest,
+            } => {
+                let base = self
+                    .outputs
+                    .get(&conn)
+                    .and_then(|q| q.iter().find(|(j, _)| *j == base_job))
+                    .map(|(_, o)| o.clone());
+                match base {
+                    Some(base) => {
+                        let text = match encoding {
+                            TransferEncoding::Identity => Ok(data.to_vec()),
+                            TransferEncoding::Rle => Rle.decompress(&data).map_err(|_| ()),
+                            TransferEncoding::Lzss => {
+                                Lzss::default().decompress(&data).map_err(|_| ())
+                            }
+                        };
+                        text.and_then(|t| EdScript::parse(&t).map_err(|_| ()))
+                            .and_then(|script| {
+                                script
+                                    .apply(&Document::from_bytes(base))
+                                    .map_err(|_| ())
+                            })
+                            .map(|doc| doc.to_bytes())
+                            .and_then(|bytes| {
+                                if ContentDigest::of(&bytes) == digest {
+                                    self.metrics.output_deltas_applied += 1;
+                                    Ok(bytes)
+                                } else {
+                                    Err(())
+                                }
+                            })
+                    }
+                    None => Err(()),
+                }
+            }
+        };
+        match reconstructed {
+            Ok(output) => {
+                let retained = self.outputs.entry(conn).or_default();
+                retained.push_back((job, output.clone()));
+                while retained.len() > self.config.output_retention {
+                    retained.pop_front();
+                }
+                actions.push(ClientAction::Send {
+                    conn,
+                    message: ClientMessage::OutputAck { job },
+                });
+                actions.push(ClientAction::Notify(Notification::JobFinished {
+                    conn,
+                    job,
+                    output,
+                    errors,
+                    stats,
+                }));
+            }
+            Err(()) => {
+                actions.push(ClientAction::Notify(Notification::OutputCorrupt {
+                    conn,
+                    job,
+                }));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ready_client() -> (ClientNode, ConnId) {
+        let mut client = ClientNode::new(ClientConfig::new("ws1", 1));
+        let conn = ConnId::new(0);
+        client.connect(conn);
+        client.handle(ClientEvent::Message {
+            conn,
+            message: ServerMessage::HelloAck {
+                protocol: PROTOCOL_VERSION,
+                server: HostName::new("sc"),
+            },
+            now_ms: 0,
+        });
+        (client, conn)
+    }
+
+    fn sends(actions: &[ClientAction]) -> Vec<&ClientMessage> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                ClientAction::Send { message, .. } => Some(message),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn fref(id: u64, name: &str) -> FileRef {
+        FileRef::new(FileId::new(id), name)
+    }
+
+    #[test]
+    fn connect_sends_hello_and_ready_notification() {
+        let mut client = ClientNode::new(ClientConfig::new("ws1", 1));
+        let conn = ConnId::new(0);
+        let actions = client.connect(conn);
+        assert!(matches!(
+            sends(&actions)[..],
+            [ClientMessage::Hello { .. }]
+        ));
+        let actions = client.handle(ClientEvent::Message {
+            conn,
+            message: ServerMessage::HelloAck {
+                protocol: PROTOCOL_VERSION,
+                server: HostName::new("sc"),
+            },
+            now_ms: 0,
+        });
+        assert!(matches!(
+            actions[..],
+            [ClientAction::Notify(Notification::SessionReady { .. })]
+        ));
+    }
+
+    #[test]
+    fn submit_before_ready_fails() {
+        let mut client = ClientNode::new(ClientConfig::new("ws1", 1));
+        let conn = ConnId::new(0);
+        client.connect(conn);
+        let err = client
+            .submit(conn, &fref(1, "/job"), &[], SubmitOptions::default())
+            .unwrap_err();
+        assert_eq!(err, ClientError::NotConnected(conn));
+    }
+
+    #[test]
+    fn submit_of_unregistered_file_fails() {
+        let (mut client, conn) = ready_client();
+        let err = client
+            .submit(conn, &fref(1, "/job"), &[], SubmitOptions::default())
+            .unwrap_err();
+        assert_eq!(err, ClientError::UnknownFile(FileId::new(1)));
+    }
+
+    #[test]
+    fn submit_notifies_then_submits() {
+        let (mut client, conn) = ready_client();
+        client.edit_finished(&fref(1, "/job"), b"echo hi\n".to_vec());
+        client.edit_finished(&fref(2, "/data"), b"d\n".to_vec());
+        let (request, actions) = client
+            .submit(
+                conn,
+                &fref(1, "/job"),
+                &[fref(2, "/data")],
+                SubmitOptions::default(),
+            )
+            .unwrap();
+        let msgs = sends(&actions);
+        assert_eq!(msgs.len(), 3);
+        assert!(matches!(msgs[0], ClientMessage::NotifyVersion { .. }));
+        assert!(matches!(msgs[1], ClientMessage::NotifyVersion { .. }));
+        match msgs[2] {
+            ClientMessage::Submit {
+                request: r,
+                job_file,
+                data_files,
+                ..
+            } => {
+                assert_eq!(*r, request);
+                assert_eq!(*job_file, FileId::new(1));
+                assert_eq!(data_files.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resubmit_does_not_renotify_unchanged_files() {
+        let (mut client, conn) = ready_client();
+        client.edit_finished(&fref(1, "/job"), b"echo hi\n".to_vec());
+        let (_, first) = client
+            .submit(conn, &fref(1, "/job"), &[], SubmitOptions::default())
+            .unwrap();
+        assert_eq!(sends(&first).len(), 2); // notify + submit
+        let (_, second) = client
+            .submit(conn, &fref(1, "/job"), &[], SubmitOptions::default())
+            .unwrap();
+        assert_eq!(sends(&second).len(), 1); // just the submit
+    }
+
+    #[test]
+    fn edits_notify_interested_servers_in_background() {
+        let (mut client, conn) = ready_client();
+        client.edit_finished(&fref(1, "/f"), b"v1\n".to_vec());
+        client
+            .submit(conn, &fref(1, "/f"), &[], SubmitOptions::default())
+            .unwrap();
+        // A later edit notifies without an explicit submit (§5.1:
+        // background updates).
+        let (_, actions) = client.edit_finished(&fref(1, "/f"), b"v2\n".to_vec());
+        assert!(matches!(
+            sends(&actions)[..],
+            [ClientMessage::NotifyVersion { .. }]
+        ));
+        // Servers never told about the file stay silent.
+        let (_, actions) = client.edit_finished(&fref(9, "/other"), b"x\n".to_vec());
+        assert!(sends(&actions).is_empty());
+    }
+
+    #[test]
+    fn update_request_with_base_gets_delta() {
+        let (mut client, conn) = ready_client();
+        let file = fref(1, "/f");
+        let base: Vec<u8> = (0..100).flat_map(|i| format!("line {i}\n").into_bytes()).collect();
+        client.edit_finished(&file, base.clone());
+        let mut edited = base.clone();
+        edited.extend_from_slice(b"appended\n");
+        client.edit_finished(&file, edited.clone());
+        let actions = client.handle(ClientEvent::Message {
+            conn,
+            message: ServerMessage::UpdateRequest {
+                file: file.id,
+                have: Some(VersionNumber::FIRST),
+            },
+            now_ms: 0,
+        });
+        match sends(&actions)[..] {
+            [ClientMessage::Update { payload, version, .. }] => {
+                assert!(payload.is_delta());
+                assert_eq!(*version, VersionNumber::new(2));
+                assert!(payload.data_len() < 64);
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(client.metrics().deltas_sent, 1);
+    }
+
+    #[test]
+    fn update_request_without_base_gets_full() {
+        let (mut client, conn) = ready_client();
+        let file = fref(1, "/f");
+        client.edit_finished(&file, b"content\n".to_vec());
+        let actions = client.handle(ClientEvent::Message {
+            conn,
+            message: ServerMessage::UpdateRequest {
+                file: file.id,
+                have: None,
+            },
+            now_ms: 0,
+        });
+        match sends(&actions)[..] {
+            [ClientMessage::Update { payload, .. }] => assert!(!payload.is_delta()),
+            ref other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(client.metrics().fulls_sent, 1);
+    }
+
+    #[test]
+    fn adaptive_policy_sends_full_when_delta_is_larger() {
+        let (mut client, conn) = ready_client();
+        let file = fref(1, "/f");
+        client.edit_finished(&file, b"a\nb\nc\nd\n".to_vec());
+        // A total rewrite: the ed script carries everything plus framing,
+        // so full is smaller.
+        client.edit_finished(&file, b"w\nx\ny\nz\n".to_vec());
+        let actions = client.handle(ClientEvent::Message {
+            conn,
+            message: ServerMessage::UpdateRequest {
+                file: file.id,
+                have: Some(VersionNumber::FIRST),
+            },
+            now_ms: 0,
+        });
+        match sends(&actions)[..] {
+            [ClientMessage::Update { payload, .. }] => assert!(!payload.is_delta()),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_ack_prunes_only_at_min_across_servers() {
+        let (mut client, conn_a) = ready_client();
+        let conn_b = ConnId::new(1);
+        client.connect(conn_b);
+        client.handle(ClientEvent::Message {
+            conn: conn_b,
+            message: ServerMessage::HelloAck {
+                protocol: PROTOCOL_VERSION,
+                server: HostName::new("sc2"),
+            },
+            now_ms: 0,
+        });
+        let file = fref(1, "/f");
+        let v1 = client.edit_finished(&file, b"v1\n".to_vec()).0;
+        client
+            .submit(conn_a, &file, &[], SubmitOptions::default())
+            .unwrap();
+        client
+            .submit(conn_b, &file, &[], SubmitOptions::default())
+            .unwrap();
+        let v2 = client.edit_finished(&file, b"v2\n".to_vec()).0;
+        // Only server A acks v2; server B has nothing acked yet, so v1
+        // must survive as a potential base for B.
+        client.handle(ClientEvent::Message {
+            conn: conn_a,
+            message: ServerMessage::VersionAck {
+                file: file.id,
+                version: v2,
+            },
+            now_ms: 0,
+        });
+        assert!(client.versions.content_of(file.id, v1).is_some());
+        // Once B acks v2 as well, v1 can go.
+        client.handle(ClientEvent::Message {
+            conn: conn_b,
+            message: ServerMessage::VersionAck {
+                file: file.id,
+                version: v2,
+            },
+            now_ms: 0,
+        });
+        assert!(client.versions.content_of(file.id, v1).is_none());
+    }
+
+    #[test]
+    fn job_complete_full_output_is_delivered_and_acked() {
+        let (mut client, conn) = ready_client();
+        let actions = client.handle(ClientEvent::Message {
+            conn,
+            message: ServerMessage::JobComplete {
+                job: JobId::new(5),
+                output: OutputPayload::Full {
+                    encoding: TransferEncoding::Identity,
+                    data: Bytes::from_static(b"results\n"),
+                },
+                errors: Bytes::new(),
+                stats: JobStats::default(),
+            },
+            now_ms: 0,
+        });
+        assert!(matches!(
+            sends(&actions)[..],
+            [ClientMessage::OutputAck { .. }]
+        ));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            ClientAction::Notify(Notification::JobFinished { output, .. }) if output == b"results\n"
+        )));
+    }
+
+    #[test]
+    fn job_complete_output_delta_reconstructs() {
+        let (mut client, conn) = ready_client();
+        // First run delivers full output.
+        client.handle(ClientEvent::Message {
+            conn,
+            message: ServerMessage::JobComplete {
+                job: JobId::new(1),
+                output: OutputPayload::Full {
+                    encoding: TransferEncoding::Identity,
+                    data: Bytes::from_static(b"row 1\nrow 2\nrow 3\n"),
+                },
+                errors: Bytes::new(),
+                stats: JobStats::default(),
+            },
+            now_ms: 0,
+        });
+        // Second run sends a delta against job 1's output.
+        let new_output = b"row 1\nrow 2 edited\nrow 3\n";
+        let script = shadow_diff::diff(
+            shadow_diff::DiffAlgorithm::HuntMcIlroy,
+            &Document::from_bytes(b"row 1\nrow 2\nrow 3\n".to_vec()),
+            &Document::from_bytes(new_output.to_vec()),
+        );
+        let actions = client.handle(ClientEvent::Message {
+            conn,
+            message: ServerMessage::JobComplete {
+                job: JobId::new(2),
+                output: OutputPayload::Delta {
+                    base_job: JobId::new(1),
+                    encoding: TransferEncoding::Identity,
+                    data: Bytes::from(script.to_text()),
+                    digest: ContentDigest::of(new_output),
+                },
+                errors: Bytes::new(),
+                stats: JobStats::default(),
+            },
+            now_ms: 0,
+        });
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            ClientAction::Notify(Notification::JobFinished { output, .. })
+                if output == new_output
+        )));
+        assert_eq!(client.metrics().output_deltas_applied, 1);
+    }
+
+    #[test]
+    fn output_delta_against_unknown_base_reports_corrupt() {
+        let (mut client, conn) = ready_client();
+        let actions = client.handle(ClientEvent::Message {
+            conn,
+            message: ServerMessage::JobComplete {
+                job: JobId::new(2),
+                output: OutputPayload::Delta {
+                    base_job: JobId::new(99),
+                    encoding: TransferEncoding::Identity,
+                    data: Bytes::from_static(b"w\n"),
+                    digest: ContentDigest::of(b""),
+                },
+                errors: Bytes::new(),
+                stats: JobStats::default(),
+            },
+            now_ms: 0,
+        });
+        assert!(matches!(
+            actions[..],
+            [ClientAction::Notify(Notification::OutputCorrupt { .. })]
+        ));
+        // No ack was sent for the lost output.
+        assert!(sends(&actions).is_empty());
+    }
+
+    #[test]
+    fn conventional_mode_pushes_full_files_every_submit() {
+        let mut client = ClientNode::new(ClientConfig::new("ws1", 1).conventional());
+        let conn = ConnId::new(0);
+        client.connect(conn);
+        client.handle(ClientEvent::Message {
+            conn,
+            message: ServerMessage::HelloAck {
+                protocol: PROTOCOL_VERSION,
+                server: HostName::new("sc"),
+            },
+            now_ms: 0,
+        });
+        let file = fref(1, "/job");
+        client.edit_finished(&file, b"echo hi\n".to_vec());
+        let (_, first) = client
+            .submit(conn, &file, &[], SubmitOptions::default())
+            .unwrap();
+        // notify + full update + submit
+        assert_eq!(sends(&first).len(), 3);
+        let (_, second) = client
+            .submit(conn, &file, &[], SubmitOptions::default())
+            .unwrap();
+        // Unchanged file is STILL pushed whole — that is the baseline's
+        // defining waste.
+        assert_eq!(sends(&second).len(), 3);
+        assert_eq!(client.metrics().fulls_sent, 2);
+    }
+
+    #[test]
+    fn lzss_encoding_is_used_when_it_helps() {
+        let mut config = ClientConfig::new("ws1", 1);
+        config.env.encoding = TransferEncoding::Lzss;
+        let mut client = ClientNode::new(config);
+        let conn = ConnId::new(0);
+        client.connect(conn);
+        client.handle(ClientEvent::Message {
+            conn,
+            message: ServerMessage::HelloAck {
+                protocol: PROTOCOL_VERSION,
+                server: HostName::new("sc"),
+            },
+            now_ms: 0,
+        });
+        let file = fref(1, "/f");
+        let content: Vec<u8> = b"repetitive line of text\n"
+            .iter()
+            .copied()
+            .cycle()
+            .take(4096)
+            .collect();
+        client.edit_finished(&file, content.clone());
+        let actions = client.handle(ClientEvent::Message {
+            conn,
+            message: ServerMessage::UpdateRequest {
+                file: file.id,
+                have: None,
+            },
+            now_ms: 0,
+        });
+        match sends(&actions)[..] {
+            [ClientMessage::Update { payload, .. }] => match payload {
+                UpdatePayload::Full { encoding, data, .. } => {
+                    assert_eq!(*encoding, TransferEncoding::Lzss);
+                    assert!(data.len() < content.len() / 2);
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnect_clears_state() {
+        let (mut client, conn) = ready_client();
+        let file = fref(1, "/f");
+        client.edit_finished(&file, b"x\n".to_vec());
+        client
+            .submit(conn, &file, &[], SubmitOptions::default())
+            .unwrap();
+        client.disconnect(conn);
+        let err = client
+            .submit(conn, &file, &[], SubmitOptions::default())
+            .unwrap_err();
+        assert_eq!(err, ClientError::NotConnected(conn));
+    }
+}

@@ -1,0 +1,185 @@
+//! Byte run-length encoding.
+//!
+//! Format: a sequence of chunks, each beginning with a control byte `c`:
+//!
+//! * `c < 0x80` — a literal run: the next `c + 1` bytes are copied verbatim.
+//! * `c >= 0x80` — a repeated run: the next byte repeats `c - 0x80 + 3`
+//!   times (3–130).
+//!
+//! Runs shorter than 3 are always emitted as literals, so the worst-case
+//! expansion is one control byte per 128 input bytes (< 0.8%).
+
+use crate::{Codec, DecompressError};
+
+/// The run-length codec. Stateless; construct with `Rle`.
+///
+/// # Example
+///
+/// ```
+/// use shadow_compress::{Codec, Rle};
+///
+/// # fn main() -> Result<(), shadow_compress::DecompressError> {
+/// let packed = Rle.compress(&[7u8; 100]);
+/// assert_eq!(packed.len(), 2);
+/// assert_eq!(Rle.decompress(&packed)?, vec![7u8; 100]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Rle;
+
+const MAX_LITERAL: usize = 128; // c in 0x00..=0x7F encodes 1..=128
+const MIN_RUN: usize = 3;
+const MAX_RUN: usize = 130; // c in 0x80..=0xFF encodes 3..=130
+
+impl Codec for Rle {
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 8);
+        let mut literal_start = 0usize;
+        let mut pos = 0usize;
+
+        let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize| {
+            let mut start = from;
+            while start < to {
+                let len = (to - start).min(MAX_LITERAL);
+                out.push((len - 1) as u8);
+                out.extend_from_slice(&input[start..start + len]);
+                start += len;
+            }
+        };
+
+        while pos < input.len() {
+            // Measure the run starting here.
+            let byte = input[pos];
+            let mut run = 1usize;
+            while pos + run < input.len() && input[pos + run] == byte && run < MAX_RUN {
+                run += 1;
+            }
+            if run >= MIN_RUN {
+                flush_literals(&mut out, literal_start, pos);
+                out.push((0x80 + (run - MIN_RUN)) as u8);
+                out.push(byte);
+                pos += run;
+                literal_start = pos;
+            } else {
+                pos += run;
+            }
+        }
+        flush_literals(&mut out, literal_start, input.len());
+        out
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, DecompressError> {
+        let mut out = Vec::with_capacity(input.len() * 2);
+        let mut pos = 0usize;
+        while pos < input.len() {
+            let control = input[pos];
+            pos += 1;
+            if control < 0x80 {
+                let len = control as usize + 1;
+                let end = pos + len;
+                if end > input.len() {
+                    return Err(DecompressError {
+                        codec: "rle",
+                        offset: pos,
+                        reason: "truncated literal run",
+                    });
+                }
+                out.extend_from_slice(&input[pos..end]);
+                pos = end;
+            } else {
+                if pos >= input.len() {
+                    return Err(DecompressError {
+                        codec: "rle",
+                        offset: pos,
+                        reason: "truncated repeat run",
+                    });
+                }
+                let count = (control - 0x80) as usize + MIN_RUN;
+                let byte = input[pos];
+                pos += 1;
+                out.resize(out.len() + count, byte);
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "rle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(input: &[u8]) -> Vec<u8> {
+        let packed = Rle.compress(input);
+        assert_eq!(Rle.decompress(&packed).unwrap(), input);
+        packed
+    }
+
+    #[test]
+    fn empty() {
+        assert!(round_trip(b"").is_empty());
+    }
+
+    #[test]
+    fn single_byte() {
+        round_trip(b"x");
+    }
+
+    #[test]
+    fn long_run_compresses_hard() {
+        let packed = round_trip(&[9u8; 1000]);
+        // ceil(1000 / 130) chunks of 2 bytes.
+        assert_eq!(packed.len(), 16);
+    }
+
+    #[test]
+    fn incompressible_expansion_is_bounded() {
+        let input: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let packed = round_trip(&input);
+        assert!(packed.len() <= input.len() + input.len() / 128 + 1);
+    }
+
+    #[test]
+    fn mixed_runs_and_literals() {
+        let mut input = Vec::new();
+        input.extend_from_slice(b"header");
+        input.extend_from_slice(&[0u8; 50]);
+        input.extend_from_slice(b"middle");
+        input.extend_from_slice(&[0xFFu8; 7]);
+        input.extend_from_slice(b"tail");
+        let packed = round_trip(&input);
+        assert!(packed.len() < input.len());
+    }
+
+    #[test]
+    fn two_byte_runs_stay_literal() {
+        round_trip(b"aabbccddee");
+    }
+
+    #[test]
+    fn exactly_min_and_max_run_lengths() {
+        round_trip(&[5u8; MIN_RUN]);
+        round_trip(&[5u8; MAX_RUN]);
+        round_trip(&[5u8; MAX_RUN + 1]);
+    }
+
+    #[test]
+    fn exactly_max_literal_length() {
+        let input: Vec<u8> = (0..MAX_LITERAL as u8).collect();
+        round_trip(&input);
+        let input: Vec<u8> = (0..=MAX_LITERAL as u8).collect();
+        round_trip(&input);
+    }
+
+    #[test]
+    fn truncated_streams_error() {
+        // Literal run announcing 4 bytes with only 2 present.
+        assert!(Rle.decompress(&[0x03, b'a', b'b']).is_err());
+        // Repeat run with no byte.
+        assert!(Rle.decompress(&[0x80]).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Property tests: both codecs are lossless on arbitrary input, and their
+//! decoders never panic on junk.
+
+use proptest::prelude::*;
+use shadow_compress::{Codec, Lzss, Rle};
+
+fn arb_input() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Arbitrary bytes.
+        prop::collection::vec(any::<u8>(), 0..2048),
+        // Runs and repetition, the codecs' favourable cases.
+        (any::<u8>(), 1usize..2048).prop_map(|(b, n)| vec![b; n]),
+        (prop::collection::vec(any::<u8>(), 1..32), 1usize..64).prop_map(|(unit, reps)| {
+            unit.iter().copied().cycle().take(unit.len() * reps).collect()
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rle_round_trips(input in arb_input()) {
+        let packed = Rle.compress(&input);
+        prop_assert_eq!(Rle.decompress(&packed).unwrap(), input);
+    }
+
+    #[test]
+    fn lzss_round_trips(input in arb_input()) {
+        let codec = Lzss::default();
+        let packed = codec.compress(&input);
+        prop_assert_eq!(codec.decompress(&packed).unwrap(), input);
+    }
+
+    #[test]
+    fn lzss_round_trips_at_any_search_depth(input in arb_input(), depth in 1usize..128) {
+        let codec = Lzss::with_search_depth(depth);
+        let packed = codec.compress(&input);
+        prop_assert_eq!(Lzss::default().decompress(&packed).unwrap(), input);
+    }
+
+    #[test]
+    fn decoders_never_panic_on_junk(junk in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Rle.decompress(&junk);
+        let _ = Lzss::default().decompress(&junk);
+    }
+
+    #[test]
+    fn rle_expansion_bound(input in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let packed = Rle.compress(&input);
+        prop_assert!(packed.len() <= input.len() + input.len() / 128 + 1);
+    }
+
+    #[test]
+    fn lzss_expansion_bound(input in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let packed = Lzss::default().compress(&input);
+        prop_assert!(packed.len() <= input.len() + input.len() / 8 + 2);
+    }
+}

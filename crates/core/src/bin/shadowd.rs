@@ -1,0 +1,112 @@
+//! `shadowd` — the shadow server daemon.
+//!
+//! Listens at a well-known TCP port (the paper's prototype shape) and
+//! serves shadow clients: caches their files, runs their batch jobs,
+//! returns output.
+//!
+//! ```text
+//! shadowd [--listen ADDR:PORT] [--name HOST] [--cache-bytes N]
+//!         [--eviction lru|fifo|lfu|largest] [--flow eager|lazy|request]
+//!         [--slots N]
+//! ```
+
+use std::process::ExitCode;
+
+use shadow::{EvictionPolicy, FlowControl, ServerConfig, TcpServerRuntime};
+
+struct Options {
+    listen: String,
+    name: String,
+    cache_bytes: usize,
+    eviction: EvictionPolicy,
+    flow: FlowControl,
+    slots: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: shadowd [--listen ADDR:PORT] [--name HOST] [--cache-bytes N]\n\
+         \x20              [--eviction lru|fifo|lfu|largest] [--flow eager|lazy|request]\n\
+         \x20              [--slots N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        listen: "127.0.0.1:4411".to_string(),
+        name: "shadowd".to_string(),
+        cache_bytes: 64 << 20,
+        eviction: EvictionPolicy::Lru,
+        flow: FlowControl::DemandEager,
+        slots: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("shadowd: {what} requires a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--listen" => opts.listen = value("--listen"),
+            "--name" => opts.name = value("--name"),
+            "--cache-bytes" => {
+                opts.cache_bytes = value("--cache-bytes").parse().unwrap_or_else(|_| usage())
+            }
+            "--eviction" => {
+                opts.eviction = match value("--eviction").as_str() {
+                    "lru" => EvictionPolicy::Lru,
+                    "fifo" => EvictionPolicy::Fifo,
+                    "lfu" => EvictionPolicy::Lfu,
+                    "largest" => EvictionPolicy::LargestFirst,
+                    _ => usage(),
+                }
+            }
+            "--flow" => {
+                opts.flow = match value("--flow").as_str() {
+                    "eager" => FlowControl::DemandEager,
+                    "lazy" => FlowControl::DemandLazy,
+                    "request" => FlowControl::RequestDriven,
+                    _ => usage(),
+                }
+            }
+            "--slots" => opts.slots = value("--slots").parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("shadowd: unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let config = ServerConfig::new(opts.name.clone())
+        .with_cache_budget(opts.cache_bytes)
+        .with_eviction(opts.eviction)
+        .with_flow(opts.flow)
+        .with_max_running(opts.slots.max(1));
+    let runtime = match TcpServerRuntime::bind(&opts.listen, config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("shadowd: cannot bind {}: {e}", opts.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    match runtime.local_addr() {
+        Ok(addr) => eprintln!(
+            "shadowd: serving as {:?} on {addr} (cache {} bytes, {} slot(s))",
+            opts.name, opts.cache_bytes, opts.slots
+        ),
+        Err(e) => eprintln!("shadowd: {e}"),
+    }
+    if let Err(e) = runtime.run_forever() {
+        eprintln!("shadowd: fatal: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,90 @@
+//! The CPU cost model for simulated nodes.
+
+use shadow_netsim::SimTime;
+
+/// Processing costs of the 1987-era machines in the evaluation.
+///
+/// The paper's speedup table (Figure 3) saturates — 24.2× at 100 KB vs
+/// 24.9× at 500 KB for 1%-modified files — because shadow processing pays
+/// a per-byte *CPU* cost (running `diff` over the whole file at the
+/// workstation) even when almost nothing travels. This model charges:
+///
+/// * `diff_bytes_per_sec` at the client when an update is answered with a
+///   delta (the differential comparison reads the entire file);
+/// * `apply_bytes_per_sec` at the server when a delta is applied;
+/// * `per_message_ms` of fixed protocol handling for every message.
+///
+/// The defaults are calibrated to a Sun-3-class workstation (the paper's
+/// environment) and reproduce Figure 3's saturation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Client differential-comparison throughput, bytes/second.
+    pub diff_bytes_per_sec: u64,
+    /// Server delta-application throughput, bytes/second.
+    pub apply_bytes_per_sec: u64,
+    /// Fixed processing per message, milliseconds.
+    pub per_message_ms: u64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            diff_bytes_per_sec: 30_000,
+            apply_bytes_per_sec: 120_000,
+            per_message_ms: 50,
+        }
+    }
+}
+
+impl CpuModel {
+    /// A model with negligible CPU costs (for functional tests where only
+    /// protocol behaviour matters).
+    pub fn instant() -> Self {
+        CpuModel {
+            diff_bytes_per_sec: u64::MAX,
+            apply_bytes_per_sec: u64::MAX,
+            per_message_ms: 0,
+        }
+    }
+
+    /// Time to diff a file of `bytes` at the client.
+    pub fn diff_time(&self, bytes: usize) -> SimTime {
+        SimTime::from_millis(self.per_message_ms)
+            + SimTime::from_secs_f64(bytes as f64 / self.diff_bytes_per_sec as f64)
+    }
+
+    /// Time to apply a delta reconstructing `bytes` at the server.
+    pub fn apply_time(&self, bytes: usize) -> SimTime {
+        SimTime::from_millis(self.per_message_ms)
+            + SimTime::from_secs_f64(bytes as f64 / self.apply_bytes_per_sec as f64)
+    }
+
+    /// Fixed handling time for one message.
+    pub fn message_time(&self) -> SimTime {
+        SimTime::from_millis(self.per_message_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_diff_of_500k_is_about_17_seconds() {
+        let t = CpuModel::default().diff_time(500_000).as_secs_f64();
+        assert!((15.0..20.0).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn instant_model_is_negligible() {
+        let m = CpuModel::instant();
+        assert_eq!(m.diff_time(1 << 30).as_micros(), 0);
+        assert_eq!(m.message_time().as_micros(), 0);
+    }
+
+    #[test]
+    fn apply_is_cheaper_than_diff() {
+        let m = CpuModel::default();
+        assert!(m.apply_time(100_000) < m.diff_time(100_000));
+    }
+}

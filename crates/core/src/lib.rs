@@ -1,0 +1,84 @@
+//! # Shadow editing: a distributed service for supercomputer access
+//!
+//! A Rust reproduction of Comer, Griffioen & Yavatkar's *Shadow Editing*
+//! (Purdue CSD-TR-722, ICDCS 1988): a remote-job-entry service that caches
+//! submitted files at the supercomputer site and ships only *differences*
+//! between successive editing sessions — turning the scientist's
+//! edit-submit-fetch cycle over a 9600-baud line from minutes of file
+//! transfer into seconds of delta transfer.
+//!
+//! This facade crate wires the substrates together:
+//!
+//! * [`Simulation`] — a deterministic driver running any number of
+//!   [`ClientNode`]s and [`ServerNode`]s over the discrete-event network
+//!   simulator, with a calibrated [`CpuModel`]; regenerates every figure
+//!   and table of the paper's evaluation (see [`experiment`]).
+//! * [`LiveSystem`] — the same state machines over real threads and
+//!   in-process pipes: an actual concurrent deployment, byte-identical on
+//!   the wire.
+//! * Re-exports of the full public API of the component crates.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use shadow::{Simulation, ServerConfig, ClientConfig, SubmitOptions};
+//! use shadow_netsim::profiles;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sim = Simulation::new(1);
+//! let server = sim.add_server("superc", ServerConfig::new("superc"));
+//! let client = sim.add_client("ws1", ClientConfig::new("ws1", 1));
+//! let conn = sim.connect(client, server, profiles::lan())?;
+//!
+//! sim.edit_file(client, "/sim.job", |_| b"echo hello supercomputer\n".to_vec())?;
+//! sim.submit(client, conn, "/sim.job", &[], SubmitOptions::default())?;
+//! sim.run_until_quiet();
+//!
+//! let outputs = sim.finished_jobs(client);
+//! assert_eq!(outputs[0].output, b"hello supercomputer\n");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpu;
+pub mod experiment;
+mod live;
+pub mod persist;
+mod sim;
+mod tcpd;
+
+pub use cpu::CpuModel;
+pub use live::{FrameTransport, LiveClient, LiveError, LiveSystem};
+pub use tcpd::{connect_tcp, TcpClient, TcpServerRuntime};
+pub use sim::{ClientId, FinishedJob, ServerId, SimError, Simulation};
+
+pub use shadow_cache::{CacheStats, EvictionPolicy, ShadowStore};
+pub use shadow_client::{
+    ClientAction, ClientConfig, ClientError, ClientEvent, ClientMetrics, ClientNode, ConnId,
+    DeltaPolicy, EditOutcome, Editor, EditorCommand, FileRef, FnEditor, JobTracker, Notification,
+    ScriptedEditor, ShadowEditor, ShadowEnv, TrackedJob, TransferMode,
+};
+pub use shadow_compress::{Codec, Lzss, Rle};
+pub use shadow_diff::{
+    block_diff, diff, ApplyError, BlockOp, BlockScript, DiffAlgorithm, DiffStats, Document,
+    EdCommand, EdScript, Line,
+};
+pub use shadow_netsim::{pipe, profiles, LinkProfile, LinkStats, SimNet, SimTime};
+pub use shadow_proto::{
+    ClientMessage, ContentDigest, DomainId, FileId, FileKey, Frame, HostName, JobId, JobStats,
+    JobStatus, JobStatusEntry, OutputPayload, RequestId, ServerMessage, SubmitOptions,
+    TransferEncoding, UpdatePayload, VersionNumber, WireDecode, WireEncode, WireError,
+    PROTOCOL_VERSION,
+};
+pub use shadow_server::{
+    exec, FlowControl, ServerAction, ServerConfig, ServerEvent, ServerNode, SessionId,
+};
+pub use shadow_version::{VersionStore, VersionStoreStats};
+pub use shadow_vfs::{CanonicalName, VPath, Vfs, VfsError};
+pub use shadow_workload::{
+    delta_cost, edit_sequence, generate_file, EditModel, FileSpec, Locality, PAPER_PERCENTS_FIG1,
+    PAPER_PERCENTS_FIG3, PAPER_SIZES_FIG1, PAPER_SIZES_FIG3,
+};

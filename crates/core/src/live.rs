@@ -1,0 +1,564 @@
+//! A live deployment of the service: real threads, real queues.
+//!
+//! The same sans-io state machines that power the deterministic
+//! [`Simulation`](crate::Simulation) here run over actual concurrency: the
+//! server in its own thread, each client driven by its caller, connected
+//! by in-process duplex pipes carrying the same encoded frames that the
+//! simulator carries. Nothing in the protocol code knows which world it is
+//! in — the paper's prototype structure (client and server as processes
+//! talking TCP) with the transport swapped for an in-process pipe.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Sender};
+use shadow_client::{
+    ClientAction, ClientConfig, ClientError, ClientEvent, ClientNode, ConnId, FileRef,
+    Notification,
+};
+use shadow_netsim::pipe::{duplex, PipeEnd};
+use shadow_proto::{
+    ClientMessage, Frame, JobId, JobStats, RequestId, ServerMessage, SubmitOptions, WireError,
+};
+use shadow_server::{ServerAction, ServerConfig, ServerEvent, ServerNode, SessionId, TimerToken};
+
+/// Errors from the live system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiveError {
+    /// The peer hung up.
+    Disconnected,
+    /// A wait timed out.
+    Timeout,
+    /// A client command failed.
+    Client(ClientError),
+    /// A frame failed to decode.
+    Wire(WireError),
+}
+
+impl fmt::Display for LiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveError::Disconnected => write!(f, "peer disconnected"),
+            LiveError::Timeout => write!(f, "timed out waiting for the server"),
+            LiveError::Client(e) => write!(f, "client: {e}"),
+            LiveError::Wire(e) => write!(f, "wire: {e}"),
+        }
+    }
+}
+
+impl Error for LiveError {}
+
+impl From<ClientError> for LiveError {
+    fn from(e: ClientError) -> Self {
+        LiveError::Client(e)
+    }
+}
+impl From<WireError> for LiveError {
+    fn from(e: WireError) -> Self {
+        LiveError::Wire(e)
+    }
+}
+
+/// A transport that moves whole frames — implemented by the in-process
+/// [`PipeEnd`] and by [`TcpFramed`](shadow_netsim::tcp::TcpFramed), so one
+/// client driver serves both.
+pub trait FrameTransport {
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::Disconnected`] when the peer is gone.
+    fn send_frame(&mut self, frame: Vec<u8>) -> Result<(), LiveError>;
+
+    /// Receives a pending frame without blocking beyond a few
+    /// milliseconds; `Ok(None)` when nothing is available.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::Disconnected`] when the peer is gone.
+    fn recv_frame(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, LiveError>;
+}
+
+impl FrameTransport for PipeEnd {
+    fn send_frame(&mut self, frame: Vec<u8>) -> Result<(), LiveError> {
+        PipeEnd::send(self, frame).map_err(|_| LiveError::Disconnected)
+    }
+
+    fn recv_frame(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, LiveError> {
+        PipeEnd::recv_timeout(self, timeout).map_err(|_| LiveError::Disconnected)
+    }
+}
+
+impl FrameTransport for shadow_netsim::tcp::TcpFramed {
+    fn send_frame(&mut self, frame: Vec<u8>) -> Result<(), LiveError> {
+        shadow_netsim::tcp::TcpFramed::send(self, &frame).map_err(|_| LiveError::Disconnected)
+    }
+
+    fn recv_frame(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, LiveError> {
+        shadow_netsim::tcp::TcpFramed::recv_timeout(self, timeout)
+            .map_err(|_| LiveError::Disconnected)
+    }
+}
+
+
+/// A running shadow server thread plus a registrar for new clients.
+///
+/// # Example
+///
+/// ```
+/// use shadow::{ClientConfig, LiveSystem, ServerConfig, SubmitOptions, FileRef};
+/// use shadow_proto::FileId;
+/// use std::time::Duration;
+///
+/// # fn main() -> Result<(), shadow::LiveError> {
+/// let system = LiveSystem::start(ServerConfig::new("superc"));
+/// let mut client = system.connect_client(ClientConfig::new("ws1", 1));
+/// client.wait_ready(Duration::from_secs(2))?;
+///
+/// let job = FileRef::new(FileId::new(1), "ws1:/hello.job");
+/// client.edit_finished(&job, b"echo hello\n".to_vec());
+/// client.submit(&job, &[], SubmitOptions::default())?;
+/// let (_, output, _, _) = client.wait_job(Duration::from_secs(5))?;
+/// assert_eq!(output, b"hello\n");
+/// # drop(client);
+/// # system.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct LiveSystem {
+    handle: Option<JoinHandle<ServerNode>>,
+    registrar: Sender<PipeEnd>,
+}
+
+impl LiveSystem {
+    /// Starts the server thread.
+    pub fn start(config: ServerConfig) -> Self {
+        let (registrar, reg_rx) = unbounded::<PipeEnd>();
+        let handle = std::thread::Builder::new()
+            .name("shadow-server".to_string())
+            .spawn(move || {
+                let mut node = ServerNode::new(config);
+                let mut sessions: Vec<(SessionId, PipeEnd, bool)> = Vec::new();
+                let mut next_session = 0u64;
+                let mut timers: Vec<(Instant, TimerToken)> = Vec::new();
+                let started = Instant::now();
+                let now_ms = |started: Instant| started.elapsed().as_millis() as u64;
+                loop {
+                    let mut busy = false;
+                    // New clients.
+                    loop {
+                        match reg_rx.try_recv() {
+                            Ok(pipe) => {
+                                next_session += 1;
+                                let session = SessionId::new(next_session);
+                                node.handle(ServerEvent::Connected {
+                                    session,
+                                    now_ms: now_ms(started),
+                                });
+                                sessions.push((session, pipe, true));
+                                busy = true;
+                            }
+                            Err(crossbeam::channel::TryRecvError::Empty) => break,
+                            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                                if sessions.iter().all(|(_, _, alive)| !alive) {
+                                    return node;
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    // Incoming frames.
+                    let mut to_run: Vec<(SessionId, ClientMessage)> = Vec::new();
+                    for (session, pipe, alive) in sessions.iter_mut() {
+                        if !*alive {
+                            continue;
+                        }
+                        loop {
+                            match pipe.try_recv() {
+                                Ok(Some(frame)) => {
+                                    if let Ok(Some((message, _))) =
+                                        Frame::decode::<ClientMessage>(&frame)
+                                    {
+                                        to_run.push((*session, message));
+                                    }
+                                    busy = true;
+                                }
+                                Ok(None) => break,
+                                Err(_) => {
+                                    *alive = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    let mut actions = Vec::new();
+                    for (session, message) in to_run {
+                        actions.extend(node.handle(ServerEvent::Message {
+                            session,
+                            message,
+                            now_ms: now_ms(started),
+                        }));
+                    }
+                    // Due timers.
+                    let now = Instant::now();
+                    let mut due = Vec::new();
+                    timers.retain(|(at, token)| {
+                        if *at <= now {
+                            due.push(*token);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    for token in due {
+                        busy = true;
+                        actions.extend(node.handle(ServerEvent::Timer {
+                            token,
+                            now_ms: now_ms(started),
+                        }));
+                    }
+                    // Perform actions.
+                    for action in actions {
+                        match action {
+                            ServerAction::Send { session, message } => {
+                                if let Some((_, pipe, alive)) =
+                                    sessions.iter_mut().find(|(s, _, _)| *s == session)
+                                {
+                                    if *alive && pipe.send(Frame::encode(&message)).is_err() {
+                                        *alive = false;
+                                    }
+                                }
+                            }
+                            ServerAction::SetTimer { delay_ms, token } => {
+                                timers.push((
+                                    Instant::now() + Duration::from_millis(delay_ms),
+                                    token,
+                                ));
+                            }
+                        }
+                    }
+                    // Exit when the registrar is gone and every client left.
+                    let registrar_gone =
+                        matches!(reg_rx.try_recv(), Err(crossbeam::channel::TryRecvError::Disconnected));
+                    if registrar_gone
+                        && sessions.iter().all(|(_, _, alive)| !alive)
+                        && timers.is_empty()
+                    {
+                        return node;
+                    }
+                    if !busy {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            })
+            .expect("spawn server thread");
+        LiveSystem {
+            handle: Some(handle),
+            registrar,
+        }
+    }
+
+    /// Connects a new client: sends the `Hello` immediately.
+    pub fn connect_client(&self, config: ClientConfig) -> LiveClient {
+        let (client_end, server_end) = duplex();
+        self.registrar
+            .send(server_end)
+            .expect("server thread is running");
+        LiveClient::over_transport(config, client_end)
+            .expect("hello on a fresh pipe cannot fail")
+    }
+
+    /// Stops accepting clients and waits for the server thread to finish
+    /// (all clients must have been dropped), returning the final server
+    /// state for inspection.
+    pub fn shutdown(mut self) -> ServerNode {
+        drop(self.registrar);
+        self.handle
+            .take()
+            .expect("not yet shut down")
+            .join()
+            .expect("server thread panicked")
+    }
+}
+
+/// A client of a live deployment, driven by the calling thread; generic
+/// over the frame transport (in-process pipe or TCP).
+pub struct LiveClient<T: FrameTransport = PipeEnd> {
+    node: ClientNode,
+    pipe: T,
+    conn: ConnId,
+    notifications: VecDeque<Notification>,
+    started: Instant,
+}
+
+impl<T: FrameTransport> LiveClient<T> {
+    /// Builds a client over an established transport and sends the
+    /// `Hello`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures sending the handshake.
+    pub fn over_transport(config: ClientConfig, transport: T) -> Result<Self, LiveError> {
+        let mut client = LiveClient {
+            node: ClientNode::new(config),
+            pipe: transport,
+            conn: ConnId::new(0),
+            notifications: VecDeque::new(),
+            started: Instant::now(),
+        };
+        let actions = client.node.connect(client.conn);
+        client.perform(actions)?;
+        Ok(client)
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    fn perform(&mut self, actions: Vec<ClientAction>) -> Result<(), LiveError> {
+        for action in actions {
+            match action {
+                ClientAction::Send { message, .. } => {
+                    self.pipe.send_frame(Frame::encode(&message))?;
+                }
+                ClientAction::Notify(n) => self.notifications.push_back(n),
+            }
+        }
+        Ok(())
+    }
+
+    /// Processes any frames that have arrived; returns how many.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::Disconnected`] when the server is gone.
+    pub fn pump(&mut self) -> Result<usize, LiveError> {
+        let mut n = 0;
+        while let Some(frame) = self.pipe.recv_frame(Duration::ZERO)? {
+            let (message, _) = Frame::decode::<ServerMessage>(&frame)?
+                .expect("pipes carry whole frames");
+            let actions = self.node.handle(ClientEvent::Message {
+                conn: self.conn,
+                message,
+                now_ms: self.now_ms(),
+            });
+            self.perform(actions)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Pumps until `pred` matches a queued notification (which is removed
+    /// and returned) or the timeout elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::Timeout`] or [`LiveError::Disconnected`].
+    pub fn wait_for(
+        &mut self,
+        timeout: Duration,
+        mut pred: impl FnMut(&Notification) -> bool,
+    ) -> Result<Notification, LiveError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(pos) = self.notifications.iter().position(&mut pred) {
+                return Ok(self.notifications.remove(pos).expect("position valid"));
+            }
+            if Instant::now() >= deadline {
+                return Err(LiveError::Timeout);
+            }
+            match self.pipe.recv_frame(Duration::from_millis(10)) {
+                Ok(Some(frame)) => {
+                    let (message, _) = Frame::decode::<ServerMessage>(&frame)?
+                        .expect("pipes carry whole frames");
+                    let actions = self.node.handle(ClientEvent::Message {
+                        conn: self.conn,
+                        message,
+                        now_ms: self.now_ms(),
+                    });
+                    self.perform(actions)?;
+                }
+                Ok(None) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Waits for the session handshake to complete.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::Timeout`] or [`LiveError::Disconnected`].
+    pub fn wait_ready(&mut self, timeout: Duration) -> Result<(), LiveError> {
+        self.wait_for(timeout, |n| matches!(n, Notification::SessionReady { .. }))
+            .map(|_| ())
+    }
+
+    /// Records an editing session's result (the shadow post-processor).
+    pub fn edit_finished(&mut self, file: &FileRef, content: Vec<u8>) {
+        let (_, actions) = self.node.edit_finished(file, content);
+        // A send failure surfaces on the next pump.
+        let _ = self.perform(actions);
+    }
+
+    /// Submits a job.
+    ///
+    /// # Errors
+    ///
+    /// Client-command or transport failures.
+    pub fn submit(
+        &mut self,
+        job_file: &FileRef,
+        data_files: &[FileRef],
+        options: SubmitOptions,
+    ) -> Result<RequestId, LiveError> {
+        let (request, actions) = self.node.submit(self.conn, job_file, data_files, options)?;
+        self.perform(actions)?;
+        Ok(request)
+    }
+
+    /// Queries job status.
+    ///
+    /// # Errors
+    ///
+    /// Client-command or transport failures.
+    pub fn status(&mut self, job: Option<JobId>) -> Result<RequestId, LiveError> {
+        let (request, actions) = self.node.status(self.conn, job)?;
+        self.perform(actions)?;
+        Ok(request)
+    }
+
+    /// Waits for the next completed job, returning
+    /// `(job, output, errors, stats)`.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::Timeout`] or [`LiveError::Disconnected`].
+    pub fn wait_job(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<(JobId, Vec<u8>, Vec<u8>, JobStats), LiveError> {
+        let n = self.wait_for(timeout, |n| matches!(n, Notification::JobFinished { .. }))?;
+        match n {
+            Notification::JobFinished {
+                job,
+                output,
+                errors,
+                stats,
+                ..
+            } => Ok((job, output, errors, stats)),
+            _ => unreachable!("predicate matched JobFinished"),
+        }
+    }
+
+    /// Removes and returns all queued notifications.
+    pub fn take_notifications(&mut self) -> Vec<Notification> {
+        self.notifications.drain(..).collect()
+    }
+
+    /// The client's traffic counters.
+    pub fn metrics(&self) -> shadow_client::ClientMetrics {
+        self.node.metrics()
+    }
+
+    /// Direct access to the protocol node (persistence, diagnostics).
+    pub fn node(&self) -> &ClientNode {
+        &self.node
+    }
+
+    /// Mutable access to the protocol node (restoring persisted version
+    /// chains before use).
+    pub fn node_mut(&mut self) -> &mut ClientNode {
+        &mut self.node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadow_proto::FileId;
+
+    fn fref(id: u64, name: &str) -> FileRef {
+        FileRef::new(FileId::new(id), name)
+    }
+
+    #[test]
+    fn live_round_trip_runs_a_job() {
+        let system = LiveSystem::start(ServerConfig::new("sc"));
+        let mut client = system.connect_client(ClientConfig::new("ws1", 1));
+        client.wait_ready(Duration::from_secs(5)).unwrap();
+
+        let job = fref(1, "ws1:/hello.job");
+        client.edit_finished(&job, b"echo live\n".to_vec());
+        client.submit(&job, &[], SubmitOptions::default()).unwrap();
+        let (_, output, errors, stats) = client.wait_job(Duration::from_secs(10)).unwrap();
+        assert_eq!(output, b"live\n");
+        assert!(errors.is_empty());
+        assert_eq!(stats.exit_code, 0);
+        drop(client);
+        let server = system.shutdown();
+        assert_eq!(server.metrics().jobs_completed, 1);
+    }
+
+    #[test]
+    fn live_resubmission_uses_delta() {
+        let system = LiveSystem::start(ServerConfig::new("sc"));
+        let mut client = system.connect_client(ClientConfig::new("ws1", 1));
+        client.wait_ready(Duration::from_secs(5)).unwrap();
+
+        let data = fref(2, "ws1:/data");
+        let job = fref(1, "ws1:/job");
+        let content: Vec<u8> = (0..500)
+            .flat_map(|i| format!("row {i}\n").into_bytes())
+            .collect();
+        client.edit_finished(&data, content.clone());
+        client.edit_finished(&job, b"wc ws1:/data\n".to_vec());
+        client
+            .submit(&job, std::slice::from_ref(&data), SubmitOptions::default())
+            .unwrap();
+        client.wait_job(Duration::from_secs(10)).unwrap();
+
+        let mut edited = content.clone();
+        edited.extend_from_slice(b"one more row\n");
+        client.edit_finished(&data, edited);
+        client
+            .submit(&job, std::slice::from_ref(&data), SubmitOptions::default())
+            .unwrap();
+        client.wait_job(Duration::from_secs(10)).unwrap();
+        assert_eq!(client.metrics().deltas_sent, 1);
+
+        drop(client);
+        let server = system.shutdown();
+        assert_eq!(server.metrics().delta_updates, 1);
+        assert_eq!(server.metrics().jobs_completed, 2);
+    }
+
+    #[test]
+    fn multiple_live_clients_share_a_server() {
+        let system = LiveSystem::start(ServerConfig::new("sc").with_max_running(2));
+        let mut c1 = system.connect_client(ClientConfig::new("ws1", 1));
+        let mut c2 = system.connect_client(ClientConfig::new("ws2", 1));
+        c1.wait_ready(Duration::from_secs(5)).unwrap();
+        c2.wait_ready(Duration::from_secs(5)).unwrap();
+
+        // Distinct files get distinct ids within the shared domain (name
+        // resolution guarantees this; here we assign them by hand).
+        let j1 = fref(1, "ws1:/a.job");
+        let j2 = fref(2, "ws2:/b.job");
+        c1.edit_finished(&j1, b"echo from ws1\n".to_vec());
+        c2.edit_finished(&j2, b"echo from ws2\n".to_vec());
+        c1.submit(&j1, &[], SubmitOptions::default()).unwrap();
+        c2.submit(&j2, &[], SubmitOptions::default()).unwrap();
+        let (_, o1, _, _) = c1.wait_job(Duration::from_secs(10)).unwrap();
+        let (_, o2, _, _) = c2.wait_job(Duration::from_secs(10)).unwrap();
+        assert_eq!(o1, b"from ws1\n");
+        assert_eq!(o2, b"from ws2\n");
+        drop(c1);
+        drop(c2);
+        let server = system.shutdown();
+        assert_eq!(server.metrics().jobs_completed, 2);
+    }
+}

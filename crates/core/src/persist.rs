@@ -1,0 +1,184 @@
+//! Persistence of the client's shadow environment across process runs.
+//!
+//! §6.3.1: "the shadow environment is a database that contains … the
+//! information needed for managing the different versions of a file".
+//! A long-lived client keeps its [`VersionStore`](shadow_version::VersionStore)
+//! in memory; command-line tools (one process per submission) persist the
+//! retained version chains to a state directory so a *later* invocation
+//! can still answer the server's `UpdateRequest (have: vN)` with a delta.
+//!
+//! Layout (plain files, no formats to rot):
+//!
+//! ```text
+//! <state>/<file-id-hex>/name        canonical name (one line)
+//! <state>/<file-id-hex>/<version>.v retained content of that version
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use shadow_client::{ClientNode, FileRef};
+use shadow_proto::{FileId, VersionNumber};
+
+/// Loads every persisted version chain in `dir` into the client node.
+/// A missing directory is an empty state, not an error.
+///
+/// # Errors
+///
+/// I/O failures reading existing state (corrupt entries are skipped).
+pub fn load_state(dir: &Path, node: &mut ClientNode) -> io::Result<usize> {
+    let mut restored = 0;
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        let Some(id) = entry
+            .file_name()
+            .to_str()
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+        else {
+            continue;
+        };
+        let file_dir = entry.path();
+        let name = fs::read_to_string(file_dir.join("name"))
+            .unwrap_or_default()
+            .trim()
+            .to_string();
+        let fref = FileRef::new(FileId::new(id), name);
+        let mut versions: Vec<(u64, PathBuf)> = Vec::new();
+        for v in fs::read_dir(&file_dir)? {
+            let v = v?;
+            let path = v.path();
+            if path.extension().is_some_and(|e| e == "v") {
+                if let Some(num) = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .and_then(|s| s.parse::<u64>().ok())
+                {
+                    versions.push((num, path));
+                }
+            }
+        }
+        versions.sort();
+        for (num, path) in versions {
+            let content = fs::read(&path)?;
+            if node
+                .restore_version(&fref, VersionNumber::new(num), content)
+                .is_ok()
+            {
+                restored += 1;
+            }
+        }
+    }
+    Ok(restored)
+}
+
+/// Persists every retained version chain of the client node into `dir`,
+/// replacing previous state for those files.
+///
+/// # Errors
+///
+/// I/O failures writing the state.
+pub fn save_state(dir: &Path, node: &ClientNode) -> io::Result<usize> {
+    let mut saved = 0;
+    for fref in node.tracked_files() {
+        let file_dir = dir.join(format!("{:016x}", fref.id.as_u64()));
+        // Rewrite the chain from scratch so pruned versions disappear.
+        if file_dir.exists() {
+            fs::remove_dir_all(&file_dir)?;
+        }
+        fs::create_dir_all(&file_dir)?;
+        fs::write(file_dir.join("name"), format!("{}\n", fref.name))?;
+        for (version, content) in node.retained_versions(fref.id) {
+            fs::write(
+                file_dir.join(format!("{}.v", version.as_u64())),
+                content,
+            )?;
+            saved += 1;
+        }
+    }
+    Ok(saved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadow_client::ClientConfig;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "shadow-persist-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_restores_chains_and_names() {
+        let dir = temp_dir("round");
+        let mut node = ClientNode::new(ClientConfig::new("ws", 1));
+        let f = FileRef::new(FileId::new(42), "ws:/data");
+        node.edit_finished(&f, b"v1 content\n".to_vec());
+        node.edit_finished(&f, b"v2 content\n".to_vec());
+        let saved = save_state(&dir, &node).unwrap();
+        assert_eq!(saved, 2);
+
+        let mut fresh = ClientNode::new(ClientConfig::new("ws", 1));
+        let restored = load_state(&dir, &mut fresh).unwrap();
+        assert_eq!(restored, 2);
+        assert_eq!(fresh.file_size(f.id), Some(11));
+        let files = fresh.tracked_files();
+        assert_eq!(files.len(), 1);
+        assert_eq!(files[0].name, "ws:/data");
+        // New edits continue the chain past the restored latest.
+        let (v, _) = fresh.edit_finished(&f, b"v3 content!\n".to_vec());
+        assert_eq!(v, VersionNumber::new(3));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_empty_state() {
+        let dir = temp_dir("missing");
+        let mut node = ClientNode::new(ClientConfig::new("ws", 1));
+        assert_eq!(load_state(&dir, &mut node).unwrap(), 0);
+    }
+
+    #[test]
+    fn save_prunes_dropped_versions() {
+        let dir = temp_dir("prune");
+        let mut node = ClientNode::new(ClientConfig::new("ws", 1));
+        let f = FileRef::new(FileId::new(7), "ws:/f");
+        for i in 0..10 {
+            node.edit_finished(&f, format!("content {i}\n").into_bytes());
+        }
+        save_state(&dir, &node).unwrap();
+        let mut fresh = ClientNode::new(ClientConfig::new("ws", 1));
+        let restored = load_state(&dir, &mut fresh).unwrap();
+        // Default retention: latest + 4 older.
+        assert_eq!(restored, 5);
+        assert_eq!(fresh.file_size(f.id), Some(10));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_skipped() {
+        let dir = temp_dir("corrupt");
+        fs::create_dir_all(dir.join("not-hex")).unwrap();
+        fs::create_dir_all(dir.join("00000000000000ff")).unwrap();
+        fs::write(dir.join("00000000000000ff/name"), "ws:/x\n").unwrap();
+        fs::write(dir.join("00000000000000ff/junk.v"), "ignored").unwrap();
+        fs::write(dir.join("00000000000000ff/2.v"), "good\n").unwrap();
+        let mut node = ClientNode::new(ClientConfig::new("ws", 1));
+        assert_eq!(load_state(&dir, &mut node).unwrap(), 1);
+        assert_eq!(node.file_size(FileId::new(0xff)), Some(5));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,877 @@
+//! The deterministic simulation driver.
+//!
+//! Owns the virtual file system, the discrete-event network, and any
+//! number of client/server state machines; routes encoded frames between
+//! them with realistic transmission times and charges the [`CpuModel`] for
+//! diff/apply work. Identical inputs produce identical timelines.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use shadow_client::{
+    ClientAction, ClientConfig, ClientError, ClientEvent, ClientNode, ConnId, Editor, FileRef,
+    FnEditor, Notification, ShadowEditor,
+};
+use shadow_netsim::{Delivery, LinkProfile, LinkStats, NetError, NodeId, SimEvent, SimNet, SimTime};
+use shadow_proto::{
+    ClientMessage, Frame, JobId, JobStats, RequestId, ServerMessage, SubmitOptions,
+    UpdatePayload, WireError,
+};
+use shadow_server::{ServerAction, ServerConfig, ServerEvent, ServerNode, SessionId, TimerToken};
+use shadow_vfs::{Vfs, VfsError};
+
+use crate::CpuModel;
+
+/// Handle for a client in a [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClientId(usize);
+
+/// Handle for a server in a [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ServerId(usize);
+
+/// A delivered, reconstructed job result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinishedJob {
+    /// The connection the completion arrived on.
+    pub conn: ConnId,
+    /// The job.
+    pub job: JobId,
+    /// Standard output.
+    pub output: Vec<u8>,
+    /// Error output.
+    pub errors: Vec<u8>,
+    /// Server-side accounting.
+    pub stats: JobStats,
+    /// Simulated time of delivery.
+    pub at: SimTime,
+}
+
+/// Simulation-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A virtual file-system operation failed.
+    Vfs(VfsError),
+    /// A client command failed.
+    Client(ClientError),
+    /// A network operation failed.
+    Net(NetError),
+    /// A frame failed to decode (internal wiring bug or corruption).
+    Wire(WireError),
+    /// The named client/server pair is already connected.
+    AlreadyConnected,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Vfs(e) => write!(f, "file system: {e}"),
+            SimError::Client(e) => write!(f, "client: {e}"),
+            SimError::Net(e) => write!(f, "network: {e}"),
+            SimError::Wire(e) => write!(f, "wire: {e}"),
+            SimError::AlreadyConnected => write!(f, "pair is already connected"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<VfsError> for SimError {
+    fn from(e: VfsError) -> Self {
+        SimError::Vfs(e)
+    }
+}
+impl From<ClientError> for SimError {
+    fn from(e: ClientError) -> Self {
+        SimError::Client(e)
+    }
+}
+impl From<NetError> for SimError {
+    fn from(e: NetError) -> Self {
+        SimError::Net(e)
+    }
+}
+impl From<WireError> for SimError {
+    fn from(e: WireError) -> Self {
+        SimError::Wire(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Endpoint {
+    Client(ClientId),
+    Server(ServerId),
+}
+
+struct ClientRt {
+    node: ClientNode,
+    net: NodeId,
+    host: String,
+    notifications: Vec<(SimTime, Notification)>,
+    finished: Vec<FinishedJob>,
+    request_options: HashMap<RequestId, SubmitOptions>,
+    job_options: HashMap<JobId, SubmitOptions>,
+    next_conn: u64,
+}
+
+struct ServerRt {
+    node: ServerNode,
+    net: NodeId,
+    sessions: HashMap<SessionId, (ClientId, ConnId)>,
+    next_session: u64,
+    timers: HashMap<u64, TimerToken>,
+    next_timer: u64,
+}
+
+/// The deterministic multi-node simulation. See the
+/// [crate quickstart](crate) for an end-to-end example.
+pub struct Simulation {
+    net: SimNet,
+    vfs: Vfs,
+    clients: Vec<ClientRt>,
+    servers: Vec<ServerRt>,
+    endpoints: HashMap<NodeId, Endpoint>,
+    /// One connection per (client, server) pair.
+    pairs: HashMap<(usize, usize), (ConnId, SessionId)>,
+    cpu: CpuModel,
+}
+
+impl Simulation {
+    /// Creates a simulation whose clients share naming domain `domain`,
+    /// with negligible CPU costs (functional default). Use
+    /// [`with_cpu`](Self::with_cpu) for calibrated performance runs.
+    pub fn new(domain: u64) -> Self {
+        Simulation {
+            net: SimNet::new(),
+            vfs: Vfs::new(shadow_proto::DomainId::new(domain)),
+            clients: Vec::new(),
+            servers: Vec::new(),
+            endpoints: HashMap::new(),
+            pairs: HashMap::new(),
+            cpu: CpuModel::instant(),
+        }
+    }
+
+    /// Sets the CPU cost model.
+    #[must_use]
+    pub fn with_cpu(mut self, cpu: CpuModel) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// The shared virtual file system.
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// Mutable access to the virtual file system (for topology setup:
+    /// mounts, symlinks, extra hosts).
+    pub fn vfs_mut(&mut self) -> &mut Vfs {
+        &mut self.vfs
+    }
+
+    /// Adds a shadow server (its name also becomes its net node name).
+    pub fn add_server(&mut self, name: &str, config: ServerConfig) -> ServerId {
+        let net = self.net.add_node(name);
+        let id = ServerId(self.servers.len());
+        self.servers.push(ServerRt {
+            node: ServerNode::new(config),
+            net,
+            sessions: HashMap::new(),
+            next_session: 0,
+            timers: HashMap::new(),
+            next_timer: 0,
+        });
+        self.endpoints.insert(net, Endpoint::Server(id));
+        id
+    }
+
+    /// Adds a client workstation; `host` is created in the virtual file
+    /// system (it must match `config.host` for name resolution to work).
+    pub fn add_client(&mut self, host: &str, config: ClientConfig) -> ClientId {
+        let net = self.net.add_node(host);
+        // Tolerate pre-created hosts (topology set up via vfs_mut first).
+        let _ = self.vfs.add_host(host);
+        let id = ClientId(self.clients.len());
+        self.clients.push(ClientRt {
+            node: ClientNode::new(config),
+            net,
+            host: host.to_string(),
+            notifications: Vec::new(),
+            finished: Vec::new(),
+            request_options: HashMap::new(),
+            job_options: HashMap::new(),
+            next_conn: 0,
+        });
+        self.endpoints.insert(net, Endpoint::Client(id));
+        id
+    }
+
+    /// Connects a client to a server over `profile` and completes the
+    /// session handshake. One connection per pair.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::AlreadyConnected`] when the pair has a connection.
+    pub fn connect(
+        &mut self,
+        client: ClientId,
+        server: ServerId,
+        profile: LinkProfile,
+    ) -> Result<ConnId, SimError> {
+        if self.pairs.contains_key(&(client.0, server.0)) {
+            return Err(SimError::AlreadyConnected);
+        }
+        let (c_net, s_net) = (self.clients[client.0].net, self.servers[server.0].net);
+        self.net.connect(c_net, s_net, profile);
+
+        let conn = ConnId::new(self.clients[client.0].next_conn);
+        self.clients[client.0].next_conn += 1;
+        let session = SessionId::new(self.servers[server.0].next_session);
+        self.servers[server.0].next_session += 1;
+        self.servers[server.0]
+            .sessions
+            .insert(session, (client, conn));
+        self.pairs.insert((client.0, server.0), (conn, session));
+
+        let now = self.net.now();
+        self.servers[server.0].node.handle(ServerEvent::Connected {
+            session,
+            now_ms: now.as_millis(),
+        });
+        let actions = self.clients[client.0].node.connect(conn);
+        self.process_client_actions(client, actions, now)?;
+        self.run_until_quiet();
+        Ok(conn)
+    }
+
+    /// Tears down a client↔server connection (transport loss).
+    pub fn drop_connection(&mut self, client: ClientId, server: ServerId) {
+        if let Some((conn, session)) = self.pairs.remove(&(client.0, server.0)) {
+            self.clients[client.0].node.disconnect(conn);
+            let now = self.net.now().as_millis();
+            self.servers[server.0].node.handle(ServerEvent::Disconnected {
+                session,
+                now_ms: now,
+            });
+            self.servers[server.0].sessions.remove(&session);
+        }
+    }
+
+    /// Runs one shadow editing session on the client's file: read, apply
+    /// `edit`, write back, then run the shadow post-processor (version +
+    /// background notifications).
+    ///
+    /// # Errors
+    ///
+    /// File-system errors from the edit.
+    pub fn edit_file(
+        &mut self,
+        client: ClientId,
+        path: &str,
+        edit: impl FnMut(Vec<u8>) -> Vec<u8>,
+    ) -> Result<FileRef, SimError> {
+        let mut editor = FnEditor::new(edit);
+        self.edit_file_with(client, path, &mut editor)
+    }
+
+    /// Like [`edit_file`](Self::edit_file) with an explicit [`Editor`].
+    ///
+    /// # Errors
+    ///
+    /// File-system errors from the edit.
+    pub fn edit_file_with(
+        &mut self,
+        client: ClientId,
+        path: &str,
+        editor: &mut dyn Editor,
+    ) -> Result<FileRef, SimError> {
+        let host = self.clients[client.0].host.clone();
+        let outcome = ShadowEditor::edit_file(&mut self.vfs, &host, path, editor)?;
+        let fref = FileRef::new(
+            outcome.name.file_id,
+            format!("{}:{}", outcome.name.host, outcome.name.path),
+        );
+        let (_, actions) = self.clients[client.0]
+            .node
+            .edit_finished(&fref, outcome.content);
+        let depart = self.net.now() + self.cpu.message_time();
+        self.process_client_actions_at(client, actions, depart)?;
+        Ok(fref)
+    }
+
+    /// The canonical wire name of a file as seen from a client — the name
+    /// job command files must use to reference data files.
+    ///
+    /// # Errors
+    ///
+    /// Name-resolution failures.
+    pub fn canonical_name(&self, client: ClientId, path: &str) -> Result<String, SimError> {
+        let host = &self.clients[client.0].host;
+        let name = self.vfs.resolve(host, path)?;
+        Ok(format!("{}:{}", name.host, name.path))
+    }
+
+    /// Submits a job: `job_path` is the command file, `data_paths` the data
+    /// files; all are registered (versioned) from their current VFS
+    /// content first.
+    ///
+    /// # Errors
+    ///
+    /// Resolution or client-command failures.
+    pub fn submit(
+        &mut self,
+        client: ClientId,
+        conn: ConnId,
+        job_path: &str,
+        data_paths: &[&str],
+        options: SubmitOptions,
+    ) -> Result<RequestId, SimError> {
+        let host = self.clients[client.0].host.clone();
+        let mut refs = Vec::with_capacity(1 + data_paths.len());
+        for path in std::iter::once(&job_path).chain(data_paths) {
+            let name = self.vfs.resolve(&host, path)?;
+            let content = self.vfs.read_file(&host, path)?;
+            let fref = FileRef::new(name.file_id, format!("{}:{}", name.host, name.path));
+            // Register current content (deduped if unchanged); background
+            // notifications may flow.
+            let (_, actions) = self.clients[client.0].node.edit_finished(&fref, content);
+            let depart = self.net.now() + self.cpu.message_time();
+            self.process_client_actions_at(client, actions, depart)?;
+            refs.push(fref);
+        }
+        let (request, actions) =
+            self.clients[client.0]
+                .node
+                .submit(conn, &refs[0], &refs[1..], options.clone())?;
+        self.clients[client.0]
+            .request_options
+            .insert(request, options);
+        let depart = self.net.now() + self.cpu.message_time();
+        self.process_client_actions_at(client, actions, depart)?;
+        Ok(request)
+    }
+
+    /// Issues a status query.
+    ///
+    /// # Errors
+    ///
+    /// Client-command failures.
+    pub fn status(
+        &mut self,
+        client: ClientId,
+        conn: ConnId,
+        job: Option<JobId>,
+    ) -> Result<RequestId, SimError> {
+        let (request, actions) = self.clients[client.0].node.status(conn, job)?;
+        let depart = self.net.now() + self.cpu.message_time();
+        self.process_client_actions_at(client, actions, depart)?;
+        Ok(request)
+    }
+
+    /// Drains every pending event; returns the number processed.
+    pub fn run_until_quiet(&mut self) -> usize {
+        let mut n = 0;
+        while let Some(delivery) = self.net.next() {
+            self.dispatch(delivery);
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs events up to and including `deadline` (events scheduled after
+    /// it stay queued); returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> usize {
+        let mut n = 0;
+        while self.net.peek_time().is_some_and(|t| t <= deadline) {
+            let delivery = self.net.next().expect("peeked event exists");
+            self.dispatch(delivery);
+            n += 1;
+        }
+        n
+    }
+
+    fn dispatch(&mut self, delivery: Delivery) {
+        match delivery.event {
+            SimEvent::Message { to, from, payload } => {
+                match self.endpoints[&to] {
+                    Endpoint::Server(s) => self.deliver_to_server(delivery.at, s, from, &payload),
+                    Endpoint::Client(c) => self.deliver_to_client(delivery.at, c, from, &payload),
+                }
+            }
+            SimEvent::Timer { node, token } => {
+                if let Endpoint::Server(s) = self.endpoints[&node] {
+                    let tok = self.servers[s.0]
+                        .timers
+                        .remove(&token)
+                        .expect("timer token registered");
+                    let actions = self.servers[s.0].node.handle(ServerEvent::Timer {
+                        token: tok,
+                        now_ms: delivery.at.as_millis(),
+                    });
+                    let depart = delivery.at + self.cpu.message_time();
+                    self.process_server_actions(s, actions, depart);
+                }
+            }
+        }
+    }
+
+    fn deliver_to_server(&mut self, at: SimTime, server: ServerId, from: NodeId, payload: &[u8]) {
+        let Endpoint::Client(client) = self.endpoints[&from] else {
+            panic!("server received frame from a non-client node");
+        };
+        let (_, session) = self.pairs[&(client.0, server.0)];
+        let (message, _) = Frame::decode::<ClientMessage>(payload)
+            .expect("well-formed frame")
+            .expect("complete frame");
+        // Processing cost: applying an update dominates; everything else
+        // is fixed per-message handling.
+        let cost = match &message {
+            ClientMessage::Update { payload, .. } => self.cpu.apply_time(payload.data_len()),
+            _ => self.cpu.message_time(),
+        };
+        let actions = self.servers[server.0].node.handle(ServerEvent::Message {
+            session,
+            message,
+            now_ms: at.as_millis(),
+        });
+        self.process_server_actions(server, actions, at + cost);
+    }
+
+    fn deliver_to_client(&mut self, at: SimTime, client: ClientId, from: NodeId, payload: &[u8]) {
+        let Endpoint::Server(server) = self.endpoints[&from] else {
+            panic!("client received frame from a non-server node");
+        };
+        let (conn, _) = self.pairs[&(client.0, server.0)];
+        let (message, _) = Frame::decode::<ServerMessage>(payload)
+            .expect("well-formed frame")
+            .expect("complete frame");
+        let actions = self.clients[client.0].node.handle(ClientEvent::Message {
+            conn,
+            message,
+            now_ms: at.as_millis(),
+        });
+        // Cost: answering an update request with a delta means running the
+        // differential comparison over the whole file at the workstation.
+        let mut depart = at + self.cpu.message_time();
+        for a in &actions {
+            if let ClientAction::Send {
+                message: ClientMessage::Update { file, payload, .. },
+                ..
+            } = a
+            {
+                depart = at
+                    + match payload {
+                        UpdatePayload::Delta { .. } => {
+                            let size = self.clients[client.0]
+                                .node
+                                .file_size(*file)
+                                .unwrap_or(payload.data_len());
+                            self.cpu.diff_time(size)
+                        }
+                        UpdatePayload::Full { .. } => self.cpu.message_time(),
+                    };
+            }
+        }
+        self.process_client_actions_at(client, actions, depart)
+            .expect("routing of client actions");
+    }
+
+    fn process_client_actions(
+        &mut self,
+        client: ClientId,
+        actions: Vec<ClientAction>,
+        depart: SimTime,
+    ) -> Result<(), SimError> {
+        self.process_client_actions_at(client, actions, depart)
+    }
+
+    fn process_client_actions_at(
+        &mut self,
+        client: ClientId,
+        actions: Vec<ClientAction>,
+        depart: SimTime,
+    ) -> Result<(), SimError> {
+        for action in actions {
+            match action {
+                ClientAction::Send { conn, message } => {
+                    let server = self
+                        .pairs
+                        .iter()
+                        .find(|((c, _), (k, _))| *c == client.0 && *k == conn)
+                        .map(|((_, s), _)| ServerId(*s))
+                        .expect("conn belongs to a connected pair");
+                    let frame = Frame::encode(&message);
+                    let (c_net, s_net) = (self.clients[client.0].net, self.servers[server.0].net);
+                    let depart = depart.max(self.net.now());
+                    self.net.send_at(depart, c_net, s_net, frame)?;
+                }
+                ClientAction::Notify(n) => self.record_notification(client, n),
+            }
+        }
+        Ok(())
+    }
+
+    fn record_notification(&mut self, client: ClientId, n: Notification) {
+        let at = self.net.now();
+        if let Notification::JobAccepted { request, job, .. } = &n {
+            if let Some(options) = self.clients[client.0].request_options.remove(request) {
+                self.clients[client.0].job_options.insert(*job, options);
+            }
+        }
+        if let Notification::JobFinished {
+            conn,
+            job,
+            output,
+            errors,
+            stats,
+        } = &n
+        {
+            self.clients[client.0].finished.push(FinishedJob {
+                conn: *conn,
+                job: *job,
+                output: output.clone(),
+                errors: errors.clone(),
+                stats: *stats,
+                at,
+            });
+            // Transparency: place output/errors into the user's files when
+            // the submit asked for it.
+            let host = self.clients[client.0].host.clone();
+            let options = self.clients[client.0].job_options.get(job).cloned();
+            if let Some(options) = options {
+                if let Some(out_path) = &options.output_file {
+                    let _ = self.vfs.write_file(&host, out_path, output.clone());
+                }
+                if let Some(err_path) = &options.error_file {
+                    let _ = self.vfs.write_file(&host, err_path, errors.clone());
+                }
+            }
+        }
+        self.clients[client.0].notifications.push((at, n));
+    }
+
+    fn process_server_actions(
+        &mut self,
+        server: ServerId,
+        actions: Vec<ServerAction>,
+        depart: SimTime,
+    ) {
+        for action in actions {
+            match action {
+                ServerAction::Send { session, message } => {
+                    let (client, _) = self.servers[server.0].sessions[&session];
+                    let frame = Frame::encode(&message);
+                    let (s_net, c_net) = (self.servers[server.0].net, self.clients[client.0].net);
+                    let depart = depart.max(self.net.now());
+                    self.net
+                        .send_at(depart, s_net, c_net, frame)
+                        .expect("connected pair has a link");
+                }
+                ServerAction::SetTimer { delay_ms, token } => {
+                    let rt = &mut self.servers[server.0];
+                    rt.next_timer += 1;
+                    let raw = rt.next_timer;
+                    rt.timers.insert(raw, token);
+                    let delay = depart.saturating_sub(self.net.now())
+                        + SimTime::from_millis(delay_ms);
+                    self.net.schedule_timer(rt.net, delay, raw);
+                }
+            }
+        }
+    }
+
+    /// All notifications a client has received, in delivery order.
+    pub fn notifications(&self, client: ClientId) -> &[(SimTime, Notification)] {
+        &self.clients[client.0].notifications
+    }
+
+    /// All finished jobs a client has received.
+    pub fn finished_jobs(&self, client: ClientId) -> Vec<FinishedJob> {
+        self.clients[client.0].finished.clone()
+    }
+
+    /// Clears a client's recorded notifications and finished jobs.
+    pub fn clear_notifications(&mut self, client: ClientId) {
+        self.clients[client.0].notifications.clear();
+        self.clients[client.0].finished.clear();
+    }
+
+    /// Traffic between a client and a server: `(client→server, server→client)`.
+    pub fn link_stats(&self, client: ClientId, server: ServerId) -> (LinkStats, LinkStats) {
+        let (c_net, s_net) = (self.clients[client.0].net, self.servers[server.0].net);
+        (self.net.stats(c_net, s_net), self.net.stats(s_net, c_net))
+    }
+
+    /// A server's behaviour counters.
+    pub fn server_metrics(&self, server: ServerId) -> shadow_server::ServerMetrics {
+        self.servers[server.0].node.metrics()
+    }
+
+    /// A server's shadow-cache counters.
+    pub fn cache_stats(&self, server: ServerId) -> shadow_cache::CacheStats {
+        self.servers[server.0].node.cache_stats()
+    }
+
+    /// A client's traffic counters.
+    pub fn client_metrics(&self, client: ClientId) -> shadow_client::ClientMetrics {
+        self.clients[client.0].node.metrics()
+    }
+
+    /// A client's version-store summary (retention diagnostics).
+    pub fn client_version_stats(&self, client: ClientId) -> shadow_version::VersionStoreStats {
+        self.clients[client.0].node.version_stats()
+    }
+
+    /// Fault injection: the server loses its shadow disk (§5.1).
+    pub fn drop_server_cache(&mut self, server: ServerId) {
+        self.servers[server.0].node.drop_cache();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadow_netsim::profiles;
+
+    fn basic() -> (Simulation, ClientId, ServerId, ConnId) {
+        let mut sim = Simulation::new(1);
+        let server = sim.add_server("sc", ServerConfig::new("sc"));
+        let client = sim.add_client("ws1", ClientConfig::new("ws1", 1));
+        let conn = sim.connect(client, server, profiles::lan()).unwrap();
+        (sim, client, server, conn)
+    }
+
+    #[test]
+    fn session_handshake_completes() {
+        let (sim, client, _, _) = basic();
+        assert!(sim
+            .notifications(client)
+            .iter()
+            .any(|(_, n)| matches!(n, Notification::SessionReady { .. })));
+    }
+
+    #[test]
+    fn end_to_end_job_runs() {
+        let (mut sim, client, _, conn) = basic();
+        sim.edit_file(client, "/job.cmd", |_| b"echo it works\n".to_vec())
+            .unwrap();
+        sim.submit(client, conn, "/job.cmd", &[], SubmitOptions::default())
+            .unwrap();
+        sim.run_until_quiet();
+        let jobs = sim.finished_jobs(client);
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].output, b"it works\n");
+        assert_eq!(jobs[0].stats.exit_code, 0);
+    }
+
+    #[test]
+    fn data_files_travel_and_are_processed() {
+        let (mut sim, client, server, conn) = basic();
+        sim.edit_file(client, "/data.txt", |_| b"3\n1\n2\n".to_vec())
+            .unwrap();
+        let data_name = sim.canonical_name(client, "/data.txt").unwrap();
+        sim.edit_file(client, "/job.cmd", move |_| {
+            format!("sort {data_name}\n").into_bytes()
+        })
+        .unwrap();
+        sim.submit(
+            client,
+            conn,
+            "/job.cmd",
+            &["/data.txt"],
+            SubmitOptions::default(),
+        )
+        .unwrap();
+        sim.run_until_quiet();
+        let jobs = sim.finished_jobs(client);
+        assert_eq!(jobs[0].output, b"1\n2\n3\n");
+        assert!(sim.server_metrics(server).full_updates >= 2);
+    }
+
+    #[test]
+    fn resubmission_after_edit_sends_delta_not_full() {
+        let (mut sim, client, server, conn) = basic();
+        let base: Vec<u8> = (0..2000)
+            .flat_map(|i| format!("record {i}\n").into_bytes())
+            .collect();
+        let base2 = base.clone();
+        sim.edit_file(client, "/data.txt", move |_| base2.clone())
+            .unwrap();
+        let data_name = sim.canonical_name(client, "/data.txt").unwrap();
+        sim.edit_file(client, "/job.cmd", move |_| {
+            format!("wc {data_name}\n").into_bytes()
+        })
+        .unwrap();
+        sim.submit(client, conn, "/job.cmd", &["/data.txt"], SubmitOptions::default())
+            .unwrap();
+        sim.run_until_quiet();
+        let before = sim.client_metrics(client);
+        assert_eq!(before.deltas_sent, 0);
+
+        // Edit a single record and resubmit.
+        sim.edit_file(client, "/data.txt", |c| {
+            let text = String::from_utf8(c).unwrap();
+            text.replace("record 1000", "record one thousand").into_bytes()
+        })
+        .unwrap();
+        sim.submit(client, conn, "/job.cmd", &["/data.txt"], SubmitOptions::default())
+            .unwrap();
+        sim.run_until_quiet();
+        let after = sim.client_metrics(client);
+        assert_eq!(after.deltas_sent, 1, "the edit should travel as a delta");
+        assert_eq!(after.fulls_sent, before.fulls_sent, "no new full transfers");
+        assert_eq!(sim.finished_jobs(client).len(), 2);
+        assert_eq!(sim.server_metrics(server).delta_updates, 1);
+    }
+
+    #[test]
+    fn background_update_flows_before_submit() {
+        let (mut sim, client, server, conn) = basic();
+        sim.edit_file(client, "/f.txt", |_| b"v1 content\n".to_vec())
+            .unwrap();
+        let name = sim.canonical_name(client, "/f.txt").unwrap();
+        sim.edit_file(client, "/job.cmd", move |_| format!("cat {name}\n").into_bytes())
+            .unwrap();
+        sim.submit(client, conn, "/job.cmd", &["/f.txt"], SubmitOptions::default())
+            .unwrap();
+        sim.run_until_quiet();
+        sim.clear_notifications(client);
+
+        // Edit WITHOUT submitting: the eager server pulls in background.
+        sim.edit_file(client, "/f.txt", |_| b"v2 content\n".to_vec())
+            .unwrap();
+        sim.run_until_quiet();
+        let key = shadow_proto::FileKey::new(
+            shadow_proto::DomainId::new(1),
+            sim.vfs().resolve("ws1", "/f.txt").unwrap().file_id,
+        );
+        let _ = server;
+        assert_eq!(
+            sim.servers[0].node.cached_version(key),
+            Some(shadow_proto::VersionNumber::new(2)),
+            "background update should land without a submit"
+        );
+    }
+
+    #[test]
+    fn output_files_are_written_on_completion() {
+        let (mut sim, client, _, conn) = basic();
+        sim.edit_file(client, "/job.cmd", |_| b"echo into file\n".to_vec())
+            .unwrap();
+        let options = SubmitOptions {
+            output_file: Some("/results/run.out".to_string()),
+            error_file: Some("/results/run.err".to_string()),
+            ..SubmitOptions::default()
+        };
+        sim.vfs_mut().mkdir_p("ws1", "/results").unwrap();
+        sim.submit(client, conn, "/job.cmd", &[], options).unwrap();
+        sim.run_until_quiet();
+        assert_eq!(
+            sim.vfs().read_file("ws1", "/results/run.out").unwrap(),
+            b"into file\n"
+        );
+        assert_eq!(sim.vfs().read_file("ws1", "/results/run.err").unwrap(), b"");
+    }
+
+    #[test]
+    fn cache_loss_degrades_to_full_transfer_not_failure() {
+        let (mut sim, client, server, conn) = basic();
+        sim.edit_file(client, "/data.txt", |_| b"important data\n".to_vec())
+            .unwrap();
+        let name = sim.canonical_name(client, "/data.txt").unwrap();
+        sim.edit_file(client, "/job.cmd", move |_| format!("cat {name}\n").into_bytes())
+            .unwrap();
+        sim.submit(client, conn, "/job.cmd", &["/data.txt"], SubmitOptions::default())
+            .unwrap();
+        sim.run_until_quiet();
+
+        sim.drop_server_cache(server);
+
+        sim.edit_file(client, "/data.txt", |_| b"important data v2\n".to_vec())
+            .unwrap();
+        sim.submit(client, conn, "/job.cmd", &["/data.txt"], SubmitOptions::default())
+            .unwrap();
+        sim.run_until_quiet();
+        let jobs = sim.finished_jobs(client);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[1].output, b"important data v2\n");
+        // The recovery transferred the file whole (no usable base).
+        assert!(sim.client_metrics(client).fulls_sent >= 3);
+    }
+
+    #[test]
+    fn simulated_times_reflect_link_speed() {
+        let mut slow = Simulation::new(1);
+        let server = slow.add_server("sc", ServerConfig::new("sc"));
+        let client = slow.add_client("ws1", ClientConfig::new("ws1", 1));
+        let conn = slow.connect(client, server, profiles::cypress()).unwrap();
+        let content = shadow_workload::generate_file(&shadow_workload::FileSpec::new(50_000, 1));
+        slow.edit_file(client, "/data", move |_| content.clone()).unwrap();
+        let name = slow.canonical_name(client, "/data").unwrap();
+        slow.edit_file(client, "/job.cmd", move |_| format!("wc {name}\n").into_bytes())
+            .unwrap();
+        slow.submit(client, conn, "/job.cmd", &["/data"], SubmitOptions::default())
+            .unwrap();
+        slow.run_until_quiet();
+        // 50 KB over ~960 B/s is close to a minute.
+        let t = slow.finished_jobs(client)[0].at.as_secs_f64();
+        assert!((40.0..120.0).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn two_clients_one_nfs_domain_share_one_shadow() {
+        let mut sim = Simulation::new(1);
+        let server = sim.add_server("sc", ServerConfig::new("sc"));
+        // Set up the NFS topology before adding clients so hosts exist.
+        let vfs = sim.vfs_mut();
+        vfs.add_host("fileserver").unwrap();
+        vfs.add_host("ws1").unwrap();
+        vfs.add_host("ws2").unwrap();
+        vfs.mkdir_p("fileserver", "/export").unwrap();
+        vfs.write_file("fileserver", "/export/shared.dat", b"shared content\n".to_vec())
+            .unwrap();
+        vfs.mount("ws1", "/proj", "fileserver", "/export").unwrap();
+        vfs.mount("ws2", "/work", "fileserver", "/export").unwrap();
+
+        let c1 = sim.add_client("ws1", ClientConfig::new("ws1", 1));
+        let c2 = sim.add_client("ws2", ClientConfig::new("ws2", 1));
+        let conn1 = sim.connect(c1, server, profiles::lan()).unwrap();
+        let conn2 = sim.connect(c2, server, profiles::lan()).unwrap();
+
+        let shared1 = sim.canonical_name(c1, "/proj/shared.dat").unwrap();
+        let shared2 = sim.canonical_name(c2, "/work/shared.dat").unwrap();
+        assert_eq!(shared1, shared2, "one canonical identity across mounts");
+
+        sim.edit_file(c1, "/job1.cmd", {
+            let n = shared1.clone();
+            move |_| format!("cat {n}\n").into_bytes()
+        })
+        .unwrap();
+        sim.submit(c1, conn1, "/job1.cmd", &["/proj/shared.dat"], SubmitOptions::default())
+            .unwrap();
+        sim.run_until_quiet();
+
+        sim.edit_file(c2, "/job2.cmd", {
+            let n = shared2.clone();
+            move |_| format!("wc {n}\n").into_bytes()
+        })
+        .unwrap();
+        sim.submit(c2, conn2, "/job2.cmd", &["/work/shared.dat"], SubmitOptions::default())
+            .unwrap();
+        sim.run_until_quiet();
+
+        assert_eq!(sim.finished_jobs(c1).len(), 1);
+        assert_eq!(sim.finished_jobs(c2).len(), 1);
+        // ws2's submission found the shared file already cached: only one
+        // full transfer of shared.dat ever happened (plus 2 job files).
+        let m = sim.server_metrics(server);
+        assert_eq!(m.full_updates, 3, "shared file cached once: {m:?}");
+    }
+}

@@ -1,0 +1,282 @@
+//! The TCP deployment: a blocking server runtime and a TCP client,
+//! mirroring the paper's prototype shape — "clients and servers are
+//! implemented as UNIX processes that use a reliable transport protocol
+//! (TCP/IP) … a server process listens at a well-known port for
+//! connections from clients."
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use shadow_client::ClientConfig;
+use shadow_netsim::tcp::{TcpFramed, TcpServer};
+use shadow_proto::{ClientMessage, Frame};
+use shadow_server::{ServerAction, ServerConfig, ServerEvent, ServerNode, SessionId, TimerToken};
+
+use crate::live::LiveClient;
+
+/// A [`LiveClient`](crate::LiveClient) over a TCP connection.
+pub type TcpClient = LiveClient<TcpFramed>;
+
+/// Connects a TCP client to a listening [`TcpServerRuntime`] (or
+/// `shadowd`) and sends the `Hello`.
+///
+/// # Errors
+///
+/// Socket or handshake failures.
+pub fn connect_tcp(config: ClientConfig, addr: impl ToSocketAddrs) -> io::Result<TcpClient> {
+    let transport = TcpFramed::connect(addr)?;
+    LiveClient::over_transport(config, transport)
+        .map_err(|e| io::Error::new(io::ErrorKind::ConnectionReset, e.to_string()))
+}
+
+/// The blocking server loop: accepts connections on a well-known port and
+/// drives a [`ServerNode`].
+///
+/// # Example
+///
+/// ```no_run
+/// use shadow::{ServerConfig, TcpServerRuntime};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let runtime = TcpServerRuntime::bind("0.0.0.0:4411", ServerConfig::new("superc"))?;
+/// runtime.run_forever()
+/// # }
+/// ```
+pub struct TcpServerRuntime {
+    listener: TcpServer,
+    node: ServerNode,
+    sessions: Vec<(SessionId, TcpFramed, bool)>,
+    next_session: u64,
+    timers: Vec<(Instant, TimerToken)>,
+    started: Instant,
+}
+
+impl TcpServerRuntime {
+    /// Binds the well-known port.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Self> {
+        Ok(TcpServerRuntime {
+            listener: TcpServer::bind(addr)?,
+            node: ServerNode::new(config),
+            sessions: Vec::new(),
+            next_session: 0,
+            timers: Vec::new(),
+            started: Instant::now(),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// One scheduling round: accept, read, fire timers, write. Returns
+    /// whether any work was done.
+    ///
+    /// # Errors
+    ///
+    /// Listener failures (per-connection errors just drop the session).
+    pub fn poll_once(&mut self) -> io::Result<bool> {
+        let mut busy = false;
+        // Accept new clients.
+        while let Some(conn) = self.listener.try_accept()? {
+            self.next_session += 1;
+            let session = SessionId::new(self.next_session);
+            let now_ms = self.now_ms();
+            self.node.handle(ServerEvent::Connected { session, now_ms });
+            self.sessions.push((session, conn, true));
+            busy = true;
+        }
+        // Read frames.
+        let mut inbound = Vec::new();
+        for (session, conn, alive) in self.sessions.iter_mut() {
+            if !*alive {
+                continue;
+            }
+            loop {
+                match conn.try_recv() {
+                    Ok(Some(frame)) => {
+                        if let Ok(Some((message, _))) = Frame::decode::<ClientMessage>(&frame) {
+                            inbound.push((*session, message));
+                        }
+                        busy = true;
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        *alive = false;
+                        break;
+                    }
+                }
+            }
+        }
+        let now_ms = self.now_ms();
+        let mut actions = Vec::new();
+        for (session, message) in inbound {
+            actions.extend(self.node.handle(ServerEvent::Message {
+                session,
+                message,
+                now_ms,
+            }));
+        }
+        // Report dead sessions to the node once and drop their slots.
+        let mut dropped = Vec::new();
+        self.sessions.retain(|(session, _, alive)| {
+            if *alive {
+                true
+            } else {
+                dropped.push(*session);
+                false
+            }
+        });
+        for session in dropped {
+            busy = true;
+            actions.extend(self.node.handle(ServerEvent::Disconnected { session, now_ms }));
+        }
+        // Fire due timers.
+        let now = Instant::now();
+        let mut due = Vec::new();
+        self.timers.retain(|(at, token)| {
+            if *at <= now {
+                due.push(*token);
+                false
+            } else {
+                true
+            }
+        });
+        for token in due {
+            busy = true;
+            let now_ms = self.now_ms();
+            actions.extend(self.node.handle(ServerEvent::Timer { token, now_ms }));
+        }
+        // Perform actions.
+        for action in actions {
+            match action {
+                ServerAction::Send { session, message } => {
+                    if let Some((_, conn, alive)) =
+                        self.sessions.iter_mut().find(|(s, _, _)| *s == session)
+                    {
+                        if *alive && conn.send(&Frame::encode(&message)).is_err() {
+                            *alive = false;
+                        }
+                    }
+                }
+                ServerAction::SetTimer { delay_ms, token } => {
+                    self.timers
+                        .push((Instant::now() + Duration::from_millis(delay_ms), token));
+                }
+            }
+        }
+        Ok(busy)
+    }
+
+    /// Serves forever (the daemon entry point).
+    ///
+    /// # Errors
+    ///
+    /// Listener failures.
+    pub fn run_forever(mut self) -> io::Result<()> {
+        loop {
+            if !self.poll_once()? {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// Serves until no work has arrived for `idle`, then returns the node
+    /// for inspection (test entry point).
+    ///
+    /// # Errors
+    ///
+    /// Listener failures.
+    pub fn run_until_idle_for(mut self, idle: Duration) -> io::Result<ServerNode> {
+        let mut last_busy = Instant::now();
+        loop {
+            if self.poll_once()? {
+                last_busy = Instant::now();
+            } else {
+                // Pending timers (running jobs) and live sessions are not
+                // "idle": only a quiet, clientless, timerless server exits.
+                let quiescent = self.timers.is_empty() && self.sessions.is_empty();
+                if quiescent && last_busy.elapsed() >= idle {
+                    return Ok(self.node);
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+// Dead-session bookkeeping note: a session slot flips `alive = false` on
+// first transport error; the next poll reports `Disconnected` to the node
+// exactly once and removes the slot.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadow_client::FileRef;
+    use shadow_proto::{FileId, SubmitOptions};
+
+    #[test]
+    fn tcp_end_to_end_job() {
+        let runtime =
+            TcpServerRuntime::bind("127.0.0.1:0", ServerConfig::new("sc")).unwrap();
+        let addr = runtime.local_addr().unwrap();
+        let handle =
+            std::thread::spawn(move || runtime.run_until_idle_for(Duration::from_millis(400)));
+
+        let mut client = connect_tcp(ClientConfig::new("ws", 1), addr).unwrap();
+        client.wait_ready(Duration::from_secs(5)).unwrap();
+        let job = FileRef::new(FileId::new(1), "ws:/t.job");
+        client.edit_finished(&job, b"echo over tcp\n".to_vec());
+        client.submit(&job, &[], SubmitOptions::default()).unwrap();
+        let (_, output, _, stats) = client.wait_job(Duration::from_secs(10)).unwrap();
+        assert_eq!(output, b"over tcp\n");
+        assert_eq!(stats.exit_code, 0);
+        drop(client);
+        let node = handle.join().unwrap().unwrap();
+        assert_eq!(node.metrics().jobs_completed, 1);
+    }
+
+    #[test]
+    fn tcp_delta_resubmission() {
+        let runtime =
+            TcpServerRuntime::bind("127.0.0.1:0", ServerConfig::new("sc")).unwrap();
+        let addr = runtime.local_addr().unwrap();
+        let handle =
+            std::thread::spawn(move || runtime.run_until_idle_for(Duration::from_millis(400)));
+
+        let mut client = connect_tcp(ClientConfig::new("ws", 1), addr).unwrap();
+        client.wait_ready(Duration::from_secs(5)).unwrap();
+        let data = FileRef::new(FileId::new(2), "ws:/data");
+        let job = FileRef::new(FileId::new(1), "ws:/t.job");
+        let content: Vec<u8> = (0..2000)
+            .flat_map(|i| format!("row {i}\n").into_bytes())
+            .collect();
+        client.edit_finished(&data, content.clone());
+        client.edit_finished(&job, b"wc ws:/data\n".to_vec());
+        client.submit(&job, std::slice::from_ref(&data), SubmitOptions::default()).unwrap();
+        client.wait_job(Duration::from_secs(10)).unwrap();
+
+        let mut edited = content;
+        edited.extend_from_slice(b"appended row\n");
+        client.edit_finished(&data, edited);
+        client.submit(&job, &[data], SubmitOptions::default()).unwrap();
+        client.wait_job(Duration::from_secs(10)).unwrap();
+        assert_eq!(client.metrics().deltas_sent, 1);
+        drop(client);
+        let node = handle.join().unwrap().unwrap();
+        assert_eq!(node.metrics().delta_updates, 1);
+    }
+}

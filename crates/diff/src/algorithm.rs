@@ -1,0 +1,349 @@
+//! Algorithm selection and the shared matches→script pipeline.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::document::Document;
+use crate::edscript::{EdCommand, EdScript};
+
+/// Which differential-comparison algorithm to run.
+///
+/// The paper's prototype used Hunt–McIlroy (`diff`(1)); its future-work
+/// section proposed evaluating alternatives, which the ablation benches do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DiffAlgorithm {
+    /// Hunt–Szymanski/McIlroy candidate-list LCS — the prototype's choice.
+    #[default]
+    HuntMcIlroy,
+    /// Myers *O(ND)*, linear-space divide-and-conquer variant.
+    Myers,
+}
+
+impl fmt::Display for DiffAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffAlgorithm::HuntMcIlroy => write!(f, "hunt-mcilroy"),
+            DiffAlgorithm::Myers => write!(f, "myers"),
+        }
+    }
+}
+
+/// A matched line pair: `old_line` in the base equals `new_line` in the
+/// target (both 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Match {
+    /// 0-based line index in the old (base) document.
+    pub old_line: usize,
+    /// 0-based line index in the new (target) document.
+    pub new_line: usize,
+}
+
+/// Computes the line-oriented difference between `old` and `new` as an
+/// [`EdScript`] that [applies](EdScript::apply) to `old` to yield `new`.
+///
+/// Matching prefix and suffix lines are trimmed before the quadratic-ish
+/// core runs, so the cost is governed by the *changed* region — the paper's
+/// small-edit assumption (§2.2) makes this fast in the common case.
+///
+/// # Example
+///
+/// ```
+/// use shadow_diff::{diff, DiffAlgorithm, Document};
+///
+/// let old = Document::from_text("fn main() {}\n");
+/// let new = Document::from_text("fn main() { println!(); }\n");
+/// let script = diff(DiffAlgorithm::Myers, &old, &new);
+/// assert_eq!(script.apply(&old).unwrap(), new);
+/// ```
+pub fn diff(algorithm: DiffAlgorithm, old: &Document, new: &Document) -> EdScript {
+    let (old_syms, new_syms) = intern(old, new);
+    let (prefix, suffix) = common_affixes(&old_syms, &new_syms);
+    let old_mid = &old_syms[prefix..old_syms.len() - suffix];
+    let new_mid = &new_syms[prefix..new_syms.len() - suffix];
+
+    let mid_matches = match algorithm {
+        DiffAlgorithm::HuntMcIlroy => crate::hunt_mcilroy::lcs_matches(old_mid, new_mid),
+        DiffAlgorithm::Myers => crate::myers::lcs_matches(old_mid, new_mid),
+    };
+
+    let mut matches = Vec::with_capacity(prefix + mid_matches.len() + suffix);
+    for i in 0..prefix {
+        matches.push(Match {
+            old_line: i,
+            new_line: i,
+        });
+    }
+    matches.extend(mid_matches.into_iter().map(|m| Match {
+        old_line: m.old_line + prefix,
+        new_line: m.new_line + prefix,
+    }));
+    for k in 0..suffix {
+        matches.push(Match {
+            old_line: old_syms.len() - suffix + k,
+            new_line: new_syms.len() - suffix + k,
+        });
+    }
+
+    debug_assert!(matches_are_valid(&matches, old, new));
+    matches_to_script(&matches, old, new)
+}
+
+/// Converts a strictly increasing common subsequence into an [`EdScript`].
+///
+/// `matches` must be strictly increasing in both coordinates and each pair
+/// must reference equal lines; [`diff`] guarantees this. Exposed so custom
+/// matchers (e.g. test oracles) can reuse the hunk builder.
+pub fn matches_to_script(matches: &[Match], old: &Document, new: &Document) -> EdScript {
+    let old_lines = old.lines();
+    let new_lines = new.lines();
+    let mut ascending: Vec<EdCommand> = Vec::new();
+
+    let mut i = 0usize; // next unconsumed old line
+    let mut j = 0usize; // next unconsumed new line
+    let boundary_iter = matches
+        .iter()
+        .map(|m| (m.old_line, m.new_line))
+        .chain(std::iter::once((old_lines.len(), new_lines.len())));
+    for (mi, mj) in boundary_iter {
+        let deleted = mi - i;
+        let added = mj - j;
+        if deleted > 0 && added > 0 {
+            ascending.push(EdCommand::Change {
+                from: i + 1,
+                to: mi,
+                lines: new_lines[j..mj].to_vec(),
+            });
+        } else if deleted > 0 {
+            ascending.push(EdCommand::Delete { from: i + 1, to: mi });
+        } else if added > 0 {
+            ascending.push(EdCommand::Append {
+                after: i,
+                lines: new_lines[j..mj].to_vec(),
+            });
+        }
+        i = (mi + 1).min(old_lines.len());
+        j = (mj + 1).min(new_lines.len());
+    }
+
+    ascending.reverse();
+    EdScript::with_commands(ascending, new.has_trailing_newline())
+        .expect("hunk builder produces descending, non-overlapping commands")
+}
+
+/// Maps each distinct line to a dense symbol so the LCS cores compare `u32`s
+/// instead of byte strings.
+fn intern(old: &Document, new: &Document) -> (Vec<u32>, Vec<u32>) {
+    let mut table: HashMap<Vec<u8>, u32> = HashMap::new();
+    let mut intern_one = |bytes: &[u8]| -> u32 {
+        if let Some(&s) = table.get(bytes) {
+            s
+        } else {
+            let s = table.len() as u32;
+            table.insert(bytes.to_vec(), s);
+            s
+        }
+    };
+    let old_syms = old
+        .lines()
+        .iter()
+        .map(|l| intern_one(l.as_bytes()))
+        .collect();
+    let new_syms = new
+        .lines()
+        .iter()
+        .map(|l| intern_one(l.as_bytes()))
+        .collect();
+    (old_syms, new_syms)
+}
+
+/// Length of the common prefix and suffix (non-overlapping).
+fn common_affixes(a: &[u32], b: &[u32]) -> (usize, usize) {
+    let max = a.len().min(b.len());
+    let mut prefix = 0;
+    while prefix < max && a[prefix] == b[prefix] {
+        prefix += 1;
+    }
+    let mut suffix = 0;
+    while suffix < max - prefix && a[a.len() - 1 - suffix] == b[b.len() - 1 - suffix] {
+        suffix += 1;
+    }
+    (prefix, suffix)
+}
+
+fn matches_are_valid(matches: &[Match], old: &Document, new: &Document) -> bool {
+    let mut prev: Option<&Match> = None;
+    for m in matches {
+        if m.old_line >= old.line_count() || m.new_line >= new.line_count() {
+            return false;
+        }
+        if old.lines()[m.old_line] != new.lines()[m.new_line] {
+            return false;
+        }
+        if let Some(p) = prev {
+            if m.old_line <= p.old_line || m.new_line <= p.new_line {
+                return false;
+            }
+        }
+        prev = Some(m);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(algo: DiffAlgorithm, old: &str, new: &str) -> EdScript {
+        let old_doc = Document::from_text(old);
+        let new_doc = Document::from_text(new);
+        let script = diff(algo, &old_doc, &new_doc);
+        assert_eq!(
+            script.apply(&old_doc).unwrap().to_bytes(),
+            new_doc.to_bytes(),
+            "algo={algo} old={old:?} new={new:?}"
+        );
+        script
+    }
+
+    const ALGOS: [DiffAlgorithm; 2] = [DiffAlgorithm::HuntMcIlroy, DiffAlgorithm::Myers];
+
+    #[test]
+    fn identical_documents_produce_identity() {
+        for algo in ALGOS {
+            let s = check(algo, "a\nb\nc\n", "a\nb\nc\n");
+            assert!(s.commands().is_empty());
+        }
+    }
+
+    #[test]
+    fn single_line_change() {
+        for algo in ALGOS {
+            let s = check(algo, "a\nb\nc\n", "a\nX\nc\n");
+            assert_eq!(s.commands().len(), 1);
+        }
+    }
+
+    #[test]
+    fn pure_insertion() {
+        for algo in ALGOS {
+            let s = check(algo, "a\nc\n", "a\nb\nc\n");
+            assert_eq!(s.stats().lines_added, 1);
+            assert_eq!(s.stats().lines_removed, 0);
+        }
+    }
+
+    #[test]
+    fn pure_deletion() {
+        for algo in ALGOS {
+            let s = check(algo, "a\nb\nc\n", "a\nc\n");
+            assert_eq!(s.stats().lines_removed, 1);
+        }
+    }
+
+    #[test]
+    fn from_empty_and_to_empty() {
+        for algo in ALGOS {
+            check(algo, "", "a\nb\n");
+            check(algo, "a\nb\n", "");
+            check(algo, "", "");
+        }
+    }
+
+    #[test]
+    fn total_rewrite() {
+        for algo in ALGOS {
+            let s = check(algo, "a\nb\nc\n", "x\ny\nz\n");
+            assert!(s.stats().lines_added >= 3);
+        }
+    }
+
+    #[test]
+    fn trailing_newline_changes_only() {
+        for algo in ALGOS {
+            check(algo, "a\nb", "a\nb\n");
+            check(algo, "a\nb\n", "a\nb");
+        }
+    }
+
+    #[test]
+    fn repeated_lines() {
+        for algo in ALGOS {
+            check(algo, "x\nx\nx\nx\n", "x\nx\n");
+            check(algo, "x\nx\n", "x\nx\nx\nx\n");
+            check(algo, "a\nx\na\nx\n", "x\na\nx\na\n");
+        }
+    }
+
+    #[test]
+    fn interleaved_edits() {
+        for algo in ALGOS {
+            check(
+                algo,
+                "1\n2\n3\n4\n5\n6\n7\n8\n9\n10\n",
+                "1\ntwo\n3\n4\nfive\nfive-b\n6\n8\n9\nten\n",
+            );
+        }
+    }
+
+    #[test]
+    fn block_swap() {
+        for algo in ALGOS {
+            check(algo, "a\nb\nc\nd\ne\nf\n", "d\ne\nf\na\nb\nc\n");
+        }
+    }
+
+    #[test]
+    fn small_edit_produces_small_script() {
+        // The paper's core premise: a small edit yields a script much
+        // smaller than the file.
+        let old_text: String = (0..1000).map(|i| format!("line number {i}\n")).collect();
+        let mut new_text = old_text.clone();
+        new_text = new_text.replace("line number 500", "LINE NUMBER 500");
+        for algo in ALGOS {
+            let s = check(algo, &old_text, &new_text);
+            assert!(
+                s.wire_len() < old_text.len() / 50,
+                "script {} bytes vs file {}",
+                s.wire_len(),
+                old_text.len()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_to_script_with_explicit_matches() {
+        let old = Document::from_text("a\nb\nc\n");
+        let new = Document::from_text("c\na\nb\n");
+        // Common subsequence: old[0..2] == new[1..3] ("a", "b").
+        let matches = vec![
+            Match {
+                old_line: 0,
+                new_line: 1,
+            },
+            Match {
+                old_line: 1,
+                new_line: 2,
+            },
+        ];
+        let script = matches_to_script(&matches, &old, &new);
+        assert_eq!(script.apply(&old).unwrap(), new);
+    }
+
+    #[test]
+    fn algorithms_agree_on_lcs_length_for_simple_cases() {
+        // Both should find maximal matches for unique-line documents.
+        let old = Document::from_text("a\nb\nc\nd\ne\n");
+        let new = Document::from_text("a\nc\ne\n");
+        for algo in ALGOS {
+            let s = diff(algo, &old, &new);
+            assert_eq!(s.stats().lines_removed, 2, "algo={algo}");
+            assert_eq!(s.stats().lines_added, 0, "algo={algo}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DiffAlgorithm::HuntMcIlroy.to_string(), "hunt-mcilroy");
+        assert_eq!(DiffAlgorithm::Myers.to_string(), "myers");
+    }
+}

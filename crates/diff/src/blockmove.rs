@@ -1,0 +1,345 @@
+//! Tichy-style string-to-string correction with block moves.
+//!
+//! Walter Tichy's *The string-to-string correction problem with block moves*
+//! (ACM TOCS 2(4), 1984) — cited by the shadow editing paper's future-work
+//! section — reconstructs the target string as a sequence of *block moves*
+//! (copies of substrings of the source) plus literal additions. The greedy
+//! strategy of always taking the longest copy starting at the current target
+//! position is optimal in the number of block moves; this module implements
+//! the practical hashed-seed variant: index fixed-length source substrings
+//! in a hash table, extend candidate matches, and emit the longest.
+//!
+//! Unlike the line-oriented [`EdScript`](crate::EdScript), a [`BlockScript`]
+//! works on raw bytes, so it also handles binary data and catches
+//! *rearrangements* (block moves) that line-based LCS scripts must encode as
+//! delete + re-insert.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Length of the hashed seed used to locate candidate copies.
+const SEED_LEN: usize = 8;
+
+/// One instruction of a [`BlockScript`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BlockOp {
+    /// Copy `len` bytes from `offset` in the *source*.
+    Copy {
+        /// Byte offset into the source.
+        offset: usize,
+        /// Number of bytes to copy.
+        len: usize,
+    },
+    /// Append literal bytes that do not occur (usefully) in the source.
+    Add(Vec<u8>),
+}
+
+impl BlockOp {
+    /// Number of target bytes this instruction produces.
+    pub fn output_len(&self) -> usize {
+        match self {
+            BlockOp::Copy { len, .. } => *len,
+            BlockOp::Add(bytes) => bytes.len(),
+        }
+    }
+}
+
+/// A byte-level delta: instructions that rebuild the target from the source.
+///
+/// # Example
+///
+/// ```
+/// use shadow_diff::{block_diff, BlockScript};
+///
+/// let source = b"the quick brown fox jumps over the lazy dog";
+/// let target = b"the lazy dog jumps over the quick brown fox";
+/// let script = block_diff(source, target);
+/// assert_eq!(script.apply(source).unwrap(), target);
+/// assert!(script.wire_len() < target.len());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlockScript {
+    ops: Vec<BlockOp>,
+}
+
+impl BlockScript {
+    /// The instructions, in target order.
+    pub fn ops(&self) -> &[BlockOp] {
+        &self.ops
+    }
+
+    /// Number of `Copy` instructions (Tichy's "block moves").
+    pub fn copy_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, BlockOp::Copy { .. }))
+            .count()
+    }
+
+    /// Total literal bytes carried in `Add` instructions.
+    pub fn literal_bytes(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                BlockOp::Add(b) => b.len(),
+                BlockOp::Copy { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Rebuilds the target from `source`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockApplyError`] when a copy reaches outside `source` —
+    /// the symptom of applying the delta against the wrong base.
+    pub fn apply(&self, source: &[u8]) -> Result<Vec<u8>, BlockApplyError> {
+        let mut out = Vec::with_capacity(self.output_len());
+        for op in &self.ops {
+            match op {
+                BlockOp::Copy { offset, len } => {
+                    let end = offset.checked_add(*len).ok_or(BlockApplyError {
+                        offset: *offset,
+                        len: *len,
+                        source_len: source.len(),
+                    })?;
+                    let slice = source.get(*offset..end).ok_or(BlockApplyError {
+                        offset: *offset,
+                        len: *len,
+                        source_len: source.len(),
+                    })?;
+                    out.extend_from_slice(slice);
+                }
+                BlockOp::Add(bytes) => out.extend_from_slice(bytes),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Length of the target this script produces.
+    pub fn output_len(&self) -> usize {
+        self.ops.iter().map(BlockOp::output_len).sum()
+    }
+
+    /// Size of the script in its wire encoding: 1 tag byte + two varints per
+    /// copy, 1 tag byte + varint + literals per add.
+    pub fn wire_len(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                BlockOp::Copy { offset, len } => 1 + varint_len(*offset as u64) + varint_len(*len as u64),
+                BlockOp::Add(bytes) => 1 + varint_len(bytes.len() as u64) + bytes.len(),
+            })
+            .sum()
+    }
+}
+
+fn varint_len(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+/// Error applying a [`BlockScript`]: a copy addressed bytes outside the
+/// source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockApplyError {
+    /// Offset of the offending copy.
+    pub offset: usize,
+    /// Length of the offending copy.
+    pub len: usize,
+    /// Length of the source it was applied to.
+    pub source_len: usize,
+}
+
+impl fmt::Display for BlockApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block copy of {} bytes at offset {} exceeds source of {} bytes",
+            self.len, self.offset, self.source_len
+        )
+    }
+}
+
+impl Error for BlockApplyError {}
+
+/// Computes a block-move delta turning `source` into `target`.
+///
+/// Greedy longest-copy strategy with hashed 8-byte seeds:
+/// copies shorter than the seed are emitted as literals (a copy instruction
+/// would not be smaller). Runs in roughly `O(source + target)` expected
+/// time.
+///
+/// # Example
+///
+/// ```
+/// use shadow_diff::block_diff;
+///
+/// let delta = block_diff(b"abcdef", b"abcXdef");
+/// assert_eq!(delta.apply(b"abcdef").unwrap(), b"abcXdef");
+/// ```
+pub fn block_diff(source: &[u8], target: &[u8]) -> BlockScript {
+    let mut ops: Vec<BlockOp> = Vec::new();
+    let mut literal: Vec<u8> = Vec::new();
+
+    // Index every SEED_LEN-gram of the source by a rolling-free direct hash.
+    let mut seeds: HashMap<&[u8], Vec<usize>> = HashMap::new();
+    if source.len() >= SEED_LEN {
+        for start in 0..=source.len() - SEED_LEN {
+            seeds
+                .entry(&source[start..start + SEED_LEN])
+                .or_default()
+                .push(start);
+        }
+    }
+
+    let mut pos = 0usize;
+    while pos < target.len() {
+        let mut best: Option<(usize, usize)> = None; // (source offset, len)
+        if pos + SEED_LEN <= target.len() {
+            if let Some(starts) = seeds.get(&target[pos..pos + SEED_LEN]) {
+                // Bound candidate scanning so adversarial inputs (one seed
+                // repeated everywhere) stay near-linear.
+                for &s in starts.iter().take(32) {
+                    let len = common_prefix_len(&source[s..], &target[pos..]);
+                    if best.is_none_or(|(_, bl)| len > bl) {
+                        best = Some((s, len));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((offset, len)) if len >= SEED_LEN => {
+                if !literal.is_empty() {
+                    ops.push(BlockOp::Add(std::mem::take(&mut literal)));
+                }
+                ops.push(BlockOp::Copy { offset, len });
+                pos += len;
+            }
+            _ => {
+                literal.push(target[pos]);
+                pos += 1;
+            }
+        }
+    }
+    if !literal.is_empty() {
+        ops.push(BlockOp::Add(literal));
+    }
+    BlockScript { ops }
+}
+
+fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(source: &[u8], target: &[u8]) -> BlockScript {
+        let script = block_diff(source, target);
+        assert_eq!(script.apply(source).unwrap(), target);
+        script
+    }
+
+    #[test]
+    fn empty_cases() {
+        round_trip(b"", b"");
+        round_trip(b"abc", b"");
+        round_trip(b"", b"abc");
+    }
+
+    #[test]
+    fn identical_input_is_one_copy() {
+        let src = b"0123456789abcdef0123456789abcdef";
+        let script = round_trip(src, src);
+        assert_eq!(script.ops().len(), 1);
+        assert_eq!(script.copy_count(), 1);
+    }
+
+    #[test]
+    fn small_edit_mostly_copies() {
+        let src: Vec<u8> = (0..2000u32).flat_map(|i| format!("line {i}\n").into_bytes()).collect();
+        let mut dst = src.clone();
+        let mid = dst.len() / 2;
+        dst.splice(mid..mid + 10, b"REPLACEMENT".iter().copied());
+        let script = round_trip(&src, &dst);
+        assert!(script.literal_bytes() < 64, "literals {}", script.literal_bytes());
+        assert!(script.wire_len() < src.len() / 20);
+    }
+
+    #[test]
+    fn block_swap_is_two_copies() {
+        let src = b"AAAAAAAAAAAAAAAABBBBBBBBBBBBBBBB".to_vec();
+        let dst = b"BBBBBBBBBBBBBBBBAAAAAAAAAAAAAAAA".to_vec();
+        let script = round_trip(&src, &dst);
+        // Block moves capture the swap without literals.
+        assert_eq!(script.literal_bytes(), 0);
+    }
+
+    #[test]
+    fn disjoint_content_is_all_literal() {
+        let script = round_trip(b"aaaaaaaaaaaaaaaa", b"zzzzzzzzzzzzzzzz");
+        assert_eq!(script.copy_count(), 0);
+        assert_eq!(script.literal_bytes(), 16);
+    }
+
+    #[test]
+    fn short_inputs_below_seed_len() {
+        round_trip(b"abc", b"abd");
+        round_trip(b"abc", b"abcdefg");
+    }
+
+    #[test]
+    fn binary_data_round_trips() {
+        let src: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let mut dst = src.clone();
+        dst[100] ^= 0xFF;
+        dst.truncate(3000);
+        round_trip(&src, &dst);
+    }
+
+    #[test]
+    fn apply_to_wrong_base_fails_cleanly() {
+        let script = block_diff(b"0123456789abcdef", b"0123456789abcdef!");
+        let err = script.apply(b"short").unwrap_err();
+        assert_eq!(err.source_len, 5);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn output_len_matches_apply() {
+        let src = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let dst = b"the lazy fox jumps over the quick dog".to_vec();
+        let script = round_trip(&src, &dst);
+        assert_eq!(script.output_len(), dst.len());
+    }
+
+    #[test]
+    fn wire_len_counts_varints() {
+        let script = BlockScript {
+            ops: vec![
+                BlockOp::Copy {
+                    offset: 0,
+                    len: 1000,
+                },
+                BlockOp::Add(vec![b'x'; 3]),
+            ],
+        };
+        // copy: 1 + 1 (offset 0) + 2 (len 1000); add: 1 + 1 + 3.
+        assert_eq!(script.wire_len(), 4 + 5);
+    }
+
+    #[test]
+    fn repeated_seed_adversarial_input_terminates() {
+        let src = vec![b'a'; 10_000];
+        let mut dst = vec![b'a'; 10_000];
+        dst[5000] = b'b';
+        round_trip(&src, &dst);
+    }
+}

@@ -1,0 +1,271 @@
+//! Line-oriented view of a text file.
+
+use std::fmt;
+
+/// One line of a [`Document`], without its trailing newline.
+///
+/// Lines are byte strings: the shadow service never requires file contents
+/// to be valid UTF-8.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Line(Vec<u8>);
+
+impl Line {
+    /// Creates a line from raw bytes. The bytes must not contain `\n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `bytes` contains an embedded newline;
+    /// such input would corrupt the line structure of a document.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        debug_assert!(
+            !bytes.contains(&b'\n'),
+            "a Line must not contain an embedded newline"
+        );
+        Line(bytes)
+    }
+
+    /// The line's bytes, excluding any newline.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the line in bytes, excluding the newline.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the line is empty (a blank line).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Consumes the line, returning the underlying bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+}
+
+impl From<&str> for Line {
+    fn from(s: &str) -> Self {
+        Line::new(s.as_bytes().to_vec())
+    }
+}
+
+impl fmt::Display for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", String::from_utf8_lossy(&self.0))
+    }
+}
+
+/// A text document as an ordered sequence of [`Line`]s.
+///
+/// A `Document` is the unit the line-oriented diff algorithms operate on.
+/// Conversions to and from flat byte buffers preserve content exactly,
+/// including whether the file ends with a trailing newline.
+///
+/// # Example
+///
+/// ```
+/// use shadow_diff::Document;
+///
+/// let doc = Document::from_bytes(b"alpha\nbeta\n".to_vec());
+/// assert_eq!(doc.line_count(), 2);
+/// assert_eq!(doc.to_bytes(), b"alpha\nbeta\n");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Document {
+    lines: Vec<Line>,
+    /// True when the original byte form ended with `\n` (the usual case for
+    /// POSIX text files). Preserved so `to_bytes` round-trips exactly.
+    trailing_newline: bool,
+}
+
+impl Document {
+    /// Creates an empty document (zero lines, no trailing newline).
+    pub fn new() -> Self {
+        Document::default()
+    }
+
+    /// Splits a byte buffer into lines on `\n`.
+    ///
+    /// An empty buffer yields an empty document. A buffer that does not end
+    /// in `\n` keeps its final partial line, and `to_bytes` reproduces the
+    /// buffer byte-for-byte.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        if bytes.is_empty() {
+            return Document::new();
+        }
+        let trailing_newline = bytes.last() == Some(&b'\n');
+        let content = if trailing_newline {
+            &bytes[..bytes.len() - 1]
+        } else {
+            &bytes[..]
+        };
+        let lines = content
+            .split(|&b| b == b'\n')
+            .map(|l| Line::new(l.to_vec()))
+            .collect();
+        Document {
+            lines,
+            trailing_newline,
+        }
+    }
+
+    /// Builds a document from lines; the byte form will end with a newline.
+    pub fn from_lines(lines: Vec<Line>) -> Self {
+        Document {
+            trailing_newline: !lines.is_empty(),
+            lines,
+        }
+    }
+
+    /// Convenience constructor from a `&str` (handy in tests and examples).
+    pub fn from_text(text: &str) -> Self {
+        Document::from_bytes(text.as_bytes().to_vec())
+    }
+
+    /// Reassembles the document into a flat byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_len());
+        for (i, line) in self.lines.iter().enumerate() {
+            if i > 0 {
+                out.push(b'\n');
+            }
+            out.extend_from_slice(line.as_bytes());
+        }
+        if self.trailing_newline {
+            out.push(b'\n');
+        }
+        out
+    }
+
+    /// Total size of the byte form, including newlines.
+    pub fn byte_len(&self) -> usize {
+        let content: usize = self.lines.iter().map(Line::len).sum();
+        let newlines = if self.lines.is_empty() {
+            0
+        } else {
+            self.lines.len() - 1 + usize::from(self.trailing_newline)
+        };
+        content + newlines
+    }
+
+    /// Number of lines.
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the document has no lines at all.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The lines of the document.
+    pub fn lines(&self) -> &[Line] {
+        &self.lines
+    }
+
+    /// Mutable access to the lines (used by the apply engine).
+    pub(crate) fn lines_mut(&mut self) -> &mut Vec<Line> {
+        &mut self.lines
+    }
+
+    /// Whether the byte form ends with a trailing newline.
+    pub fn has_trailing_newline(&self) -> bool {
+        self.trailing_newline
+    }
+
+    /// Sets whether the byte form ends with a trailing newline.
+    pub(crate) fn set_trailing_newline(&mut self, value: bool) {
+        self.trailing_newline = value;
+    }
+}
+
+impl FromIterator<Line> for Document {
+    fn from_iter<I: IntoIterator<Item = Line>>(iter: I) -> Self {
+        Document::from_lines(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", String::from_utf8_lossy(&self.to_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_round_trip() {
+        let doc = Document::from_bytes(Vec::new());
+        assert!(doc.is_empty());
+        assert_eq!(doc.line_count(), 0);
+        assert_eq!(doc.to_bytes(), Vec::<u8>::new());
+        assert_eq!(doc.byte_len(), 0);
+    }
+
+    #[test]
+    fn trailing_newline_round_trip() {
+        let doc = Document::from_bytes(b"a\nb\n".to_vec());
+        assert_eq!(doc.line_count(), 2);
+        assert!(doc.has_trailing_newline());
+        assert_eq!(doc.to_bytes(), b"a\nb\n");
+    }
+
+    #[test]
+    fn missing_trailing_newline_round_trip() {
+        let doc = Document::from_bytes(b"a\nb".to_vec());
+        assert_eq!(doc.line_count(), 2);
+        assert!(!doc.has_trailing_newline());
+        assert_eq!(doc.to_bytes(), b"a\nb");
+    }
+
+    #[test]
+    fn lone_newline_is_one_blank_line() {
+        let doc = Document::from_bytes(b"\n".to_vec());
+        assert_eq!(doc.line_count(), 1);
+        assert!(doc.lines()[0].is_empty());
+        assert_eq!(doc.to_bytes(), b"\n");
+    }
+
+    #[test]
+    fn consecutive_newlines_preserved() {
+        let doc = Document::from_bytes(b"a\n\n\nb\n".to_vec());
+        assert_eq!(doc.line_count(), 4);
+        assert_eq!(doc.to_bytes(), b"a\n\n\nb\n");
+    }
+
+    #[test]
+    fn byte_len_matches_to_bytes() {
+        for text in [&b""[..], b"x", b"x\n", b"a\nbb\nccc", b"a\nbb\nccc\n"] {
+            let doc = Document::from_bytes(text.to_vec());
+            assert_eq!(doc.byte_len(), doc.to_bytes().len(), "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn from_lines_has_trailing_newline() {
+        let doc = Document::from_lines(vec![Line::from("x"), Line::from("y")]);
+        assert_eq!(doc.to_bytes(), b"x\ny\n");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let doc: Document = ["a", "b", "c"].into_iter().map(Line::from).collect();
+        assert_eq!(doc.line_count(), 3);
+    }
+
+    #[test]
+    fn non_utf8_content_preserved() {
+        let doc = Document::from_bytes(vec![0xff, 0xfe, b'\n', 0x00]);
+        assert_eq!(doc.to_bytes(), vec![0xff, 0xfe, b'\n', 0x00]);
+    }
+
+    #[test]
+    fn display_is_lossy_utf8() {
+        let doc = Document::from_text("hi\nthere\n");
+        assert_eq!(doc.to_string(), "hi\nthere\n");
+    }
+}

@@ -1,0 +1,699 @@
+//! `ed`-style edit scripts: representation, (de)serialization and application.
+//!
+//! The shadow editing prototype transmitted file updates "in a form suitable
+//! for an editor (like `ed` in Unix) to apply the changes to a previous
+//! version" (§7 of the paper). This module provides that form: a sequence of
+//! append/change/delete commands addressed by 1-based line numbers of the
+//! *base* document, listed in **descending** order so every command's
+//! addresses stay valid while earlier commands are applied — exactly the
+//! convention of `diff -e`.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::document::{Document, Line};
+
+/// A single `ed` command.
+///
+/// Line numbers are 1-based positions in the **base** document.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum EdCommand {
+    /// `Na` — insert `lines` after base line `after` (0 means "at the very
+    /// beginning").
+    Append {
+        /// Base line after which to insert (0 = prepend).
+        after: usize,
+        /// Lines to insert.
+        lines: Vec<Line>,
+    },
+    /// `N,Mc` — replace base lines `from..=to` with `lines`.
+    Change {
+        /// First base line replaced (1-based).
+        from: usize,
+        /// Last base line replaced (inclusive).
+        to: usize,
+        /// Replacement lines.
+        lines: Vec<Line>,
+    },
+    /// `N,Md` — delete base lines `from..=to`.
+    Delete {
+        /// First base line deleted (1-based).
+        from: usize,
+        /// Last base line deleted (inclusive).
+        to: usize,
+    },
+}
+
+impl EdCommand {
+    /// First base line this command touches (for ordering checks).
+    /// For `Append`, the insertion point `after` is used.
+    pub fn first_line(&self) -> usize {
+        match *self {
+            EdCommand::Append { after, .. } => after,
+            EdCommand::Change { from, .. } | EdCommand::Delete { from, .. } => from,
+        }
+    }
+
+    /// Last base line this command touches.
+    pub fn last_line(&self) -> usize {
+        match *self {
+            EdCommand::Append { after, .. } => after,
+            EdCommand::Change { to, .. } | EdCommand::Delete { to, .. } => to,
+        }
+    }
+
+    /// Number of new lines this command introduces.
+    pub fn lines_added(&self) -> usize {
+        match self {
+            EdCommand::Append { lines, .. } | EdCommand::Change { lines, .. } => lines.len(),
+            EdCommand::Delete { .. } => 0,
+        }
+    }
+
+    /// Number of base lines this command removes.
+    pub fn lines_removed(&self) -> usize {
+        match *self {
+            EdCommand::Append { .. } => 0,
+            EdCommand::Change { from, to, .. } | EdCommand::Delete { from, to } => to - from + 1,
+        }
+    }
+}
+
+/// An edit script: an ordered list of [`EdCommand`]s in descending base-line
+/// order, transforming a base [`Document`] into a target document.
+///
+/// Produced by [`diff`](crate::diff) and consumed by [`EdScript::apply`].
+///
+/// # Example
+///
+/// ```
+/// use shadow_diff::{diff, DiffAlgorithm, Document};
+///
+/// # fn main() -> Result<(), shadow_diff::ApplyError> {
+/// let base = Document::from_text("one\ntwo\nthree\n");
+/// let target = Document::from_text("one\n2\nthree\n");
+/// let script = diff(DiffAlgorithm::Myers, &base, &target);
+/// assert_eq!(script.apply(&base)?, target);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct EdScript {
+    commands: Vec<EdCommand>,
+    /// Trailing-newline flag of the *target* document, so application can
+    /// reproduce the target byte-for-byte.
+    target_trailing_newline: bool,
+}
+
+impl EdScript {
+    /// Creates an empty script (applies as the identity, but forces a
+    /// trailing newline on the result; see [`EdScript::with_commands`]).
+    pub fn new() -> Self {
+        EdScript {
+            commands: Vec::new(),
+            target_trailing_newline: true,
+        }
+    }
+
+    /// Creates a script from commands.
+    ///
+    /// `target_trailing_newline` records whether the target document's byte
+    /// form ends with `\n`; [`apply`](EdScript::apply) restores it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError::Malformed`] if the commands are not in strictly
+    /// descending, non-overlapping base-line order, or if any range is
+    /// inverted (`from > to`) or addresses line 0.
+    pub fn with_commands(
+        commands: Vec<EdCommand>,
+        target_trailing_newline: bool,
+    ) -> Result<Self, ApplyError> {
+        let script = EdScript {
+            commands,
+            target_trailing_newline,
+        };
+        script.validate()?;
+        Ok(script)
+    }
+
+    fn validate(&self) -> Result<(), ApplyError> {
+        let mut prev_first: Option<usize> = None;
+        for cmd in &self.commands {
+            match *cmd {
+                EdCommand::Change { from, to, .. } | EdCommand::Delete { from, to } => {
+                    if from == 0 || from > to {
+                        return Err(ApplyError::Malformed(format!(
+                            "invalid range {from},{to}"
+                        )));
+                    }
+                }
+                EdCommand::Append { .. } => {}
+            }
+            if let Some(prev) = prev_first {
+                // Descending and non-overlapping: this command must finish
+                // strictly before the previous command starts. An append at
+                // line N inserts *after* N, so `prev == last` is legal only
+                // when the previous command was an append... we keep the
+                // stricter diff(1) convention: strictly descending.
+                if cmd.last_line() >= prev {
+                    return Err(ApplyError::Malformed(format!(
+                        "commands out of order: line {} not below {}",
+                        cmd.last_line(),
+                        prev
+                    )));
+                }
+            }
+            prev_first = Some(cmd.first_line());
+        }
+        Ok(())
+    }
+
+    /// The commands, in descending base-line order.
+    pub fn commands(&self) -> &[EdCommand] {
+        &self.commands
+    }
+
+    /// Whether the script produces no change at all.
+    ///
+    /// Note an empty command list can still toggle the trailing newline.
+    pub fn is_identity_for(&self, base: &Document) -> bool {
+        self.commands.is_empty()
+            && (base.is_empty() || self.target_trailing_newline == base.has_trailing_newline())
+    }
+
+    /// Whether the target document ends with a trailing newline.
+    pub fn target_trailing_newline(&self) -> bool {
+        self.target_trailing_newline
+    }
+
+    /// Applies the script to `base`, producing the target document.
+    ///
+    /// Commands are applied in order; because they are sorted in descending
+    /// base-line order, each command's addresses refer to still-untouched
+    /// regions of the base.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError::OutOfRange`] if a command addresses a line
+    /// beyond the end of `base` — the symptom of applying a delta to the
+    /// wrong base version — and [`ApplyError::Malformed`] if the script's
+    /// internal ordering invariant is broken.
+    pub fn apply(&self, base: &Document) -> Result<Document, ApplyError> {
+        self.validate()?;
+        let mut doc = base.clone();
+        let line_count = doc.line_count();
+        for cmd in &self.commands {
+            if cmd.last_line() > line_count {
+                return Err(ApplyError::OutOfRange {
+                    line: cmd.last_line(),
+                    base_lines: line_count,
+                });
+            }
+            let lines = doc.lines_mut();
+            match cmd {
+                EdCommand::Append { after, lines: ins } => {
+                    lines.splice(*after..*after, ins.iter().cloned());
+                }
+                EdCommand::Change { from, to, lines: repl } => {
+                    lines.splice(from - 1..*to, repl.iter().cloned());
+                }
+                EdCommand::Delete { from, to } => {
+                    lines.drain(from - 1..*to);
+                }
+            }
+        }
+        doc.set_trailing_newline(!doc.is_empty() && self.target_trailing_newline);
+        Ok(doc)
+    }
+
+    /// Serializes to classic `diff -e` text.
+    ///
+    /// Inserted text is terminated by a lone `.` line, as in `ed`. A lone
+    /// `.` inside inserted text is escaped as `..` (and unescaped by
+    /// [`EdScript::parse`]); this is the one place the format extends
+    /// historic `ed`, which simply could not represent such a line.
+    /// The final line records the target trailing-newline flag as `w` (with
+    /// newline) or `W` (without), another small extension.
+    pub fn to_text(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for cmd in &self.commands {
+            match cmd {
+                EdCommand::Append { after, lines } => {
+                    out.extend_from_slice(format!("{after}a\n").as_bytes());
+                    write_insert_block(&mut out, lines);
+                }
+                EdCommand::Change { from, to, lines } => {
+                    if from == to {
+                        out.extend_from_slice(format!("{from}c\n").as_bytes());
+                    } else {
+                        out.extend_from_slice(format!("{from},{to}c\n").as_bytes());
+                    }
+                    write_insert_block(&mut out, lines);
+                }
+                EdCommand::Delete { from, to } => {
+                    if from == to {
+                        out.extend_from_slice(format!("{from}d\n").as_bytes());
+                    } else {
+                        out.extend_from_slice(format!("{from},{to}d\n").as_bytes());
+                    }
+                }
+            }
+        }
+        out.extend_from_slice(if self.target_trailing_newline {
+            b"w\n"
+        } else {
+            b"W\n"
+        });
+        out
+    }
+
+    /// Parses the textual form produced by [`EdScript::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the first malformed line.
+    pub fn parse(text: &[u8]) -> Result<Self, ParseError> {
+        let mut commands = Vec::new();
+        let mut target_trailing_newline = None;
+        let mut lines = text.split(|&b| b == b'\n').enumerate().peekable();
+        while let Some((lineno, raw)) = lines.next() {
+            if raw.is_empty() && lines.peek().is_none() {
+                break; // trailing newline of the script text itself
+            }
+            if raw == b"w" || raw == b"W" {
+                target_trailing_newline = Some(raw == b"w");
+                continue;
+            }
+            let (addr, op) = split_command(raw).ok_or_else(|| ParseError {
+                line: lineno + 1,
+                reason: format!("unrecognized command {:?}", String::from_utf8_lossy(raw)),
+            })?;
+            match op {
+                b'a' => {
+                    let ins = read_insert_block(&mut lines)?;
+                    commands.push(EdCommand::Append {
+                        after: addr.0,
+                        lines: ins,
+                    });
+                }
+                b'c' => {
+                    let ins = read_insert_block(&mut lines)?;
+                    commands.push(EdCommand::Change {
+                        from: addr.0,
+                        to: addr.1,
+                        lines: ins,
+                    });
+                }
+                b'd' => {
+                    commands.push(EdCommand::Delete {
+                        from: addr.0,
+                        to: addr.1,
+                    });
+                }
+                _ => {
+                    return Err(ParseError {
+                        line: lineno + 1,
+                        reason: format!("unknown operation {:?}", op as char),
+                    })
+                }
+            }
+        }
+        let script = EdScript {
+            commands,
+            target_trailing_newline: target_trailing_newline.ok_or(ParseError {
+                line: 0,
+                reason: "missing trailing w/W marker".to_string(),
+            })?,
+        };
+        script.validate().map_err(|e| ParseError {
+            line: 0,
+            reason: e.to_string(),
+        })?;
+        Ok(script)
+    }
+
+    /// Size of the script's textual form in bytes — the quantity that
+    /// travels on the wire and drives the paper's performance results.
+    pub fn wire_len(&self) -> usize {
+        // Computed without materializing the text.
+        let mut n = 2; // w/W marker line
+        for cmd in &self.commands {
+            match cmd {
+                EdCommand::Append { after, lines } => {
+                    n += decimal_len(*after) + 2;
+                    n += insert_block_len(lines);
+                }
+                EdCommand::Change { from, to, lines } => {
+                    n += addr_len(*from, *to) + 2;
+                    n += insert_block_len(lines);
+                }
+                EdCommand::Delete { from, to } => {
+                    n += addr_len(*from, *to) + 2;
+                }
+            }
+        }
+        n
+    }
+
+    /// Aggregate statistics for this script.
+    pub fn stats(&self) -> crate::DiffStats {
+        crate::DiffStats {
+            hunks: self.commands.len(),
+            lines_added: self.commands.iter().map(EdCommand::lines_added).sum(),
+            lines_removed: self.commands.iter().map(EdCommand::lines_removed).sum(),
+            wire_len: self.wire_len(),
+        }
+    }
+}
+
+fn decimal_len(mut n: usize) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
+}
+
+fn addr_len(from: usize, to: usize) -> usize {
+    if from == to {
+        decimal_len(from)
+    } else {
+        decimal_len(from) + 1 + decimal_len(to)
+    }
+}
+
+fn insert_block_len(lines: &[Line]) -> usize {
+    let mut n = 2; // terminating ".\n"
+    for l in lines {
+        n += l.len() + 1;
+        if l.as_bytes().first() == Some(&b'.') {
+            n += 1; // escape dot
+        }
+    }
+    n
+}
+
+fn write_insert_block(out: &mut Vec<u8>, lines: &[Line]) {
+    for l in lines {
+        if l.as_bytes().first() == Some(&b'.') {
+            out.push(b'.'); // escape leading dot as '..'
+        }
+        out.extend_from_slice(l.as_bytes());
+        out.push(b'\n');
+    }
+    out.extend_from_slice(b".\n");
+}
+
+fn read_insert_block<'a, I>(lines: &mut I) -> Result<Vec<Line>, ParseError>
+where
+    I: Iterator<Item = (usize, &'a [u8])>,
+{
+    let mut out = Vec::new();
+    for (lineno, raw) in lines {
+        if raw == b"." {
+            return Ok(out);
+        }
+        let content = if raw.first() == Some(&b'.') {
+            &raw[1..] // unescape '..' (and '.x' -> 'x', only produced for dot-leading lines)
+        } else {
+            raw
+        };
+        let _ = lineno;
+        out.push(Line::new(content.to_vec()));
+    }
+    Err(ParseError {
+        line: 0,
+        reason: "unterminated insert block".to_string(),
+    })
+}
+
+/// Splits a command line like `3,7c` / `12a` into its address and opcode.
+fn split_command(raw: &[u8]) -> Option<((usize, usize), u8)> {
+    if raw.len() < 2 {
+        return None;
+    }
+    let op = *raw.last().unwrap();
+    let addr = &raw[..raw.len() - 1];
+    let text = std::str::from_utf8(addr).ok()?;
+    if let Some((a, b)) = text.split_once(',') {
+        let a: usize = a.parse().ok()?;
+        let b: usize = b.parse().ok()?;
+        Some(((a, b), op))
+    } else {
+        let a: usize = text.parse().ok()?;
+        Some(((a, a), op))
+    }
+}
+
+/// Error applying an [`EdScript`] to a base document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// A command addressed a base line that does not exist — usually the
+    /// delta was computed against a different base version.
+    OutOfRange {
+        /// The offending line address.
+        line: usize,
+        /// Number of lines in the base document.
+        base_lines: usize,
+    },
+    /// The script violates its structural invariants.
+    Malformed(String),
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::OutOfRange { line, base_lines } => write!(
+                f,
+                "edit command addresses line {line} but base has only {base_lines} lines"
+            ),
+            ApplyError::Malformed(msg) => write!(f, "malformed edit script: {msg}"),
+        }
+    }
+}
+
+impl Error for ApplyError {}
+
+/// Error parsing the textual form of an [`EdScript`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the script text where parsing failed (0 = end).
+    pub line: usize,
+    /// Human-readable description.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "edit script parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(items: &[&str]) -> Vec<Line> {
+        items.iter().copied().map(Line::from).collect()
+    }
+
+    #[test]
+    fn apply_change() {
+        let base = Document::from_text("a\nb\nc\n");
+        let script = EdScript::with_commands(
+            vec![EdCommand::Change {
+                from: 2,
+                to: 2,
+                lines: lines(&["B"]),
+            }],
+            true,
+        )
+        .unwrap();
+        assert_eq!(script.apply(&base).unwrap().to_bytes(), b"a\nB\nc\n");
+    }
+
+    #[test]
+    fn apply_delete_range() {
+        let base = Document::from_text("a\nb\nc\nd\n");
+        let script =
+            EdScript::with_commands(vec![EdCommand::Delete { from: 2, to: 3 }], true).unwrap();
+        assert_eq!(script.apply(&base).unwrap().to_bytes(), b"a\nd\n");
+    }
+
+    #[test]
+    fn apply_append_at_start_and_end() {
+        let base = Document::from_text("m\n");
+        let script = EdScript::with_commands(
+            vec![
+                EdCommand::Append {
+                    after: 1,
+                    lines: lines(&["z"]),
+                },
+                EdCommand::Append {
+                    after: 0,
+                    lines: lines(&["a"]),
+                },
+            ],
+            true,
+        )
+        .unwrap();
+        assert_eq!(script.apply(&base).unwrap().to_bytes(), b"a\nm\nz\n");
+    }
+
+    #[test]
+    fn apply_descending_multi_command() {
+        let base = Document::from_text("1\n2\n3\n4\n5\n");
+        let script = EdScript::with_commands(
+            vec![
+                EdCommand::Delete { from: 5, to: 5 },
+                EdCommand::Change {
+                    from: 2,
+                    to: 3,
+                    lines: lines(&["two", "three"]),
+                },
+            ],
+            true,
+        )
+        .unwrap();
+        assert_eq!(
+            script.apply(&base).unwrap().to_bytes(),
+            b"1\ntwo\nthree\n4\n"
+        );
+    }
+
+    #[test]
+    fn out_of_range_is_reported() {
+        let base = Document::from_text("a\n");
+        let script =
+            EdScript::with_commands(vec![EdCommand::Delete { from: 2, to: 2 }], true).unwrap();
+        assert_eq!(
+            script.apply(&base),
+            Err(ApplyError::OutOfRange {
+                line: 2,
+                base_lines: 1
+            })
+        );
+    }
+
+    #[test]
+    fn ascending_commands_rejected() {
+        let err = EdScript::with_commands(
+            vec![
+                EdCommand::Delete { from: 1, to: 1 },
+                EdCommand::Delete { from: 3, to: 3 },
+            ],
+            true,
+        );
+        assert!(matches!(err, Err(ApplyError::Malformed(_))));
+    }
+
+    #[test]
+    fn inverted_range_rejected() {
+        let err = EdScript::with_commands(vec![EdCommand::Delete { from: 3, to: 2 }], true);
+        assert!(matches!(err, Err(ApplyError::Malformed(_))));
+    }
+
+    #[test]
+    fn zero_line_range_rejected() {
+        let err = EdScript::with_commands(vec![EdCommand::Delete { from: 0, to: 2 }], true);
+        assert!(matches!(err, Err(ApplyError::Malformed(_))));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let script = EdScript::with_commands(
+            vec![
+                EdCommand::Append {
+                    after: 9,
+                    lines: lines(&["tail", ""]),
+                },
+                EdCommand::Change {
+                    from: 4,
+                    to: 6,
+                    lines: lines(&["x", ".", "..dots"]),
+                },
+                EdCommand::Delete { from: 1, to: 2 },
+            ],
+            false,
+        )
+        .unwrap();
+        let text = script.to_text();
+        let parsed = EdScript::parse(&text).unwrap();
+        assert_eq!(parsed, script);
+    }
+
+    #[test]
+    fn wire_len_matches_text_len() {
+        let script = EdScript::with_commands(
+            vec![
+                EdCommand::Change {
+                    from: 10,
+                    to: 12,
+                    lines: lines(&["abc", ".", "", "...x"]),
+                },
+                EdCommand::Delete { from: 1, to: 1 },
+            ],
+            true,
+        )
+        .unwrap();
+        assert_eq!(script.wire_len(), script.to_text().len());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(EdScript::parse(b"not a script\n").is_err());
+        assert!(EdScript::parse(b"3a\nno terminator\n").is_err());
+        assert!(EdScript::parse(b"3q\n.\nw\n").is_err());
+        assert!(EdScript::parse(b"").is_err()); // missing w/W
+    }
+
+    #[test]
+    fn identity_script() {
+        let base = Document::from_text("a\nb\n");
+        let script = EdScript::with_commands(vec![], true).unwrap();
+        assert!(script.is_identity_for(&base));
+        assert_eq!(script.apply(&base).unwrap(), base);
+    }
+
+    #[test]
+    fn trailing_newline_toggle() {
+        let base = Document::from_text("a\nb\n");
+        let script = EdScript::with_commands(vec![], false).unwrap();
+        assert_eq!(script.apply(&base).unwrap().to_bytes(), b"a\nb");
+    }
+
+    #[test]
+    fn delete_everything_yields_empty() {
+        let base = Document::from_text("a\nb\n");
+        let script =
+            EdScript::with_commands(vec![EdCommand::Delete { from: 1, to: 2 }], true).unwrap();
+        let out = script.apply(&base).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.to_bytes(), b"");
+    }
+
+    #[test]
+    fn stats_counts() {
+        let script = EdScript::with_commands(
+            vec![
+                EdCommand::Change {
+                    from: 5,
+                    to: 6,
+                    lines: lines(&["x"]),
+                },
+                EdCommand::Delete { from: 1, to: 2 },
+            ],
+            true,
+        )
+        .unwrap();
+        let stats = script.stats();
+        assert_eq!(stats.hunks, 2);
+        assert_eq!(stats.lines_added, 1);
+        assert_eq!(stats.lines_removed, 4);
+        assert_eq!(stats.wire_len, script.to_text().len());
+    }
+}

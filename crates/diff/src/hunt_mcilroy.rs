@@ -1,0 +1,214 @@
+//! The Hunt–Szymanski/McIlroy candidate-list LCS algorithm.
+//!
+//! This is the algorithm behind the original UNIX `diff` (Hunt & McIlroy,
+//! *An Algorithm for Differential File Comparison*, Bell Labs CSTR 41, 1975)
+//! and the one the shadow editing prototype used (§7 of the paper).
+//!
+//! Running time is `O((R + N) log N)` where `R` is the number of matching
+//! line pairs — fast when most lines are distinct, which is typical for
+//! program and data text. Memory is `O(R + N)`.
+
+use crate::algorithm::Match;
+
+/// One k-candidate in McIlroy's formulation: a matching pair that extends a
+/// common subsequence of length `k`, linked to the best candidate of length
+/// `k - 1` it extends.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    old_line: usize,
+    new_line: usize,
+    /// Index of the predecessor candidate in the arena, or `usize::MAX`.
+    prev: usize,
+}
+
+/// Computes a longest common subsequence of `a` and `b` as a list of
+/// strictly increasing [`Match`]es.
+///
+/// `a` and `b` are interned line symbols; equal symbols mean equal lines.
+///
+/// # Example
+///
+/// ```
+/// use shadow_diff::hunt_mcilroy::lcs_matches;
+///
+/// let matches = lcs_matches(&[1, 2, 3, 4], &[2, 4, 5]);
+/// let pairs: Vec<_> = matches.iter().map(|m| (m.old_line, m.new_line)).collect();
+/// assert_eq!(pairs, vec![(1, 0), (3, 1)]);
+/// ```
+pub fn lcs_matches(a: &[u32], b: &[u32]) -> Vec<Match> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+
+    // occ[s] = positions of symbol s in `b`, ascending; we iterate them in
+    // descending order per Hunt–Szymanski so that a single `a` element never
+    // contributes two links in the same chain.
+    let max_sym = a
+        .iter()
+        .chain(b.iter())
+        .copied()
+        .max()
+        .map(|m| m as usize + 1)
+        .unwrap_or(0);
+    let mut occ: Vec<Vec<usize>> = vec![Vec::new(); max_sym];
+    for (j, &s) in b.iter().enumerate() {
+        occ[s as usize].push(j);
+    }
+
+    // thresh[k] = smallest `b` index ending a common subsequence of length
+    // k + 1 seen so far; strictly increasing. link[k] = arena index of the
+    // candidate achieving it.
+    let mut thresh: Vec<usize> = Vec::new();
+    let mut link: Vec<usize> = Vec::new();
+    let mut arena: Vec<Candidate> = Vec::new();
+
+    for (i, &s) in a.iter().enumerate() {
+        let Some(positions) = occ.get(s as usize) else {
+            continue;
+        };
+        for &j in positions.iter().rev() {
+            // Find k = number of candidates with threshold < j (binary
+            // search over the strictly increasing `thresh`).
+            let k = thresh.partition_point(|&t| t < j);
+            if k < thresh.len() && thresh[k] == j {
+                continue; // no improvement: same endpoint already achieved
+            }
+            let prev = if k == 0 { usize::MAX } else { link[k - 1] };
+            arena.push(Candidate {
+                old_line: i,
+                new_line: j,
+                prev,
+            });
+            let cand = arena.len() - 1;
+            if k == thresh.len() {
+                thresh.push(j);
+                link.push(cand);
+            } else {
+                thresh[k] = j;
+                link[k] = cand;
+            }
+        }
+    }
+
+    // Recover the chain from the longest threshold class.
+    let mut out = Vec::with_capacity(thresh.len());
+    if let Some(&last) = link.last() {
+        let mut cur = last;
+        loop {
+            let c = arena[cur];
+            out.push(Match {
+                old_line: c.old_line,
+                new_line: c.new_line,
+            });
+            if c.prev == usize::MAX {
+                break;
+            }
+            cur = c.prev;
+        }
+    }
+    out.reverse();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcs_len(a: &[u32], b: &[u32]) -> usize {
+        lcs_matches(a, b).len()
+    }
+
+    /// Textbook quadratic DP as an oracle.
+    fn dp_lcs_len(a: &[u32], b: &[u32]) -> usize {
+        let mut row = vec![0usize; b.len() + 1];
+        for &x in a {
+            let mut diag = 0;
+            for (j, &y) in b.iter().enumerate() {
+                let up = row[j + 1];
+                row[j + 1] = if x == y { diag + 1 } else { up.max(row[j]) };
+                diag = up;
+            }
+        }
+        row[b.len()]
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(lcs_matches(&[], &[]).is_empty());
+        assert!(lcs_matches(&[1], &[]).is_empty());
+        assert!(lcs_matches(&[], &[1]).is_empty());
+    }
+
+    #[test]
+    fn identical_sequences() {
+        let a = [1, 2, 3, 4, 5];
+        let m = lcs_matches(&a, &a);
+        assert_eq!(m.len(), 5);
+        for (idx, mm) in m.iter().enumerate() {
+            assert_eq!((mm.old_line, mm.new_line), (idx, idx));
+        }
+    }
+
+    #[test]
+    fn disjoint_sequences() {
+        assert_eq!(lcs_len(&[1, 2, 3], &[4, 5, 6]), 0);
+    }
+
+    #[test]
+    fn classic_example() {
+        // LCS of "ABCBDAB" / "BDCABA" has length 4.
+        let a: Vec<u32> = "ABCBDAB".bytes().map(u32::from).collect();
+        let b: Vec<u32> = "BDCABA".bytes().map(u32::from).collect();
+        assert_eq!(lcs_len(&a, &b), 4);
+    }
+
+    #[test]
+    fn matches_are_strictly_increasing_and_equal() {
+        let a = [5, 1, 5, 2, 5, 3, 5];
+        let b = [1, 5, 2, 5, 3];
+        let m = lcs_matches(&a, &b);
+        let mut prev: Option<Match> = None;
+        for mm in &m {
+            assert_eq!(a[mm.old_line], b[mm.new_line]);
+            if let Some(p) = prev {
+                assert!(mm.old_line > p.old_line && mm.new_line > p.new_line);
+            }
+            prev = Some(*mm);
+        }
+        assert_eq!(m.len(), dp_lcs_len(&a, &b));
+    }
+
+    #[test]
+    fn heavy_repetition() {
+        let a = vec![7u32; 100];
+        let b = vec![7u32; 60];
+        assert_eq!(lcs_len(&a, &b), 60);
+    }
+
+    #[test]
+    fn agrees_with_dp_oracle_on_random_inputs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xD1FF);
+        for trial in 0..200 {
+            let alphabet = rng.gen_range(1..8u32);
+            let n = rng.gen_range(0..40);
+            let m = rng.gen_range(0..40);
+            let a: Vec<u32> = (0..n).map(|_| rng.gen_range(0..alphabet)).collect();
+            let b: Vec<u32> = (0..m).map(|_| rng.gen_range(0..alphabet)).collect();
+            let got = lcs_matches(&a, &b);
+            // Valid common subsequence…
+            let mut pi = None;
+            let mut pj = None;
+            for mm in &got {
+                assert_eq!(a[mm.old_line], b[mm.new_line], "trial {trial}");
+                if let (Some(pi), Some(pj)) = (pi, pj) {
+                    assert!(mm.old_line > pi && mm.new_line > pj, "trial {trial}");
+                }
+                pi = Some(mm.old_line);
+                pj = Some(mm.new_line);
+            }
+            // …of maximal length.
+            assert_eq!(got.len(), dp_lcs_len(&a, &b), "trial {trial}");
+        }
+    }
+}

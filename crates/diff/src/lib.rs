@@ -1,0 +1,56 @@
+//! Differential file comparison for the shadow editing service.
+//!
+//! The shadow editing prototype (Comer, Griffioen, Yavatkar; CSD-TR-722 /
+//! ICDCS 1988) transmits *changes* between successive versions of a file
+//! instead of the whole file. The paper's prototype used the Hunt–McIlroy
+//! differential-comparison algorithm (UNIX `diff`) emitting edit commands
+//! "in a form suitable for an editor (like `ed`)", and its future-work
+//! section (§8.3) names the Miller–Myers algorithm and Tichy's
+//! string-to-string correction with block moves as candidates to study.
+//! This crate implements all three families:
+//!
+//! * [`hunt_mcilroy`] — the Hunt–Szymanski/McIlroy LCS algorithm, the
+//!   default, matching the prototype.
+//! * [`myers`] — the Myers *O(ND)* algorithm in its linear-space
+//!   (divide-and-conquer) form.
+//! * [`blockmove`] — a Tichy-style byte-level delta with block moves,
+//!   using hashed seeds as in Tichy's practical variant.
+//!
+//! Line-oriented diffs are expressed as an [`EdScript`] — a sequence of
+//! `a`/`c`/`d` commands in descending line order, exactly like `diff -e`
+//! output — which can be [applied](EdScript::apply) to the base document to
+//! reconstruct the new version. Byte-level deltas are expressed as a
+//! [`BlockScript`].
+//!
+//! # Example
+//!
+//! ```
+//! use shadow_diff::{diff, DiffAlgorithm, Document};
+//!
+//! # fn main() -> Result<(), shadow_diff::ApplyError> {
+//! let old = Document::from_bytes(b"a\nb\nc\n".to_vec());
+//! let new = Document::from_bytes(b"a\nB\nc\nd\n".to_vec());
+//! let script = diff(DiffAlgorithm::HuntMcIlroy, &old, &new);
+//! let rebuilt = script.apply(&old)?;
+//! assert_eq!(rebuilt.to_bytes(), new.to_bytes());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm;
+mod document;
+mod edscript;
+mod stats;
+
+pub mod blockmove;
+pub mod hunt_mcilroy;
+pub mod myers;
+
+pub use algorithm::{diff, matches_to_script, DiffAlgorithm, Match};
+pub use blockmove::{block_diff, BlockOp, BlockScript};
+pub use document::{Document, Line};
+pub use edscript::{ApplyError, EdCommand, EdScript, ParseError};
+pub use stats::DiffStats;

@@ -1,0 +1,50 @@
+//! Discrete-event network simulation for the shadow editing service.
+//!
+//! The paper evaluated its prototype over two real long-haul networks — the
+//! 9600-baud Cypress network and the 56 Kbps ARPANET. Those networks (and
+//! 1987's machines) are gone, so this crate substitutes a deterministic
+//! discrete-event model that preserves exactly the quantities the
+//! evaluation depends on:
+//!
+//! * per-message **serialization time** = wire bytes ÷ effective bandwidth,
+//!   where wire bytes include per-segment protocol overhead (TCP/IP
+//!   headers on an MTU-sized segment stream);
+//! * **propagation latency** per message;
+//! * FIFO queueing on each link direction (a busy link delays the next
+//!   message — background updates genuinely compete with submissions);
+//! * a **load factor** modelling congestion/sharing (the paper observed
+//!   ARPANET throughput far below line rate \[Nag84\]).
+//!
+//! [`SimNet`] is the event queue + topology; [`profiles`] holds the
+//! calibrated Cypress/ARPANET/LAN link profiles; [`pipe`] provides a real
+//! (threaded) in-process duplex transport with the same message interface,
+//! used by live-mode runs so protocol code is never simulation-only.
+//!
+//! # Example
+//!
+//! ```
+//! use shadow_netsim::{profiles, SimNet, SimEvent};
+//!
+//! let mut net = SimNet::new();
+//! let ws = net.add_node("workstation");
+//! let sc = net.add_node("supercomputer");
+//! net.connect(ws, sc, profiles::cypress());
+//! net.send(ws, sc, vec![0u8; 9600 / 8]).unwrap(); // ~1 second of line time
+//! let delivery = net.next().expect("a delivery");
+//! assert!(matches!(delivery.event, SimEvent::Message { .. }));
+//! assert!(delivery.at.as_secs_f64() > 1.0); // serialization + latency
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod link;
+mod net;
+pub mod pipe;
+pub mod profiles;
+pub mod tcp;
+mod time;
+
+pub use link::{LinkProfile, LinkStats};
+pub use net::{Delivery, NetError, NodeId, SimEvent, SimNet};
+pub use time::SimTime;

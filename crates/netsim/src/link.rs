@@ -1,0 +1,180 @@
+//! Link models: bandwidth, latency, segmentation overhead, load.
+
+use crate::SimTime;
+
+/// The performance model of one duplex link.
+///
+/// A message of `n` payload bytes is segmented into `ceil(n / mtu_payload)`
+/// segments, each carrying `per_segment_overhead` header bytes; the wire
+/// time is `wire_bytes × 8 ÷ (bandwidth_bps ÷ load_factor)` and the message
+/// arrives `latency` after its last bit leaves. Each direction is a FIFO
+/// queue: a message starts transmitting when the direction falls idle.
+///
+/// # Example
+///
+/// ```
+/// use shadow_netsim::LinkProfile;
+///
+/// let link = LinkProfile::new("line", 9_600, shadow_netsim::SimTime::from_millis(100));
+/// let t = link.transmit_time(1200); // 1200 B ≈ 1 s of line time + overhead
+/// assert!(t.as_secs_f64() > 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkProfile {
+    /// Human-readable name (e.g. `"cypress"`).
+    pub name: &'static str,
+    /// Raw line rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation + switching latency per message.
+    pub latency: SimTime,
+    /// Payload bytes per segment (MTU minus headers).
+    pub mtu_payload: usize,
+    /// Header bytes added to each segment (e.g. 40 for TCP/IP).
+    pub per_segment_overhead: usize,
+    /// Effective-bandwidth derating: 1.0 = dedicated line; larger values
+    /// model sharing, congestion and store-and-forward hops.
+    pub load_factor: f64,
+}
+
+impl LinkProfile {
+    /// A dedicated line with TCP/IP-like segmentation defaults.
+    pub fn new(name: &'static str, bandwidth_bps: u64, latency: SimTime) -> Self {
+        LinkProfile {
+            name,
+            bandwidth_bps,
+            latency,
+            mtu_payload: 512,
+            per_segment_overhead: 40,
+            load_factor: 1.0,
+        }
+    }
+
+    /// Sets the congestion/sharing derating factor.
+    #[must_use]
+    pub fn with_load_factor(mut self, load_factor: f64) -> Self {
+        assert!(load_factor >= 1.0, "load factor must be >= 1.0");
+        self.load_factor = load_factor;
+        self
+    }
+
+    /// Sets segmentation parameters.
+    #[must_use]
+    pub fn with_segmentation(mut self, mtu_payload: usize, per_segment_overhead: usize) -> Self {
+        assert!(mtu_payload > 0, "mtu payload must be positive");
+        self.mtu_payload = mtu_payload;
+        self.per_segment_overhead = per_segment_overhead;
+        self
+    }
+
+    /// Total bytes that travel for an `n`-byte payload, headers included.
+    pub fn wire_bytes(&self, payload: usize) -> usize {
+        let segments = if payload == 0 {
+            1 // even an empty message costs one segment
+        } else {
+            payload.div_ceil(self.mtu_payload)
+        };
+        payload + segments * self.per_segment_overhead
+    }
+
+    /// Serialization (transmission) time for an `n`-byte payload,
+    /// excluding propagation latency.
+    pub fn transmit_time(&self, payload: usize) -> SimTime {
+        let bits = self.wire_bytes(payload) as f64 * 8.0;
+        let effective_bps = self.bandwidth_bps as f64 / self.load_factor;
+        SimTime::from_secs_f64(bits / effective_bps)
+    }
+
+    /// Effective throughput in bytes per second, headers excluded —
+    /// a useful back-of-envelope figure for experiment write-ups.
+    pub fn effective_payload_rate(&self) -> f64 {
+        let payload = 100 * self.mtu_payload;
+        payload as f64 / self.transmit_time(payload).as_secs_f64()
+    }
+}
+
+/// Per-direction traffic counters for one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkStats {
+    /// Messages sent in this direction.
+    pub messages: u64,
+    /// Application payload bytes.
+    pub payload_bytes: u64,
+    /// Bytes on the wire, including segment headers.
+    pub wire_bytes: u64,
+}
+
+impl LinkStats {
+    pub(crate) fn record(&mut self, payload: usize, wire: usize) {
+        self.messages += 1;
+        self.payload_bytes += payload as u64;
+        self.wire_bytes += wire as u64;
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &LinkStats) {
+        self.messages += other.messages;
+        self.payload_bytes += other.payload_bytes;
+        self.wire_bytes += other.wire_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_includes_per_segment_headers() {
+        let l = LinkProfile::new("t", 9600, SimTime::ZERO);
+        assert_eq!(l.wire_bytes(0), 40);
+        assert_eq!(l.wire_bytes(1), 41);
+        assert_eq!(l.wire_bytes(512), 552);
+        assert_eq!(l.wire_bytes(513), 513 + 80);
+        assert_eq!(l.wire_bytes(5120), 5120 + 400);
+    }
+
+    #[test]
+    fn transmit_time_scales_with_size_and_load() {
+        let l = LinkProfile::new("t", 9600, SimTime::ZERO);
+        let t1 = l.transmit_time(1000);
+        let t2 = l.transmit_time(2000);
+        assert!(t2 > t1);
+        let loaded = l.clone().with_load_factor(2.0);
+        let t1_loaded = loaded.transmit_time(1000);
+        assert!((t1_loaded.as_secs_f64() / t1.as_secs_f64() - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn transmit_time_magnitude_is_sane() {
+        // 9600 bps moves 1200 payload bytes (~1294 wire bytes) in ~1.08 s.
+        let l = LinkProfile::new("t", 9600, SimTime::ZERO);
+        let t = l.transmit_time(1200).as_secs_f64();
+        assert!((1.0..1.2).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn effective_payload_rate_below_line_rate() {
+        let l = LinkProfile::new("t", 56_000, SimTime::ZERO);
+        let rate = l.effective_payload_rate();
+        assert!(rate < 7000.0);
+        assert!(rate > 6000.0);
+    }
+
+    #[test]
+    fn stats_record_and_merge() {
+        let mut a = LinkStats::default();
+        a.record(100, 140);
+        a.record(0, 40);
+        let mut b = LinkStats::default();
+        b.record(10, 50);
+        a.merge(&b);
+        assert_eq!(a.messages, 3);
+        assert_eq!(a.payload_bytes, 110);
+        assert_eq!(a.wire_bytes, 230);
+    }
+
+    #[test]
+    #[should_panic(expected = "load factor")]
+    fn sub_unity_load_factor_rejected() {
+        let _ = LinkProfile::new("t", 9600, SimTime::ZERO).with_load_factor(0.5);
+    }
+}

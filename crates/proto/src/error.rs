@@ -1,0 +1,95 @@
+//! Protocol decoding errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error decoding a frame or message from the wire.
+///
+/// Every variant is a *peer* problem (malformed or hostile input), never a
+/// local panic: the decoder validates all lengths and tags (C-VALIDATE).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the announced message did.
+    Truncated {
+        /// Bytes that were needed.
+        needed: usize,
+        /// Bytes that were available.
+        available: usize,
+    },
+    /// An unknown message or payload tag.
+    UnknownTag {
+        /// Context, e.g. `"ClientMessage"`.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A length field exceeded its sanity bound.
+    LengthOverflow {
+        /// Context, e.g. `"frame"`.
+        what: &'static str,
+        /// The announced length.
+        len: u64,
+        /// The maximum allowed.
+        max: u64,
+    },
+    /// A string field was not valid UTF-8.
+    InvalidUtf8,
+    /// The frame decoded successfully but trailing bytes remained.
+    TrailingBytes {
+        /// Number of undecoded bytes left in the frame.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => {
+                write!(f, "truncated input: needed {needed} bytes, had {available}")
+            }
+            WireError::UnknownTag { what, tag } => {
+                write!(f, "unknown {what} tag {tag:#04x}")
+            }
+            WireError::LengthOverflow { what, len, max } => {
+                write!(f, "{what} length {len} exceeds maximum {max}")
+            }
+            WireError::InvalidUtf8 => write!(f, "string field contains invalid UTF-8"),
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "frame has {remaining} trailing bytes after message")
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<WireError> = vec![
+            WireError::Truncated {
+                needed: 8,
+                available: 3,
+            },
+            WireError::UnknownTag {
+                what: "ClientMessage",
+                tag: 0xFF,
+            },
+            WireError::LengthOverflow {
+                what: "frame",
+                len: 1 << 40,
+                max: 1 << 26,
+            },
+            WireError::InvalidUtf8,
+            WireError::TrailingBytes { remaining: 4 },
+        ];
+        for err in cases {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(!text.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Wire protocol for the shadow editing service.
+//!
+//! Defines the typed identifiers, the client→server and server→client
+//! message sets, and a compact hand-rolled binary codec with length-prefixed
+//! framing. The message set realizes the paper's **demand-driven** flow
+//! control (§5.2/§6.4): clients *notify* the server of new file versions
+//! ([`ClientMessage::NotifyVersion`]) and the server decides when to pull
+//! the bytes ([`ServerMessage::UpdateRequest`]), against which base version,
+//! and the client answers with a delta or a full copy
+//! ([`ClientMessage::Update`]).
+//!
+//! # Example
+//!
+//! ```
+//! use shadow_proto::{ClientMessage, DomainId, HostName, Frame, PROTOCOL_VERSION};
+//!
+//! # fn main() -> Result<(), shadow_proto::WireError> {
+//! let msg = ClientMessage::Hello {
+//!     domain: DomainId::new(42),
+//!     host: HostName::new("workstation.lab"),
+//!     protocol: PROTOCOL_VERSION,
+//! };
+//! let bytes = Frame::encode(&msg);
+//! let (decoded, used) = Frame::decode::<ClientMessage>(&bytes)?.expect("complete frame");
+//! assert_eq!(decoded, msg);
+//! assert_eq!(used, bytes.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod digest;
+mod error;
+mod ids;
+mod message;
+mod wire;
+
+pub use digest::ContentDigest;
+pub use error::WireError;
+pub use ids::{DomainId, FileId, FileKey, HostName, JobId, RequestId, VersionNumber};
+pub use message::{
+    ClientMessage, JobStats, JobStatus, JobStatusEntry, OutputPayload, ServerMessage,
+    SubmitOptions, TransferEncoding, UpdatePayload,
+};
+pub use wire::{Frame, WireDecode, WireEncode, MAX_FRAME_LEN};
+
+/// Version of the wire protocol spoken by this crate.
+pub const PROTOCOL_VERSION: u32 = 1;

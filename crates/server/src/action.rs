@@ -1,0 +1,82 @@
+//! Events consumed and actions emitted by the server state machine.
+
+use shadow_proto::{ClientMessage, JobId, ServerMessage};
+
+use crate::node::SessionId;
+
+/// Discriminator for timers the server asks its driver to set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimerToken {
+    /// A running job's simulated execution finishes.
+    JobDone(JobId),
+    /// Re-evaluate postponed update pulls (adaptive flow control).
+    FetchPulse,
+}
+
+/// An input to [`ServerNode::handle`](crate::ServerNode::handle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerEvent {
+    /// A transport-level session opened (e.g. TCP accept).
+    Connected {
+        /// Driver-assigned session id.
+        session: SessionId,
+        /// Server clock, milliseconds.
+        now_ms: u64,
+    },
+    /// A session closed.
+    Disconnected {
+        /// The session that went away.
+        session: SessionId,
+        /// Server clock, milliseconds.
+        now_ms: u64,
+    },
+    /// A decoded message arrived on a session.
+    Message {
+        /// Originating session.
+        session: SessionId,
+        /// The message.
+        message: ClientMessage,
+        /// Server clock, milliseconds.
+        now_ms: u64,
+    },
+    /// A timer previously requested via [`ServerAction::SetTimer`] fired.
+    Timer {
+        /// The token given when the timer was set.
+        token: TimerToken,
+        /// Server clock, milliseconds.
+        now_ms: u64,
+    },
+}
+
+/// An output of the server state machine, to be performed by its driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerAction {
+    /// Send a message on a session.
+    Send {
+        /// Destination session.
+        session: SessionId,
+        /// The message.
+        message: ServerMessage,
+    },
+    /// Arrange for [`ServerEvent::Timer`] after a delay.
+    SetTimer {
+        /// Delay in milliseconds of server clock.
+        delay_ms: u64,
+        /// Token echoed back when the timer fires.
+        token: TimerToken,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_are_distinguishable() {
+        assert_ne!(
+            TimerToken::JobDone(JobId::new(1)),
+            TimerToken::JobDone(JobId::new(2))
+        );
+        assert_ne!(TimerToken::JobDone(JobId::new(1)), TimerToken::FetchPulse);
+    }
+}

@@ -1,0 +1,164 @@
+//! Server configuration.
+
+use shadow_cache::EvictionPolicy;
+use shadow_proto::HostName;
+
+/// How the server controls the flow of file updates (§5.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FlowControl {
+    /// **Request driven** (the baseline the paper argues against): the
+    /// client pushes every file in full with each submission; the server
+    /// never requests updates and keeps no useful cache state.
+    RequestDriven,
+    /// Demand driven, eager: the server pulls an update as soon as it is
+    /// notified of a new version (enables the paper's background-transfer
+    /// concurrency, §5.1).
+    #[default]
+    DemandEager,
+    /// Demand driven, lazy: the server pulls updates only when a submitted
+    /// job actually needs the file ("it may postpone such a retrieval
+    /// until the changes are actually needed").
+    DemandLazy,
+    /// Demand driven, adaptive: eager while the job queue is short and the
+    /// cache has headroom, lazy under pressure — §5.2: "by monitoring the
+    /// load average, cache size to disk space ratio, number of incoming
+    /// jobs, network delays, etc., the remote host can decide when is the
+    /// best time to retrieve the needed files".
+    DemandAdaptive {
+        /// Queue length at which the server stops eager pulls.
+        eager_queue_limit: usize,
+        /// Cache utilisation (0.0–1.0) above which eager pulls stop.
+        cache_pressure_limit: f64,
+    },
+}
+
+impl FlowControl {
+    /// Whether this mode ever issues `UpdateRequest`s.
+    pub fn is_demand_driven(self) -> bool {
+        !matches!(self, FlowControl::RequestDriven)
+    }
+}
+
+/// The simulated supercomputer's execution cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecProfile {
+    /// Bytes of input a job command processes per simulated second.
+    pub cpu_byte_rate: u64,
+    /// Fixed scheduling/startup overhead per job, milliseconds.
+    pub job_overhead_ms: u64,
+}
+
+impl Default for ExecProfile {
+    fn default() -> Self {
+        // A late-1980s supercomputer front end: fast relative to the
+        // long-haul links that dominate the experiments.
+        ExecProfile {
+            cpu_byte_rate: 2_000_000,
+            job_overhead_ms: 500,
+        }
+    }
+}
+
+/// Configuration of a [`ServerNode`](crate::ServerNode).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// The server host's name.
+    pub host: HostName,
+    /// Shadow cache byte budget (§5.1: the remote host decides "how much
+    /// disk space should be used for caching").
+    pub cache_budget: usize,
+    /// Shadow cache eviction policy.
+    pub eviction: EvictionPolicy,
+    /// Update flow-control policy.
+    pub flow: FlowControl,
+    /// Batch slots that may run concurrently.
+    pub max_running: usize,
+    /// Execution cost model.
+    pub exec: ExecProfile,
+    /// Bytes of job output retained for reverse shadow processing.
+    pub output_shadow_budget: usize,
+}
+
+impl ServerConfig {
+    /// A server with generous defaults: 64 MiB cache, LRU, eager demand-
+    /// driven flow, one batch slot.
+    pub fn new(host: impl Into<String>) -> Self {
+        ServerConfig {
+            host: HostName::new(host.into()),
+            cache_budget: 64 << 20,
+            eviction: EvictionPolicy::Lru,
+            flow: FlowControl::default(),
+            max_running: 1,
+            exec: ExecProfile::default(),
+            output_shadow_budget: 16 << 20,
+        }
+    }
+
+    /// Sets the cache budget.
+    #[must_use]
+    pub fn with_cache_budget(mut self, bytes: usize) -> Self {
+        self.cache_budget = bytes;
+        self
+    }
+
+    /// Sets the eviction policy.
+    #[must_use]
+    pub fn with_eviction(mut self, policy: EvictionPolicy) -> Self {
+        self.eviction = policy;
+        self
+    }
+
+    /// Sets the flow-control policy.
+    #[must_use]
+    pub fn with_flow(mut self, flow: FlowControl) -> Self {
+        self.flow = flow;
+        self
+    }
+
+    /// Sets the number of concurrent batch slots.
+    #[must_use]
+    pub fn with_max_running(mut self, slots: usize) -> Self {
+        assert!(slots >= 1, "at least one batch slot is required");
+        self.max_running = slots;
+        self
+    }
+
+    /// Sets the execution cost model.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecProfile) -> Self {
+        self.exec = exec;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_demand_driven() {
+        let c = ServerConfig::new("s");
+        assert_eq!(c.flow, FlowControl::DemandEager);
+        assert!(c.flow.is_demand_driven());
+        assert!(!FlowControl::RequestDriven.is_demand_driven());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = ServerConfig::new("s")
+            .with_cache_budget(1000)
+            .with_eviction(EvictionPolicy::Fifo)
+            .with_flow(FlowControl::DemandLazy)
+            .with_max_running(4);
+        assert_eq!(c.cache_budget, 1000);
+        assert_eq!(c.eviction, EvictionPolicy::Fifo);
+        assert_eq!(c.flow, FlowControl::DemandLazy);
+        assert_eq!(c.max_running, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch slot")]
+    fn zero_slots_rejected() {
+        let _ = ServerConfig::new("s").with_max_running(0);
+    }
+}

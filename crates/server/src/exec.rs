@@ -1,0 +1,436 @@
+//! The batch executor — this repository's stand-in for the supercomputer.
+//!
+//! The paper's server "initiates execution at the supercomputer"; its
+//! prototype used "a remote UNIX system" as the supercomputer. Here a job
+//! is a **job command file** (§6.2: "one or more lines where each line
+//! specifies a command along with its arguments") interpreted against the
+//! shadow cache. The command set is deliberately UNIX-flavoured — the
+//! workloads scientists ran were filters over large data files — and every
+//! command reports how many bytes it processed, which drives the simulated
+//! runtime.
+//!
+//! | command | effect |
+//! |---|---|
+//! | `# …` / blank | ignored |
+//! | `echo TEXT…` | prints its arguments |
+//! | `cat FILE…` | concatenates files |
+//! | `wc FILE…` | lines/words/bytes per file |
+//! | `grep PAT FILE…` | lines containing `PAT` |
+//! | `sort FILE…` | sorted lines of all inputs |
+//! | `head N FILE` / `tail N FILE` | first/last `N` lines |
+//! | `sum FILE…` | sum of all numeric tokens |
+//! | `uniq FILE` | collapse adjacent duplicate lines |
+//! | `nl FILE` | number lines |
+//! | `stats FILE…` | min/max/mean of all numeric tokens |
+//! | `gen N PREFIX` | emits `N` generated lines (big-output jobs) |
+//! | `compute BYTES` | pure simulated CPU burn |
+//!
+//! A missing file or malformed command stops the job with exit code 1 —
+//! the error text goes to the error stream, exactly what the `submit`
+//! command's error-file option captures.
+
+/// The result of interpreting one job command file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExecOutcome {
+    /// Standard output.
+    pub output: Vec<u8>,
+    /// Error output.
+    pub errors: Vec<u8>,
+    /// Bytes "processed" — input read plus output written plus explicit
+    /// `compute` burn; the server converts this to simulated runtime.
+    pub cpu_bytes: u64,
+    /// 0 on success, 1 on the first failed command.
+    pub exit_code: i32,
+}
+
+/// Interprets `command_file`, resolving data-file names through `resolve`
+/// (the server wires this to the shadow cache + mapping directory).
+///
+/// # Example
+///
+/// ```
+/// use shadow_server::exec::run_job;
+///
+/// let outcome = run_job(b"echo hello world\n", &|_name| None);
+/// assert_eq!(outcome.output, b"hello world\n");
+/// assert_eq!(outcome.exit_code, 0);
+/// ```
+pub fn run_job(command_file: &[u8], resolve: &dyn Fn(&str) -> Option<Vec<u8>>) -> ExecOutcome {
+    let mut out = ExecOutcome::default();
+    let text = String::from_utf8_lossy(command_file);
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().expect("non-empty line");
+        let args: Vec<&str> = parts.collect();
+        if let Err(msg) = run_command(cmd, &args, resolve, &mut out) {
+            out.errors
+                .extend_from_slice(format!("line {}: {}: {msg}\n", lineno + 1, cmd).as_bytes());
+            out.exit_code = 1;
+            break;
+        }
+    }
+    out
+}
+
+fn read_file(
+    name: &str,
+    resolve: &dyn Fn(&str) -> Option<Vec<u8>>,
+    out: &mut ExecOutcome,
+) -> Result<Vec<u8>, String> {
+    let content = resolve(name).ok_or_else(|| format!("{name}: no such shadow file"))?;
+    out.cpu_bytes += content.len() as u64;
+    Ok(content)
+}
+
+fn emit(out: &mut ExecOutcome, bytes: &[u8]) {
+    out.cpu_bytes += bytes.len() as u64;
+    out.output.extend_from_slice(bytes);
+}
+
+fn run_command(
+    cmd: &str,
+    args: &[&str],
+    resolve: &dyn Fn(&str) -> Option<Vec<u8>>,
+    out: &mut ExecOutcome,
+) -> Result<(), String> {
+    match cmd {
+        "echo" => {
+            let line = args.join(" ") + "\n";
+            emit(out, line.as_bytes());
+            Ok(())
+        }
+        "cat" => {
+            if args.is_empty() {
+                return Err("missing operand".into());
+            }
+            for name in args {
+                let content = read_file(name, resolve, out)?;
+                emit(out, &content);
+            }
+            Ok(())
+        }
+        "wc" => {
+            if args.is_empty() {
+                return Err("missing operand".into());
+            }
+            for name in args {
+                let content = read_file(name, resolve, out)?;
+                let lines = content.iter().filter(|&&b| b == b'\n').count();
+                let words = content
+                    .split(|b| b.is_ascii_whitespace())
+                    .filter(|w| !w.is_empty())
+                    .count();
+                let line = format!("{lines} {words} {} {name}\n", content.len());
+                emit(out, line.as_bytes());
+            }
+            Ok(())
+        }
+        "grep" => {
+            let (pattern, files) = args.split_first().ok_or("missing pattern")?;
+            if files.is_empty() {
+                return Err("missing operand".into());
+            }
+            for name in files {
+                let content = read_file(name, resolve, out)?;
+                for line in content.split(|&b| b == b'\n') {
+                    if !line.is_empty()
+                        && line
+                            .windows(pattern.len().max(1))
+                            .any(|w| w == pattern.as_bytes())
+                    {
+                        let mut l = line.to_vec();
+                        l.push(b'\n');
+                        emit(out, &l);
+                    }
+                }
+            }
+            Ok(())
+        }
+        "sort" => {
+            if args.is_empty() {
+                return Err("missing operand".into());
+            }
+            let mut lines: Vec<Vec<u8>> = Vec::new();
+            for name in args {
+                let content = read_file(name, resolve, out)?;
+                for line in content.split(|&b| b == b'\n') {
+                    if !line.is_empty() {
+                        lines.push(line.to_vec());
+                    }
+                }
+            }
+            lines.sort();
+            for l in lines {
+                emit(out, &l);
+                emit(out, b"\n");
+            }
+            Ok(())
+        }
+        "head" | "tail" => {
+            let (&n_str, files) = args.split_first().ok_or("missing line count")?;
+            let n: usize = n_str.parse().map_err(|_| format!("bad count {n_str:?}"))?;
+            let name = files.first().ok_or("missing operand")?;
+            let content = read_file(name, resolve, out)?;
+            let lines: Vec<&[u8]> = content
+                .split(|&b| b == b'\n')
+                .filter(|l| !l.is_empty())
+                .collect();
+            let picked: Vec<&[u8]> = if cmd == "head" {
+                lines.iter().take(n).copied().collect()
+            } else {
+                lines.iter().rev().take(n).rev().copied().collect()
+            };
+            for l in picked {
+                emit(out, l);
+                emit(out, b"\n");
+            }
+            Ok(())
+        }
+        "sum" => {
+            if args.is_empty() {
+                return Err("missing operand".into());
+            }
+            let mut total = 0f64;
+            let mut count = 0u64;
+            for name in args {
+                let content = read_file(name, resolve, out)?;
+                for token in String::from_utf8_lossy(&content).split_whitespace() {
+                    if let Ok(v) = token.parse::<f64>() {
+                        total += v;
+                        count += 1;
+                    }
+                }
+            }
+            let line = format!("sum {total} of {count} values\n");
+            emit(out, line.as_bytes());
+            Ok(())
+        }
+        "uniq" => {
+            let name = args.first().ok_or("missing operand")?;
+            let content = read_file(name, resolve, out)?;
+            let mut previous: Option<&[u8]> = None;
+            for line in content.split(|&b| b == b'\n') {
+                if line.is_empty() {
+                    continue;
+                }
+                if previous != Some(line) {
+                    emit(out, line);
+                    emit(out, b"\n");
+                }
+                previous = Some(line);
+            }
+            Ok(())
+        }
+        "nl" => {
+            let name = args.first().ok_or("missing operand")?;
+            let content = read_file(name, resolve, out)?;
+            for (i, line) in content
+                .split(|&b| b == b'\n')
+                .filter(|l| !l.is_empty())
+                .enumerate()
+            {
+                let prefix = format!("{:>6}  ", i + 1);
+                emit(out, prefix.as_bytes());
+                emit(out, line);
+                emit(out, b"\n");
+            }
+            Ok(())
+        }
+        "stats" => {
+            if args.is_empty() {
+                return Err("missing operand".into());
+            }
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut total = 0f64;
+            let mut count = 0u64;
+            for name in args {
+                let content = read_file(name, resolve, out)?;
+                for token in String::from_utf8_lossy(&content).split_whitespace() {
+                    if let Ok(v) = token.parse::<f64>() {
+                        min = min.min(v);
+                        max = max.max(v);
+                        total += v;
+                        count += 1;
+                    }
+                }
+            }
+            let line = if count == 0 {
+                "stats: no numeric values\n".to_string()
+            } else {
+                format!("min {min} max {max} mean {} n {count}\n", total / count as f64)
+            };
+            emit(out, line.as_bytes());
+            Ok(())
+        }
+        "gen" => {
+            let (&n_str, rest) = args.split_first().ok_or("missing line count")?;
+            let n: usize = n_str.parse().map_err(|_| format!("bad count {n_str:?}"))?;
+            if n > 1_000_000 {
+                return Err(format!("line count {n} exceeds the 1000000 limit"));
+            }
+            let prefix = rest.first().copied().unwrap_or("line");
+            for i in 0..n {
+                let line = format!("{prefix} {i:08}\n");
+                emit(out, line.as_bytes());
+            }
+            Ok(())
+        }
+        "compute" => {
+            let n_str = args.first().ok_or("missing byte count")?;
+            let n: u64 = n_str.parse().map_err(|_| format!("bad count {n_str:?}"))?;
+            out.cpu_bytes += n;
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn files(pairs: &[(&str, &str)]) -> impl Fn(&str) -> Option<Vec<u8>> {
+        let map: HashMap<String, Vec<u8>> = pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.as_bytes().to_vec()))
+            .collect();
+        move |name| map.get(name).cloned()
+    }
+
+    #[test]
+    fn echo_and_comments() {
+        let o = run_job(b"# setup\n\necho a b  c\n", &|_| None);
+        assert_eq!(o.output, b"a b c\n");
+        assert_eq!(o.exit_code, 0);
+        assert!(o.errors.is_empty());
+    }
+
+    #[test]
+    fn cat_concatenates() {
+        let r = files(&[("/a", "1\n"), ("/b", "2\n")]);
+        let o = run_job(b"cat /a /b\n", &r);
+        assert_eq!(o.output, b"1\n2\n");
+        assert!(o.cpu_bytes >= 4);
+    }
+
+    #[test]
+    fn wc_counts() {
+        let r = files(&[("/f", "one two\nthree\n")]);
+        let o = run_job(b"wc /f\n", &r);
+        assert_eq!(o.output, b"2 3 14 /f\n");
+    }
+
+    #[test]
+    fn grep_filters() {
+        let r = files(&[("/f", "apple\nbanana\npineapple\n")]);
+        let o = run_job(b"grep apple /f\n", &r);
+        assert_eq!(o.output, b"apple\npineapple\n");
+    }
+
+    #[test]
+    fn sort_merges_inputs() {
+        let r = files(&[("/a", "c\na\n"), ("/b", "b\n")]);
+        let o = run_job(b"sort /a /b\n", &r);
+        assert_eq!(o.output, b"a\nb\nc\n");
+    }
+
+    #[test]
+    fn head_and_tail() {
+        let r = files(&[("/f", "1\n2\n3\n4\n5\n")]);
+        assert_eq!(run_job(b"head 2 /f\n", &r).output, b"1\n2\n");
+        assert_eq!(run_job(b"tail 2 /f\n", &r).output, b"4\n5\n");
+    }
+
+    #[test]
+    fn sum_totals_numbers() {
+        let r = files(&[("/f", "1.5 2\nskip 3\n")]);
+        let o = run_job(b"sum /f\n", &r);
+        assert_eq!(o.output, b"sum 6.5 of 3 values\n");
+    }
+
+    #[test]
+    fn uniq_collapses_adjacent_duplicates() {
+        let r = files(&[("/f", "a\na\nb\na\na\n")]);
+        let o = run_job(b"uniq /f\n", &r);
+        assert_eq!(o.output, b"a\nb\na\n");
+    }
+
+    #[test]
+    fn nl_numbers_lines() {
+        let r = files(&[("/f", "x\ny\n")]);
+        let o = run_job(b"nl /f\n", &r);
+        assert_eq!(o.output, b"     1  x\n     2  y\n");
+    }
+
+    #[test]
+    fn stats_reports_min_max_mean() {
+        let r = files(&[("/f", "1 2\n3\n")]);
+        let o = run_job(b"stats /f\n", &r);
+        assert_eq!(o.output, b"min 1 max 3 mean 2 n 3\n");
+        let o = run_job(b"stats /g\n", &files(&[("/g", "no numbers here\n")]));
+        assert_eq!(o.output, b"stats: no numeric values\n");
+    }
+
+    #[test]
+    fn new_commands_require_operands() {
+        for job in ["uniq\n", "nl\n", "stats\n"] {
+            assert_eq!(run_job(job.as_bytes(), &|_| None).exit_code, 1, "{job}");
+        }
+    }
+
+    #[test]
+    fn gen_produces_big_output() {
+        let o = run_job(b"gen 3 result\n", &|_| None);
+        assert_eq!(o.output, b"result 00000000\nresult 00000001\nresult 00000002\n");
+    }
+
+    #[test]
+    fn compute_burns_cpu_without_output() {
+        let o = run_job(b"compute 1000000\n", &|_| None);
+        assert!(o.output.is_empty());
+        assert_eq!(o.cpu_bytes, 1_000_000);
+    }
+
+    #[test]
+    fn multi_line_jobs_run_in_order() {
+        let r = files(&[("/f", "x\n")]);
+        let o = run_job(b"echo start\ncat /f\necho end\n", &r);
+        assert_eq!(o.output, b"start\nx\nend\n");
+    }
+
+    #[test]
+    fn missing_file_fails_with_error() {
+        let o = run_job(b"cat /missing\necho unreachable\n", &|_| None);
+        assert_eq!(o.exit_code, 1);
+        assert!(String::from_utf8_lossy(&o.errors).contains("no such shadow file"));
+        assert!(o.output.is_empty());
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        let o = run_job(b"frobnicate /f\n", &|_| None);
+        assert_eq!(o.exit_code, 1);
+        assert!(String::from_utf8_lossy(&o.errors).contains("unknown command"));
+    }
+
+    #[test]
+    fn malformed_counts_fail() {
+        assert_eq!(run_job(b"head x /f\n", &|_| None).exit_code, 1);
+        assert_eq!(run_job(b"gen nope\n", &|_| None).exit_code, 1);
+        assert_eq!(run_job(b"compute many\n", &|_| None).exit_code, 1);
+    }
+
+    #[test]
+    fn missing_operands_fail() {
+        for job in ["cat\n", "wc\n", "grep\n", "grep pat\n", "sort\n", "sum\n", "head 3\n"] {
+            let o = run_job(job.as_bytes(), &|_| None);
+            assert_eq!(o.exit_code, 1, "job {job:?}");
+        }
+    }
+}

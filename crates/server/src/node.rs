@@ -1,0 +1,1332 @@
+//! The server state machine.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bytes::Bytes;
+use shadow_cache::ShadowStore;
+use shadow_compress::{Codec, Lzss, Rle};
+use shadow_diff::{diff, DiffAlgorithm, Document, EdScript};
+use shadow_proto::{
+    ClientMessage, ContentDigest, DomainId, FileId, FileKey, HostName, JobId, JobStats,
+    JobStatus, JobStatusEntry, OutputPayload, ServerMessage, SubmitOptions, TransferEncoding,
+    UpdatePayload, VersionNumber, PROTOCOL_VERSION,
+};
+
+use crate::action::{ServerAction, ServerEvent, TimerToken};
+use crate::config::{FlowControl, ServerConfig};
+use crate::domain::DomainDirectory;
+use crate::exec::run_job;
+use crate::jobs::{Job, JobPhase, JobTable};
+use crate::output_shadow::OutputShadowStore;
+
+/// A transport session handle, assigned by the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// Wraps a raw session number.
+    pub const fn new(raw: u64) -> Self {
+        SessionId(raw)
+    }
+
+    /// The raw value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sess-{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Session {
+    domain: DomainId,
+    host: HostName,
+}
+
+/// Counters describing server behaviour, for experiments and monitoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerMetrics {
+    /// `UpdateRequest`s sent (demand-driven pulls).
+    pub update_requests: u64,
+    /// Full-content updates received.
+    pub full_updates: u64,
+    /// Delta updates received and applied.
+    pub delta_updates: u64,
+    /// Updates that failed verification and triggered a full-transfer
+    /// fallback.
+    pub update_failures: u64,
+    /// Jobs completed (either exit status).
+    pub jobs_completed: u64,
+    /// Output deltas sent (reverse shadow processing).
+    pub output_deltas: u64,
+    /// Payload bytes received in updates.
+    pub update_payload_bytes: u64,
+}
+
+/// The shadow server state machine. See the [crate docs](crate).
+#[derive(Debug)]
+pub struct ServerNode {
+    config: ServerConfig,
+    sessions: HashMap<SessionId, Session>,
+    hosts: HashMap<HostName, SessionId>,
+    directory: DomainDirectory,
+    cache: ShadowStore,
+    /// Which session most recently announced each file (where pulls go).
+    announcers: HashMap<FileKey, SessionId>,
+    /// Versions currently being pulled, to suppress duplicate requests.
+    in_flight: HashMap<FileKey, VersionNumber>,
+    /// Pulls postponed by adaptive flow control.
+    postponed: Vec<(FileKey, VersionNumber)>,
+    pulse_armed: bool,
+    jobs: JobTable,
+    next_job: u64,
+    outputs: OutputShadowStore,
+    metrics: ServerMetrics,
+}
+
+impl ServerNode {
+    /// Creates a server from its configuration.
+    pub fn new(config: ServerConfig) -> Self {
+        let cache = ShadowStore::new(config.cache_budget, config.eviction);
+        let outputs = OutputShadowStore::new(config.output_shadow_budget);
+        ServerNode {
+            config,
+            sessions: HashMap::new(),
+            hosts: HashMap::new(),
+            directory: DomainDirectory::new(),
+            cache,
+            announcers: HashMap::new(),
+            in_flight: HashMap::new(),
+            postponed: Vec::new(),
+            pulse_armed: false,
+            jobs: JobTable::default(),
+            next_job: 0,
+            outputs,
+            metrics: ServerMetrics::default(),
+        }
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Behaviour counters.
+    pub fn metrics(&self) -> ServerMetrics {
+        self.metrics
+    }
+
+    /// Shadow-cache counters (hits, misses, evictions…).
+    pub fn cache_stats(&self) -> shadow_cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// The cached version of a file, if any (test/diagnostic hook).
+    pub fn cached_version(&self, key: FileKey) -> Option<VersionNumber> {
+        self.cache.version_of(&key)
+    }
+
+    /// The digest of a file's cached content, if any (coherence checks).
+    pub fn cached_digest(&self, key: FileKey) -> Option<ContentDigest> {
+        self.cache.peek(&key).map(|e| e.digest)
+    }
+
+    /// Simulates the remote host reclaiming the shadow disk — the fault
+    /// best-effort caching must survive (§5.1).
+    pub fn drop_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// A job's current status (diagnostic hook).
+    pub fn job_status(&self, job: JobId) -> Option<JobStatus> {
+        self.jobs.get(job).map(Job::status)
+    }
+
+    /// Feeds one event through the state machine.
+    pub fn handle(&mut self, event: ServerEvent) -> Vec<ServerAction> {
+        let mut actions = Vec::new();
+        match event {
+            ServerEvent::Connected { .. } => {}
+            ServerEvent::Disconnected { session, .. } => {
+                if let Some(s) = self.sessions.remove(&session) {
+                    if self.hosts.get(&s.host) == Some(&session) {
+                        self.hosts.remove(&s.host);
+                    }
+                }
+            }
+            ServerEvent::Message {
+                session,
+                message,
+                now_ms,
+            } => self.on_message(session, message, now_ms, &mut actions),
+            ServerEvent::Timer { token, now_ms } => self.on_timer(token, now_ms, &mut actions),
+        }
+        actions
+    }
+
+    fn on_message(
+        &mut self,
+        session: SessionId,
+        message: ClientMessage,
+        now_ms: u64,
+        actions: &mut Vec<ServerAction>,
+    ) {
+        match message {
+            ClientMessage::Hello {
+                domain,
+                host,
+                protocol: _,
+            } => {
+                self.hosts.insert(host.clone(), session);
+                self.sessions.insert(session, Session { domain, host });
+                actions.push(ServerAction::Send {
+                    session,
+                    message: ServerMessage::HelloAck {
+                        protocol: PROTOCOL_VERSION,
+                        server: self.config.host.clone(),
+                    },
+                });
+            }
+            ClientMessage::NotifyVersion {
+                file,
+                name,
+                version,
+                size,
+                digest,
+            } => {
+                let Some(domain) = self.session_domain(session) else {
+                    return;
+                };
+                self.directory
+                    .record(domain, file, &name, version, size, digest);
+                let key = FileKey::new(domain, file);
+                self.announcers.insert(key, session);
+                self.consider_pull(key, version, actions);
+            }
+            ClientMessage::Update {
+                file,
+                version,
+                payload,
+            } => {
+                let Some(domain) = self.session_domain(session) else {
+                    return;
+                };
+                self.on_update(session, FileKey::new(domain, file), version, payload, now_ms, actions);
+            }
+            ClientMessage::Submit {
+                request,
+                job_file,
+                job_version,
+                data_files,
+                options,
+            } => {
+                let Some(sess) = self.sessions.get(&session).cloned() else {
+                    actions.push(ServerAction::Send {
+                        session,
+                        message: ServerMessage::SubmitError {
+                            request,
+                            reason: "session has not said hello".to_string(),
+                        },
+                    });
+                    return;
+                };
+                self.on_submit(
+                    session, &sess, request, job_file, job_version, data_files, options, now_ms,
+                    actions,
+                );
+            }
+            ClientMessage::StatusQuery { request, job } => {
+                let entries = match job {
+                    Some(id) => vec![JobStatusEntry {
+                        job: id,
+                        status: self
+                            .jobs
+                            .get(id)
+                            .map_or(JobStatus::Unknown, Job::status),
+                        submitted_at_ms: self.jobs.get(id).map_or(0, |j| j.submitted_at_ms),
+                    }],
+                    None => self
+                        .jobs
+                        .iter()
+                        .filter(|j| j.session == session && j.is_pending())
+                        .map(|j| JobStatusEntry {
+                            job: j.id,
+                            status: j.status(),
+                            submitted_at_ms: j.submitted_at_ms,
+                        })
+                        .collect(),
+                };
+                actions.push(ServerAction::Send {
+                    session,
+                    message: ServerMessage::StatusReport { request, entries },
+                });
+            }
+            ClientMessage::OutputAck { job } => {
+                self.outputs.mark_acked(job);
+            }
+            ClientMessage::Bye => {
+                actions.push(ServerAction::Send {
+                    session,
+                    message: ServerMessage::Bye,
+                });
+                if let Some(s) = self.sessions.remove(&session) {
+                    if self.hosts.get(&s.host) == Some(&session) {
+                        self.hosts.remove(&s.host);
+                    }
+                }
+            }
+        }
+    }
+
+    fn session_domain(&self, session: SessionId) -> Option<DomainId> {
+        self.sessions.get(&session).map(|s| s.domain)
+    }
+
+    /// Flow control: decide whether to pull a newly announced version now,
+    /// later, or not at all (§5.2).
+    fn consider_pull(
+        &mut self,
+        key: FileKey,
+        version: VersionNumber,
+        actions: &mut Vec<ServerAction>,
+    ) {
+        if self.cache.version_of(&key).is_some_and(|v| v >= version) {
+            return; // already current
+        }
+        match self.config.flow {
+            FlowControl::RequestDriven | FlowControl::DemandLazy => {}
+            FlowControl::DemandEager => self.request_update(key, version, actions),
+            FlowControl::DemandAdaptive {
+                eager_queue_limit,
+                cache_pressure_limit,
+            } => {
+                let pressure = if self.cache.budget() == 0 {
+                    1.0
+                } else {
+                    self.cache.used_bytes() as f64 / self.cache.budget() as f64
+                };
+                if self.jobs.pending_count() <= eager_queue_limit
+                    && pressure <= cache_pressure_limit
+                {
+                    self.request_update(key, version, actions);
+                } else {
+                    self.postponed.push((key, version));
+                    if !self.pulse_armed {
+                        self.pulse_armed = true;
+                        actions.push(ServerAction::SetTimer {
+                            delay_ms: 1_000,
+                            token: TimerToken::FetchPulse,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends an `UpdateRequest` naming the best base version we hold.
+    fn request_update(
+        &mut self,
+        key: FileKey,
+        version: VersionNumber,
+        actions: &mut Vec<ServerAction>,
+    ) {
+        if self.in_flight.get(&key).is_some_and(|&v| v >= version) {
+            return; // an equal-or-newer pull is already outstanding
+        }
+        let Some(&session) = self.announcers.get(&key) else {
+            return;
+        };
+        if !self.sessions.contains_key(&session) {
+            return;
+        }
+        self.in_flight.insert(key, version);
+        self.metrics.update_requests += 1;
+        actions.push(ServerAction::Send {
+            session,
+            message: ServerMessage::UpdateRequest {
+                file: key.file,
+                have: self.cache.version_of(&key),
+            },
+        });
+    }
+
+    fn decode_payload(
+        encoding: TransferEncoding,
+        data: &Bytes,
+    ) -> Result<Vec<u8>, &'static str> {
+        match encoding {
+            TransferEncoding::Identity => Ok(data.to_vec()),
+            TransferEncoding::Rle => Rle.decompress(data).map_err(|_| "rle decode failed"),
+            TransferEncoding::Lzss => Lzss::default()
+                .decompress(data)
+                .map_err(|_| "lzss decode failed"),
+        }
+    }
+
+    fn on_update(
+        &mut self,
+        session: SessionId,
+        key: FileKey,
+        version: VersionNumber,
+        payload: UpdatePayload,
+        now_ms: u64,
+        actions: &mut Vec<ServerAction>,
+    ) {
+        self.in_flight.remove(&key);
+        self.metrics.update_payload_bytes += payload.data_len() as u64;
+        let expected_digest = payload.digest();
+        let content: Result<Vec<u8>, &'static str> = match &payload {
+            UpdatePayload::Full { encoding, data, .. } => {
+                self.metrics.full_updates += 1;
+                Self::decode_payload(*encoding, data)
+            }
+            UpdatePayload::Delta {
+                base,
+                encoding,
+                data,
+                ..
+            } => {
+                self.metrics.delta_updates += 1;
+                match self.cache.get(&key) {
+                    Some(entry) if entry.version == *base => {
+                        let base_doc = Document::from_bytes(entry.content.clone());
+                        Self::decode_payload(*encoding, data).and_then(|script_text| {
+                            let script = EdScript::parse(&script_text)
+                                .map_err(|_| "edit script parse failed")?;
+                            let doc = script
+                                .apply(&base_doc)
+                                .map_err(|_| "edit script apply failed")?;
+                            Ok(doc.to_bytes())
+                        })
+                    }
+                    Some(_) => Err("delta base version not cached"),
+                    None => Err("file not cached"),
+                }
+            }
+        };
+        let content = content.and_then(|c| {
+            if ContentDigest::of(&c) == expected_digest {
+                Ok(c)
+            } else {
+                Err("content digest mismatch")
+            }
+        });
+        match content {
+            Ok(content) => {
+                self.cache.insert(key, version, content);
+                actions.push(ServerAction::Send {
+                    session,
+                    message: ServerMessage::VersionAck {
+                        file: key.file,
+                        version,
+                    },
+                });
+                self.check_waiting_jobs(now_ms, actions);
+            }
+            Err(_reason) => {
+                // Best-effort recovery: ask for the whole file.
+                self.metrics.update_failures += 1;
+                self.cache.remove(&key);
+                self.in_flight.insert(key, version);
+                self.metrics.update_requests += 1;
+                actions.push(ServerAction::Send {
+                    session,
+                    message: ServerMessage::UpdateRequest {
+                        file: key.file,
+                        have: None,
+                    },
+                });
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_submit(
+        &mut self,
+        session: SessionId,
+        sess: &Session,
+        request: shadow_proto::RequestId,
+        job_file: FileId,
+        job_version: VersionNumber,
+        data_files: Vec<(FileId, VersionNumber)>,
+        options: SubmitOptions,
+        now_ms: u64,
+        actions: &mut Vec<ServerAction>,
+    ) {
+        self.next_job += 1;
+        let id = JobId::new(self.next_job);
+        let job = Job {
+            id,
+            session,
+            domain: sess.domain,
+            client_host: sess.host.clone(),
+            job_file: (job_file, job_version),
+            data_files,
+            options,
+            phase: JobPhase::WaitingForFiles,
+            fetch_attempts: std::collections::BTreeMap::new(),
+            submitted_at_ms: now_ms,
+            files_ready_at_ms: None,
+            started_at_ms: None,
+        };
+        actions.push(ServerAction::Send {
+            session,
+            message: ServerMessage::SubmitAck { request, job: id },
+        });
+        // Missing files are demanded by `check_waiting_jobs` ("the updates
+        // for the files involved may be obtained in the background even
+        // before a submit request is received" — and now if they were not).
+        self.jobs.insert(job);
+        self.check_waiting_jobs(now_ms, actions);
+    }
+
+    /// Re-requests a waiting job's missing file before giving up on it —
+    /// bounds the eviction ping-pong of a cache too small for the job.
+    const MAX_FETCH_ATTEMPTS: u32 = 4;
+
+    /// Promotes waiting jobs whose files are all cached, (re-)requests the
+    /// files still missing, fails jobs whose files can never stick, then
+    /// fills idle batch slots.
+    fn check_waiting_jobs(&mut self, now_ms: u64, actions: &mut Vec<ServerAction>) {
+        let mut to_fail = Vec::new();
+        for id in self.jobs.waiting_ids() {
+            let (domain, missing): (DomainId, Vec<(FileId, VersionNumber)>) = {
+                let job = self.jobs.get(id).expect("listed job exists");
+                (
+                    job.domain,
+                    job.required_files()
+                        .filter(|(f, v)| {
+                            self
+                                .cache
+                                .version_of(&FileKey::new(job.domain, *f)).is_none_or(|have| have < *v)
+                        })
+                        .collect(),
+                )
+            };
+            if missing.is_empty() {
+                let job = self.jobs.get_mut(id).expect("listed job exists");
+                job.phase = JobPhase::Queued;
+                job.files_ready_at_ms = Some(now_ms);
+                continue;
+            }
+            if !self.config.flow.is_demand_driven() {
+                // Request-driven clients push everything ahead of the
+                // submit; a missing file here means the cache rejected or
+                // lost it and no pull is possible.
+                to_fail.push((id, missing[0].0));
+                continue;
+            }
+            for (file, version) in missing {
+                let key = FileKey::new(domain, file);
+                if self.in_flight.get(&key).is_some_and(|&v| v >= version) {
+                    continue; // a pull is already outstanding
+                }
+                let attempts = {
+                    let job = self.jobs.get_mut(id).expect("listed job exists");
+                    let a = job.fetch_attempts.entry(file).or_insert(0);
+                    *a += 1;
+                    *a
+                };
+                if attempts > Self::MAX_FETCH_ATTEMPTS {
+                    to_fail.push((id, file));
+                    break;
+                }
+                self.request_update(key, version, actions);
+            }
+        }
+        for (id, file) in to_fail {
+            self.fail_job(
+                id,
+                &format!("required shadow file {file} cannot be retained in the cache"),
+                now_ms,
+                actions,
+            );
+        }
+        self.fill_slots(now_ms, actions);
+    }
+
+    /// Terminates a job that can never run, delivering an error report.
+    fn fail_job(&mut self, id: JobId, reason: &str, now_ms: u64, actions: &mut Vec<ServerAction>) {
+        let Some(job) = self.jobs.get_mut(id) else {
+            return;
+        };
+        job.phase = JobPhase::Failed;
+        self.metrics.jobs_completed += 1;
+        let job = self.jobs.get(id).expect("job exists");
+        let stats = JobStats {
+            queued_ms: 0,
+            waiting_ms: now_ms.saturating_sub(job.submitted_at_ms),
+            running_ms: 0,
+            output_bytes: 0,
+            exit_code: 1,
+        };
+        let target = if self.sessions.contains_key(&job.session) {
+            Some(job.session)
+        } else {
+            self.hosts.get(&job.client_host).copied()
+        };
+        if let Some(session) = target {
+            actions.push(ServerAction::Send {
+                session,
+                message: ServerMessage::JobComplete {
+                    job: id,
+                    output: OutputPayload::Full {
+                        encoding: TransferEncoding::Identity,
+                        data: Bytes::new(),
+                    },
+                    errors: Bytes::from(format!("job aborted: {reason}\n")),
+                    stats,
+                },
+            });
+        }
+    }
+
+    fn fill_slots(&mut self, now_ms: u64, actions: &mut Vec<ServerAction>) {
+        while self.jobs.running_count() < self.config.max_running {
+            let Some(id) = self.jobs.next_queued() else {
+                break;
+            };
+            self.start_job(id, now_ms, actions);
+        }
+    }
+
+    /// Runs the interpreter (deterministically) and schedules the
+    /// completion timer for the simulated runtime.
+    fn start_job(&mut self, id: JobId, now_ms: u64, actions: &mut Vec<ServerAction>) {
+        let (domain, job_file) = {
+            let job = self.jobs.get(id).expect("queued job exists");
+            (job.domain, job.job_file.0)
+        };
+        let command_file = self
+            .cache
+            .peek(&FileKey::new(domain, job_file))
+            .map(|e| e.content.clone())
+            .unwrap_or_default();
+        // Resolve names through the mapping directory, then the cache.
+        let directory = &self.directory;
+        let cache = &self.cache;
+        let resolve = |name: &str| -> Option<Vec<u8>> {
+            let file = directory.file_by_name(domain, name)?;
+            cache
+                .peek(&FileKey::new(domain, file))
+                .map(|e| e.content.clone())
+        };
+        let outcome = run_job(&command_file, &resolve);
+        let runtime_ms = self.config.exec.job_overhead_ms
+            + outcome.cpu_bytes * 1_000 / self.config.exec.cpu_byte_rate.max(1);
+        let job = self.jobs.get_mut(id).expect("queued job exists");
+        job.started_at_ms = Some(now_ms);
+        job.phase = JobPhase::Running { outcome };
+        actions.push(ServerAction::SetTimer {
+            delay_ms: runtime_ms,
+            token: TimerToken::JobDone(id),
+        });
+    }
+
+    fn on_timer(&mut self, token: TimerToken, now_ms: u64, actions: &mut Vec<ServerAction>) {
+        match token {
+            TimerToken::JobDone(id) => self.finish_job(id, now_ms, actions),
+            TimerToken::FetchPulse => {
+                self.pulse_armed = false;
+                let postponed = std::mem::take(&mut self.postponed);
+                for (key, version) in postponed {
+                    self.consider_pull(key, version, actions);
+                }
+                if !self.postponed.is_empty() && !self.pulse_armed {
+                    self.pulse_armed = true;
+                    actions.push(ServerAction::SetTimer {
+                        delay_ms: 1_000,
+                        token: TimerToken::FetchPulse,
+                    });
+                }
+            }
+        }
+    }
+
+    fn finish_job(&mut self, id: JobId, now_ms: u64, actions: &mut Vec<ServerAction>) {
+        let Some(job) = self.jobs.get_mut(id) else {
+            return;
+        };
+        let JobPhase::Running { outcome } = std::mem::replace(
+            &mut job.phase,
+            JobPhase::Completed,
+        ) else {
+            return;
+        };
+        job.phase = if outcome.exit_code == 0 {
+            JobPhase::Completed
+        } else {
+            JobPhase::Failed
+        };
+        self.metrics.jobs_completed += 1;
+
+        let job = self.jobs.get(id).expect("job exists");
+        let stats = JobStats {
+            queued_ms: job
+                .started_at_ms
+                .unwrap_or(now_ms)
+                .saturating_sub(job.files_ready_at_ms.unwrap_or(job.submitted_at_ms)),
+            waiting_ms: job
+                .files_ready_at_ms
+                .unwrap_or(now_ms)
+                .saturating_sub(job.submitted_at_ms),
+            running_ms: now_ms.saturating_sub(job.started_at_ms.unwrap_or(now_ms)),
+            output_bytes: outcome.output.len() as u64,
+            exit_code: outcome.exit_code,
+        };
+
+        // Reverse shadow processing (§8.3).
+        let domain = job.domain;
+        let job_file = job.job_file.0;
+        let shadow_output = job.options.shadow_output && outcome.exit_code == 0;
+        let output_payload = if shadow_output {
+            match self.outputs.base_for(domain, job_file) {
+                Some((base_job, base_output)) => {
+                    let script = diff(
+                        DiffAlgorithm::HuntMcIlroy,
+                        &Document::from_bytes(base_output.to_vec()),
+                        &Document::from_bytes(outcome.output.clone()),
+                    );
+                    if script.wire_len() < outcome.output.len() {
+                        self.metrics.output_deltas += 1;
+                        OutputPayload::Delta {
+                            base_job,
+                            encoding: TransferEncoding::Identity,
+                            data: Bytes::from(script.to_text()),
+                            digest: ContentDigest::of(&outcome.output),
+                        }
+                    } else {
+                        OutputPayload::Full {
+                            encoding: TransferEncoding::Identity,
+                            data: Bytes::from(outcome.output.clone()),
+                        }
+                    }
+                }
+                None => OutputPayload::Full {
+                    encoding: TransferEncoding::Identity,
+                    data: Bytes::from(outcome.output.clone()),
+                },
+            }
+        } else {
+            OutputPayload::Full {
+                encoding: TransferEncoding::Identity,
+                data: Bytes::from(outcome.output.clone()),
+            }
+        };
+        if shadow_output {
+            self.outputs
+                .record(domain, job_file, id, outcome.output.clone());
+        }
+
+        // Output routing (§8.3): deliver to the requested host when it has
+        // a live session, else to the submitter.
+        let target = job
+            .options
+            .deliver_to
+            .as_ref()
+            .and_then(|h| self.hosts.get(h).copied())
+            .or_else(|| {
+                if self.sessions.contains_key(&job.session) {
+                    Some(job.session)
+                } else {
+                    self.hosts.get(&job.client_host).copied()
+                }
+            });
+        if let Some(session) = target {
+            actions.push(ServerAction::Send {
+                session,
+                message: ServerMessage::JobComplete {
+                    job: id,
+                    output: output_payload,
+                    errors: Bytes::from(outcome.errors),
+                    stats,
+                },
+            });
+        }
+        // A slot freed up.
+        self.fill_slots(now_ms, actions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ServerEvent;
+
+    const NOW: u64 = 1_000;
+
+    fn hello(server: &mut ServerNode, session: u64, domain: u64, host: &str) -> Vec<ServerAction> {
+        server.handle(ServerEvent::Message {
+            session: SessionId::new(session),
+            message: ClientMessage::Hello {
+                domain: DomainId::new(domain),
+                host: HostName::new(host),
+                protocol: PROTOCOL_VERSION,
+            },
+            now_ms: NOW,
+        })
+    }
+
+    fn notify(
+        server: &mut ServerNode,
+        session: u64,
+        file: u64,
+        name: &str,
+        version: u64,
+        content: &[u8],
+    ) -> Vec<ServerAction> {
+        server.handle(ServerEvent::Message {
+            session: SessionId::new(session),
+            message: ClientMessage::NotifyVersion {
+                file: FileId::new(file),
+                name: name.to_string(),
+                version: VersionNumber::new(version),
+                size: content.len() as u64,
+                digest: ContentDigest::of(content),
+            },
+            now_ms: NOW,
+        })
+    }
+
+    fn full_update(
+        server: &mut ServerNode,
+        session: u64,
+        file: u64,
+        version: u64,
+        content: &[u8],
+    ) -> Vec<ServerAction> {
+        server.handle(ServerEvent::Message {
+            session: SessionId::new(session),
+            message: ClientMessage::Update {
+                file: FileId::new(file),
+                version: VersionNumber::new(version),
+                payload: UpdatePayload::Full {
+                    encoding: TransferEncoding::Identity,
+                    data: Bytes::from(content.to_vec()),
+                    digest: ContentDigest::of(content),
+                },
+            },
+            now_ms: NOW,
+        })
+    }
+
+    fn sends(actions: &[ServerAction]) -> Vec<&ServerMessage> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                ServerAction::Send { message, .. } => Some(message),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hello_is_acknowledged() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        let actions = hello(&mut server, 1, 1, "ws1");
+        assert!(matches!(
+            sends(&actions)[..],
+            [ServerMessage::HelloAck { .. }]
+        ));
+    }
+
+    #[test]
+    fn eager_flow_pulls_on_notify() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        let actions = notify(&mut server, 1, 7, "/f", 1, b"content");
+        match sends(&actions)[..] {
+            [ServerMessage::UpdateRequest { file, have }] => {
+                assert_eq!(*file, FileId::new(7));
+                assert_eq!(*have, None);
+            }
+            ref other => panic!("expected UpdateRequest, got {other:?}"),
+        }
+        // A second notify of the same version does not duplicate the pull.
+        let actions = notify(&mut server, 1, 7, "/f", 1, b"content");
+        assert!(sends(&actions).is_empty());
+    }
+
+    #[test]
+    fn lazy_flow_pulls_only_on_submit() {
+        let mut server =
+            ServerNode::new(ServerConfig::new("sc").with_flow(FlowControl::DemandLazy));
+        hello(&mut server, 1, 1, "ws1");
+        let actions = notify(&mut server, 1, 7, "/f", 1, b"content");
+        assert!(sends(&actions).is_empty());
+        let actions = server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::Submit {
+                request: shadow_proto::RequestId::new(1),
+                job_file: FileId::new(7),
+                job_version: VersionNumber::FIRST,
+                data_files: vec![],
+                options: SubmitOptions::default(),
+            },
+            now_ms: NOW,
+        });
+        let msgs = sends(&actions);
+        assert!(matches!(msgs[0], ServerMessage::SubmitAck { .. }));
+        assert!(matches!(msgs[1], ServerMessage::UpdateRequest { .. }));
+    }
+
+    #[test]
+    fn full_update_is_cached_and_acked() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        notify(&mut server, 1, 7, "/f", 1, b"hello");
+        let actions = full_update(&mut server, 1, 7, 1, b"hello");
+        assert!(matches!(
+            sends(&actions)[..],
+            [ServerMessage::VersionAck { .. }]
+        ));
+        let key = FileKey::new(DomainId::new(1), FileId::new(7));
+        assert_eq!(server.cached_version(key), Some(VersionNumber::FIRST));
+        assert_eq!(server.metrics().full_updates, 1);
+    }
+
+    #[test]
+    fn delta_update_applies_against_cached_base() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        notify(&mut server, 1, 7, "/f", 1, b"a\nb\nc\n");
+        full_update(&mut server, 1, 7, 1, b"a\nb\nc\n");
+
+        let new_content = b"a\nB\nc\n";
+        let script = diff(
+            DiffAlgorithm::HuntMcIlroy,
+            &Document::from_bytes(b"a\nb\nc\n".to_vec()),
+            &Document::from_bytes(new_content.to_vec()),
+        );
+        let actions = server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::Update {
+                file: FileId::new(7),
+                version: VersionNumber::new(2),
+                payload: UpdatePayload::Delta {
+                    base: VersionNumber::new(1),
+                    encoding: TransferEncoding::Identity,
+                    data: Bytes::from(script.to_text()),
+                    digest: ContentDigest::of(new_content),
+                },
+            },
+            now_ms: NOW,
+        });
+        assert!(matches!(
+            sends(&actions)[..],
+            [ServerMessage::VersionAck { .. }]
+        ));
+        let key = FileKey::new(DomainId::new(1), FileId::new(7));
+        assert_eq!(server.cached_version(key), Some(VersionNumber::new(2)));
+        assert_eq!(server.metrics().delta_updates, 1);
+    }
+
+    #[test]
+    fn corrupt_delta_triggers_full_fallback() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        notify(&mut server, 1, 7, "/f", 1, b"a\nb\n");
+        full_update(&mut server, 1, 7, 1, b"a\nb\n");
+        let actions = server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::Update {
+                file: FileId::new(7),
+                version: VersionNumber::new(2),
+                payload: UpdatePayload::Delta {
+                    base: VersionNumber::new(1),
+                    encoding: TransferEncoding::Identity,
+                    data: Bytes::from_static(b"1c\nX\n.\nw\n"),
+                    digest: ContentDigest::of(b"not what the script makes"),
+                },
+            },
+            now_ms: NOW,
+        });
+        match sends(&actions)[..] {
+            [ServerMessage::UpdateRequest { have, .. }] => assert_eq!(*have, None),
+            ref other => panic!("expected full-transfer request, got {other:?}"),
+        }
+        assert_eq!(server.metrics().update_failures, 1);
+    }
+
+    #[test]
+    fn delta_against_missing_base_requests_full() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        notify(&mut server, 1, 7, "/f", 2, b"x\n");
+        let actions = server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::Update {
+                file: FileId::new(7),
+                version: VersionNumber::new(2),
+                payload: UpdatePayload::Delta {
+                    base: VersionNumber::new(1),
+                    encoding: TransferEncoding::Identity,
+                    data: Bytes::from_static(b"w\n"),
+                    digest: ContentDigest::of(b"x\n"),
+                },
+            },
+            now_ms: NOW,
+        });
+        match sends(&actions)[..] {
+            [ServerMessage::UpdateRequest { have, .. }] => assert_eq!(*have, None),
+            ref other => panic!("expected full-transfer request, got {other:?}"),
+        }
+    }
+
+    /// Runs a complete submit → execute → complete conversation.
+    fn run_echo_job(server: &mut ServerNode) -> Vec<ServerAction> {
+        hello(server, 1, 1, "ws1");
+        notify(server, 1, 1, "/job.cmd", 1, b"echo hi\n");
+        full_update(server, 1, 1, 1, b"echo hi\n");
+        let actions = server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::Submit {
+                request: shadow_proto::RequestId::new(9),
+                job_file: FileId::new(1),
+                job_version: VersionNumber::FIRST,
+                data_files: vec![],
+                options: SubmitOptions::default(),
+            },
+            now_ms: NOW,
+        });
+        // Submit ack + the completion timer.
+        let timer = actions
+            .iter()
+            .find_map(|a| match a {
+                ServerAction::SetTimer { delay_ms, token } => Some((*delay_ms, *token)),
+                _ => None,
+            })
+            .expect("job completion timer");
+        server.handle(ServerEvent::Timer {
+            token: timer.1,
+            now_ms: NOW + timer.0,
+        })
+    }
+
+    #[test]
+    fn job_lifecycle_delivers_output() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        let actions = run_echo_job(&mut server);
+        match sends(&actions)[..] {
+            [ServerMessage::JobComplete { output, stats, .. }] => {
+                match output {
+                    OutputPayload::Full { data, .. } => assert_eq!(&data[..], b"hi\n"),
+                    other => panic!("expected full output, got {other:?}"),
+                }
+                assert_eq!(stats.exit_code, 0);
+                assert!(stats.running_ms >= 500); // job overhead
+            }
+            ref other => panic!("expected JobComplete, got {other:?}"),
+        }
+        assert_eq!(server.metrics().jobs_completed, 1);
+    }
+
+    #[test]
+    fn status_query_reports_pending_jobs() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        notify(&mut server, 1, 1, "/job.cmd", 1, b"compute 100000000\n");
+        full_update(&mut server, 1, 1, 1, b"compute 100000000\n");
+        server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::Submit {
+                request: shadow_proto::RequestId::new(1),
+                job_file: FileId::new(1),
+                job_version: VersionNumber::FIRST,
+                data_files: vec![],
+                options: SubmitOptions::default(),
+            },
+            now_ms: NOW,
+        });
+        let actions = server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::StatusQuery {
+                request: shadow_proto::RequestId::new(2),
+                job: None,
+            },
+            now_ms: NOW + 1,
+        });
+        match sends(&actions)[..] {
+            [ServerMessage::StatusReport { entries, .. }] => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].status, JobStatus::Running);
+            }
+            ref other => panic!("expected StatusReport, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn status_of_unknown_job_is_unknown() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        let actions = server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::StatusQuery {
+                request: shadow_proto::RequestId::new(2),
+                job: Some(JobId::new(99)),
+            },
+            now_ms: NOW,
+        });
+        match sends(&actions)[..] {
+            [ServerMessage::StatusReport { entries, .. }] => {
+                assert_eq!(entries[0].status, JobStatus::Unknown);
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_without_hello_is_rejected() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        let actions = server.handle(ServerEvent::Message {
+            session: SessionId::new(5),
+            message: ClientMessage::Submit {
+                request: shadow_proto::RequestId::new(1),
+                job_file: FileId::new(1),
+                job_version: VersionNumber::FIRST,
+                data_files: vec![],
+                options: SubmitOptions::default(),
+            },
+            now_ms: NOW,
+        });
+        assert!(matches!(
+            sends(&actions)[..],
+            [ServerMessage::SubmitError { .. }]
+        ));
+    }
+
+    #[test]
+    fn job_waits_for_missing_files_then_runs() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        notify(&mut server, 1, 1, "/job.cmd", 1, b"cat /data\n");
+        notify(&mut server, 1, 2, "/data", 1, b"payload\n");
+        // Answer only the job-file pull first.
+        full_update(&mut server, 1, 1, 1, b"cat /data\n");
+        let actions = server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::Submit {
+                request: shadow_proto::RequestId::new(1),
+                job_file: FileId::new(1),
+                job_version: VersionNumber::FIRST,
+                data_files: vec![(FileId::new(2), VersionNumber::FIRST)],
+                options: SubmitOptions::default(),
+            },
+            now_ms: NOW,
+        });
+        // No completion timer yet: the data file is missing.
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, ServerAction::SetTimer { token: TimerToken::JobDone(_), .. })));
+        // Deliver the data file; the job should start now.
+        let actions = full_update(&mut server, 1, 2, 1, b"payload\n");
+        let timer = actions
+            .iter()
+            .find_map(|a| match a {
+                ServerAction::SetTimer { delay_ms, token: TimerToken::JobDone(j) } => {
+                    Some((*delay_ms, *j))
+                }
+                _ => None,
+            })
+            .expect("job starts once files are present");
+        let actions = server.handle(ServerEvent::Timer {
+            token: TimerToken::JobDone(timer.1),
+            now_ms: NOW + timer.0,
+        });
+        match sends(&actions)[..] {
+            [ServerMessage::JobComplete { output, .. }] => match output {
+                OutputPayload::Full { data, .. } => assert_eq!(&data[..], b"payload\n"),
+                other => panic!("unexpected output {other:?}"),
+            },
+            ref other => panic!("expected JobComplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reverse_shadow_sends_output_delta_on_second_run() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        notify(&mut server, 1, 1, "/job.cmd", 1, b"gen 200 row\n");
+        full_update(&mut server, 1, 1, 1, b"gen 200 row\n");
+        let options = SubmitOptions {
+            shadow_output: true,
+            ..SubmitOptions::default()
+        };
+        // First run: full output.
+        let actions = server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::Submit {
+                request: shadow_proto::RequestId::new(1),
+                job_file: FileId::new(1),
+                job_version: VersionNumber::FIRST,
+                data_files: vec![],
+                options: options.clone(),
+            },
+            now_ms: NOW,
+        });
+        let (delay, token) = actions
+            .iter()
+            .find_map(|a| match a {
+                ServerAction::SetTimer { delay_ms, token } => Some((*delay_ms, *token)),
+                _ => None,
+            })
+            .unwrap();
+        let actions = server.handle(ServerEvent::Timer {
+            token,
+            now_ms: NOW + delay,
+        });
+        let first_job = match sends(&actions)[..] {
+            [ServerMessage::JobComplete { job, output, .. }] => {
+                assert!(!output.is_delta());
+                *job
+            }
+            ref other => panic!("unexpected {other:?}"),
+        };
+        // The client acknowledges holding the output.
+        server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::OutputAck { job: first_job },
+            now_ms: NOW + delay + 1,
+        });
+        // Second run of the same job: output identical, delta tiny.
+        let actions = server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::Submit {
+                request: shadow_proto::RequestId::new(2),
+                job_file: FileId::new(1),
+                job_version: VersionNumber::FIRST,
+                data_files: vec![],
+                options,
+            },
+            now_ms: NOW + delay + 2,
+        });
+        let (delay2, token2) = actions
+            .iter()
+            .find_map(|a| match a {
+                ServerAction::SetTimer { delay_ms, token } => Some((*delay_ms, *token)),
+                _ => None,
+            })
+            .unwrap();
+        let actions = server.handle(ServerEvent::Timer {
+            token: token2,
+            now_ms: NOW + delay + 2 + delay2,
+        });
+        match sends(&actions)[..] {
+            [ServerMessage::JobComplete { output, .. }] => {
+                assert!(output.is_delta(), "second run should send an output delta");
+                assert!(output.data_len() < 100);
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(server.metrics().output_deltas, 1);
+    }
+
+    #[test]
+    fn output_routing_prefers_deliver_to_host() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        hello(&mut server, 2, 1, "printer-host");
+        notify(&mut server, 1, 1, "/job.cmd", 1, b"echo routed\n");
+        full_update(&mut server, 1, 1, 1, b"echo routed\n");
+        let actions = server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::Submit {
+                request: shadow_proto::RequestId::new(1),
+                job_file: FileId::new(1),
+                job_version: VersionNumber::FIRST,
+                data_files: vec![],
+                options: SubmitOptions {
+                    deliver_to: Some(HostName::new("printer-host")),
+                    ..SubmitOptions::default()
+                },
+            },
+            now_ms: NOW,
+        });
+        let (delay, token) = actions
+            .iter()
+            .find_map(|a| match a {
+                ServerAction::SetTimer { delay_ms, token } => Some((*delay_ms, *token)),
+                _ => None,
+            })
+            .unwrap();
+        let actions = server.handle(ServerEvent::Timer {
+            token,
+            now_ms: NOW + delay,
+        });
+        match actions
+            .iter()
+            .find_map(|a| match a {
+                ServerAction::Send { session, message } => Some((session, message)),
+                _ => None,
+            })
+            .expect("a delivery")
+        {
+            (session, ServerMessage::JobComplete { .. }) => {
+                assert_eq!(*session, SessionId::new(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_drop_forces_full_retransfer_not_failure() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        notify(&mut server, 1, 7, "/f", 1, b"v1\n");
+        full_update(&mut server, 1, 7, 1, b"v1\n");
+        server.drop_cache();
+        // The next notify finds no cached base: the pull asks for a full
+        // copy (have = None).
+        let actions = notify(&mut server, 1, 7, "/f", 2, b"v2\n");
+        match sends(&actions)[..] {
+            [ServerMessage::UpdateRequest { have, .. }] => assert_eq!(*have, None),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_driven_mode_never_pulls() {
+        let mut server =
+            ServerNode::new(ServerConfig::new("sc").with_flow(FlowControl::RequestDriven));
+        hello(&mut server, 1, 1, "ws1");
+        let actions = notify(&mut server, 1, 7, "/f", 1, b"x");
+        assert!(sends(&actions).is_empty());
+        assert_eq!(server.metrics().update_requests, 0);
+    }
+
+    #[test]
+    fn adaptive_flow_postpones_under_load() {
+        let mut server = ServerNode::new(
+            ServerConfig::new("sc").with_flow(FlowControl::DemandAdaptive {
+                eager_queue_limit: 0,
+                cache_pressure_limit: 0.9,
+            }),
+        );
+        hello(&mut server, 1, 1, "ws1");
+        // Create a pending job to push the queue over the limit.
+        notify(&mut server, 1, 1, "/job.cmd", 1, b"compute 100000000\n");
+        full_update(&mut server, 1, 1, 1, b"compute 100000000\n");
+        server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::Submit {
+                request: shadow_proto::RequestId::new(1),
+                job_file: FileId::new(1),
+                job_version: VersionNumber::FIRST,
+                data_files: vec![],
+                options: SubmitOptions::default(),
+            },
+            now_ms: NOW,
+        });
+        // Under load, a notify is postponed to the fetch pulse.
+        let actions = notify(&mut server, 1, 9, "/data", 1, b"d");
+        assert!(sends(&actions).is_empty());
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, ServerAction::SetTimer { token: TimerToken::FetchPulse, .. })));
+    }
+}

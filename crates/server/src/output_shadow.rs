@@ -1,0 +1,173 @@
+//! Reverse shadow processing: caching job output at the server (§8.3).
+//!
+//! "Sometimes the result of processing on a supercomputer involves
+//! generating a large amount of output … it will be advantageous to apply
+//! the technique of shadow processing in reverse (i.e., cache the output on
+//! the supercomputer, and, next time the same job is run, send the
+//! differences between the current output and the previous output to the
+//! client)."
+//!
+//! An output delta may only be used as a base once the client has
+//! **acknowledged** receiving the base output — otherwise the client could
+//! be asked to patch an output it never stored.
+
+use std::collections::HashMap;
+
+use shadow_proto::{DomainId, FileId, JobId};
+
+#[derive(Debug, Clone)]
+struct OutputEntry {
+    job: JobId,
+    output: Vec<u8>,
+    acked: bool,
+    inserted: u64,
+}
+
+/// The store of previous job outputs, keyed by the job command file that
+/// produced them ("the same job" = same command file).
+#[derive(Debug, Clone)]
+pub struct OutputShadowStore {
+    budget: usize,
+    used: usize,
+    clock: u64,
+    entries: HashMap<(DomainId, FileId), OutputEntry>,
+}
+
+impl OutputShadowStore {
+    /// Creates a store with a byte budget.
+    pub fn new(budget: usize) -> Self {
+        OutputShadowStore {
+            budget,
+            used: 0,
+            clock: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Bytes currently held.
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// Records the latest output for a job command file. Oversized outputs
+    /// are simply not cached (best effort). Older entries are evicted FIFO
+    /// to fit.
+    pub fn record(&mut self, domain: DomainId, job_file: FileId, job: JobId, output: Vec<u8>) {
+        self.clock += 1;
+        if let Some(old) = self.entries.remove(&(domain, job_file)) {
+            self.used -= old.output.len();
+        }
+        if output.len() > self.budget {
+            return;
+        }
+        while self.used + output.len() > self.budget {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(k, e)| (e.inserted, **k))
+                .map(|(k, _)| *k)
+                .expect("used > 0 implies entries exist");
+            let e = self.entries.remove(&victim).expect("victim exists");
+            self.used -= e.output.len();
+        }
+        self.used += output.len();
+        self.entries.insert(
+            (domain, job_file),
+            OutputEntry {
+                job,
+                output,
+                acked: false,
+                inserted: self.clock,
+            },
+        );
+    }
+
+    /// The acknowledged previous output usable as a delta base, if any.
+    pub fn base_for(&self, domain: DomainId, job_file: FileId) -> Option<(JobId, &[u8])> {
+        let e = self.entries.get(&(domain, job_file))?;
+        if e.acked {
+            Some((e.job, e.output.as_slice()))
+        } else {
+            None
+        }
+    }
+
+    /// Marks the output of `job` as held by the client (OutputAck arrived).
+    pub fn mark_acked(&mut self, job: JobId) {
+        for e in self.entries.values_mut() {
+            if e.job == job {
+                e.acked = true;
+            }
+        }
+    }
+
+    /// Number of cached outputs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d() -> DomainId {
+        DomainId::new(1)
+    }
+
+    #[test]
+    fn unacked_output_is_not_a_base() {
+        let mut s = OutputShadowStore::new(1000);
+        s.record(d(), FileId::new(1), JobId::new(10), b"out".to_vec());
+        assert!(s.base_for(d(), FileId::new(1)).is_none());
+        s.mark_acked(JobId::new(10));
+        let (job, out) = s.base_for(d(), FileId::new(1)).unwrap();
+        assert_eq!(job, JobId::new(10));
+        assert_eq!(out, b"out");
+    }
+
+    #[test]
+    fn new_run_replaces_old_output() {
+        let mut s = OutputShadowStore::new(1000);
+        s.record(d(), FileId::new(1), JobId::new(10), vec![0; 100]);
+        s.mark_acked(JobId::new(10));
+        s.record(d(), FileId::new(1), JobId::new(11), vec![1; 50]);
+        assert_eq!(s.used_bytes(), 50);
+        // The replacement is not acked yet.
+        assert!(s.base_for(d(), FileId::new(1)).is_none());
+    }
+
+    #[test]
+    fn oversized_output_not_cached() {
+        let mut s = OutputShadowStore::new(10);
+        s.record(d(), FileId::new(1), JobId::new(1), vec![0; 100]);
+        assert!(s.is_empty());
+        assert_eq!(s.used_bytes(), 0);
+    }
+
+    #[test]
+    fn budget_enforced_by_fifo_eviction() {
+        let mut s = OutputShadowStore::new(100);
+        s.record(d(), FileId::new(1), JobId::new(1), vec![0; 60]);
+        s.record(d(), FileId::new(2), JobId::new(2), vec![0; 60]);
+        assert_eq!(s.len(), 1);
+        assert!(s.used_bytes() <= 100);
+        assert!(s.entries.contains_key(&(d(), FileId::new(2))));
+    }
+
+    #[test]
+    fn stale_ack_does_not_resurrect_replaced_output() {
+        let mut s = OutputShadowStore::new(1000);
+        s.record(d(), FileId::new(1), JobId::new(10), b"old".to_vec());
+        s.record(d(), FileId::new(1), JobId::new(11), b"new".to_vec());
+        s.mark_acked(JobId::new(10)); // ack for the replaced output
+        assert!(s.base_for(d(), FileId::new(1)).is_none());
+        s.mark_acked(JobId::new(11));
+        assert_eq!(s.base_for(d(), FileId::new(1)).unwrap().0, JobId::new(11));
+    }
+}

@@ -1,0 +1,122 @@
+//! File-system errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error from a virtual file-system operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// A path string was malformed.
+    InvalidPath {
+        /// The offending path.
+        path: String,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// The named host is not part of this cluster.
+    UnknownHost {
+        /// The offending host name.
+        host: String,
+    },
+    /// A host with that name already exists.
+    HostExists {
+        /// The duplicate name.
+        host: String,
+    },
+    /// No entry at the path.
+    NotFound {
+        /// Host on which resolution failed.
+        host: String,
+        /// The path that failed.
+        path: String,
+    },
+    /// A non-directory appeared where a directory was needed.
+    NotADirectory {
+        /// Host of the offending entry.
+        host: String,
+        /// Path of the offending entry.
+        path: String,
+    },
+    /// A directory appeared where a file was needed.
+    IsADirectory {
+        /// Host of the offending entry.
+        host: String,
+        /// Path of the offending entry.
+        path: String,
+    },
+    /// An entry already exists at the target path.
+    AlreadyExists {
+        /// Host of the offending entry.
+        host: String,
+        /// Path of the offending entry.
+        path: String,
+    },
+    /// Symbolic-link expansion exceeded its budget (a cycle, most likely).
+    SymlinkLoop {
+        /// The original path being resolved.
+        path: String,
+    },
+    /// Crossing mounts exceeded its budget (a mount cycle; NFS forbids
+    /// these, but the resolver must not hang on misconfiguration).
+    MountLoop {
+        /// The original path being resolved.
+        path: String,
+    },
+    /// A directory that is a mount point (or target) was required locally.
+    CrossDevice {
+        /// Description of the rejected operation.
+        operation: &'static str,
+    },
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::InvalidPath { path, reason } => {
+                write!(f, "invalid path {path:?}: {reason}")
+            }
+            VfsError::UnknownHost { host } => write!(f, "unknown host {host:?}"),
+            VfsError::HostExists { host } => write!(f, "host {host:?} already exists"),
+            VfsError::NotFound { host, path } => {
+                write!(f, "no such file or directory: {host}:{path}")
+            }
+            VfsError::NotADirectory { host, path } => {
+                write!(f, "not a directory: {host}:{path}")
+            }
+            VfsError::IsADirectory { host, path } => {
+                write!(f, "is a directory: {host}:{path}")
+            }
+            VfsError::AlreadyExists { host, path } => {
+                write!(f, "file exists: {host}:{path}")
+            }
+            VfsError::SymlinkLoop { path } => {
+                write!(f, "too many levels of symbolic links resolving {path:?}")
+            }
+            VfsError::MountLoop { path } => {
+                write!(f, "too many mount crossings resolving {path:?}")
+            }
+            VfsError::CrossDevice { operation } => {
+                write!(f, "operation crosses file systems: {operation}")
+            }
+        }
+    }
+}
+
+impl Error for VfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = VfsError::NotFound {
+            host: "a".into(),
+            path: "/x".into(),
+        };
+        assert_eq!(e.to_string(), "no such file or directory: a:/x");
+        assert!(VfsError::SymlinkLoop { path: "/l".into() }
+            .to_string()
+            .contains("symbolic links"));
+    }
+}

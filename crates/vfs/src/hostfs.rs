@@ -1,0 +1,258 @@
+//! The per-host file tree: directories, files, symlinks, hard links.
+
+use std::collections::BTreeMap;
+
+use crate::{VPath, VfsError};
+
+/// Index of a node within a host's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub(crate) struct NodeId(pub(crate) usize);
+
+/// A node in a host's tree.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub(crate) kind: NodeKind,
+    /// Number of directory entries referencing this node (hard links).
+    pub(crate) nlink: usize,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum NodeKind {
+    Dir(BTreeMap<String, NodeId>),
+    File(FileNode),
+    Symlink(String),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct FileNode {
+    pub(crate) content: Vec<u8>,
+    /// The first name this file was created under — its "basic name" in the
+    /// paper's terms, used as the canonical identity for aliased files.
+    pub(crate) primary_path: VPath,
+}
+
+/// One host's local file system.
+#[derive(Debug, Clone)]
+pub(crate) struct HostFs {
+    pub(crate) name: String,
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl HostFs {
+    pub(crate) fn new(name: &str) -> Self {
+        let root = Node {
+            kind: NodeKind::Dir(BTreeMap::new()),
+            nlink: 1,
+        };
+        HostFs {
+            name: name.to_string(),
+            nodes: vec![root],
+            root: NodeId(0),
+        }
+    }
+
+    pub(crate) fn root(&self) -> NodeId {
+        self.root
+    }
+
+    pub(crate) fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    fn alloc(&mut self, kind: NodeKind) -> NodeId {
+        self.nodes.push(Node { kind, nlink: 0 });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Looks up one entry in a directory node.
+    pub(crate) fn lookup(&self, dir: NodeId, name: &str) -> Option<NodeId> {
+        match &self.node(dir).kind {
+            NodeKind::Dir(entries) => entries.get(name).copied(),
+            _ => None,
+        }
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by unit tests; kept for tooling
+    /// Walks `path` purely within this host, **without** following
+    /// symlinks or mounts; used for structural operations where the caller
+    /// has already resolved indirections.
+    pub(crate) fn walk_plain(&self, path: &VPath) -> Result<NodeId, VfsError> {
+        let mut cur = self.root;
+        for seg in path.segments() {
+            match &self.node(cur).kind {
+                NodeKind::Dir(entries) => {
+                    cur = *entries.get(seg).ok_or_else(|| VfsError::NotFound {
+                        host: self.name.clone(),
+                        path: path.to_string(),
+                    })?;
+                }
+                _ => {
+                    return Err(VfsError::NotADirectory {
+                        host: self.name.clone(),
+                        path: path.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Creates every missing directory along `path`.
+    pub(crate) fn mkdir_p(&mut self, path: &VPath) -> Result<NodeId, VfsError> {
+        let mut cur = self.root;
+        let mut walked = VPath::root();
+        for seg in path.segments() {
+            walked = walked.child(seg);
+            let existing = self.lookup(cur, seg);
+            match existing {
+                Some(next) => match self.node(next).kind {
+                    NodeKind::Dir(_) => cur = next,
+                    _ => {
+                        return Err(VfsError::NotADirectory {
+                            host: self.name.clone(),
+                            path: walked.to_string(),
+                        })
+                    }
+                },
+                None => {
+                    let new = self.alloc(NodeKind::Dir(BTreeMap::new()));
+                    self.link_into(cur, seg, new)?;
+                    cur = new;
+                }
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Adds a directory entry pointing at `target`, bumping its link count.
+    pub(crate) fn link_into(
+        &mut self,
+        dir: NodeId,
+        name: &str,
+        target: NodeId,
+    ) -> Result<(), VfsError> {
+        let host = self.name.clone();
+        match &mut self.node_mut(dir).kind {
+            NodeKind::Dir(entries) => {
+                if entries.contains_key(name) {
+                    return Err(VfsError::AlreadyExists {
+                        host,
+                        path: name.to_string(),
+                    });
+                }
+                entries.insert(name.to_string(), target);
+            }
+            _ => {
+                return Err(VfsError::NotADirectory {
+                    host,
+                    path: name.to_string(),
+                })
+            }
+        }
+        self.node_mut(target).nlink += 1;
+        Ok(())
+    }
+
+    /// Removes a directory entry, decrementing the target's link count.
+    /// The node itself is kept while other links reference it.
+    pub(crate) fn unlink_from(&mut self, dir: NodeId, name: &str) -> Result<NodeId, VfsError> {
+        let host = self.name.clone();
+        let target = match &mut self.node_mut(dir).kind {
+            NodeKind::Dir(entries) => entries.remove(name).ok_or(VfsError::NotFound {
+                host,
+                path: name.to_string(),
+            })?,
+            _ => {
+                return Err(VfsError::NotADirectory {
+                    host,
+                    path: name.to_string(),
+                })
+            }
+        };
+        self.node_mut(target).nlink = self.node(target).nlink.saturating_sub(1);
+        Ok(target)
+    }
+
+    /// Creates a fresh regular file node (not yet linked anywhere).
+    pub(crate) fn create_file(&mut self, primary_path: VPath, content: Vec<u8>) -> NodeId {
+        self.alloc(NodeKind::File(FileNode {
+            content,
+            primary_path,
+        }))
+    }
+
+    /// Creates a fresh symlink node (not yet linked anywhere).
+    pub(crate) fn create_symlink(&mut self, target: String) -> NodeId {
+        self.alloc(NodeKind::Symlink(target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> VPath {
+        VPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn mkdir_p_is_idempotent() {
+        let mut fs = HostFs::new("h");
+        let d1 = fs.mkdir_p(&p("/a/b/c")).unwrap();
+        let d2 = fs.mkdir_p(&p("/a/b/c")).unwrap();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn mkdir_p_through_file_fails() {
+        let mut fs = HostFs::new("h");
+        let dir = fs.mkdir_p(&p("/a")).unwrap();
+        let file = fs.create_file(p("/a/f"), b"x".to_vec());
+        fs.link_into(dir, "f", file).unwrap();
+        assert!(matches!(
+            fs.mkdir_p(&p("/a/f/g")),
+            Err(VfsError::NotADirectory { .. })
+        ));
+    }
+
+    #[test]
+    fn walk_plain_finds_nested() {
+        let mut fs = HostFs::new("h");
+        let dir = fs.mkdir_p(&p("/x/y")).unwrap();
+        let file = fs.create_file(p("/x/y/z"), b"z".to_vec());
+        fs.link_into(dir, "z", file).unwrap();
+        assert_eq!(fs.walk_plain(&p("/x/y/z")).unwrap(), file);
+        assert!(fs.walk_plain(&p("/x/q")).is_err());
+    }
+
+    #[test]
+    fn hard_links_share_node_and_count() {
+        let mut fs = HostFs::new("h");
+        let root = fs.root();
+        let file = fs.create_file(p("/one"), b"data".to_vec());
+        fs.link_into(root, "one", file).unwrap();
+        fs.link_into(root, "two", file).unwrap();
+        assert_eq!(fs.node(file).nlink, 2);
+        fs.unlink_from(root, "one").unwrap();
+        assert_eq!(fs.node(file).nlink, 1);
+        assert_eq!(fs.walk_plain(&p("/two")).unwrap(), file);
+        assert!(fs.walk_plain(&p("/one")).is_err());
+    }
+
+    #[test]
+    fn duplicate_link_rejected() {
+        let mut fs = HostFs::new("h");
+        let root = fs.root();
+        let f = fs.create_file(p("/f"), Vec::new());
+        fs.link_into(root, "f", f).unwrap();
+        assert!(matches!(
+            fs.link_into(root, "f", f),
+            Err(VfsError::AlreadyExists { .. })
+        ));
+    }
+}

@@ -1,0 +1,52 @@
+//! In-memory multi-host virtual file system for the shadow editing service.
+//!
+//! The paper's name-resolution design (§5.3/§6.5) must cope with UNIX/NFS
+//! realities: symbolic links, hard links (aliases), and file systems that
+//! cross machine boundaries via NFS exports and mounts — where the same
+//! file is reachable under *different* names from different hosts. This
+//! crate models exactly that environment in memory:
+//!
+//! * each host owns a tree of directories, regular files, and symlinks
+//!   (with hard links as multiple names for one file node);
+//! * hosts can **mount** directories exported by other hosts at arbitrary
+//!   mount points ([`Vfs::mount`]);
+//! * [`Vfs::resolve`] implements the paper's iterative algorithm: resolve
+//!   aliases and symbolic links on the local host, and whenever a prefix of
+//!   the path belongs to a mounted file system, continue resolution on the
+//!   exporting host — until the name reduces to a unique `(host, path)`
+//!   pair, from which the `(domain id, file id)` pair is derived.
+//!
+//! # Example
+//!
+//! ```
+//! use shadow_vfs::Vfs;
+//! use shadow_proto::DomainId;
+//!
+//! # fn main() -> Result<(), shadow_vfs::VfsError> {
+//! let mut vfs = Vfs::new(DomainId::new(1));
+//! vfs.add_host("c")?;
+//! vfs.add_host("a")?;
+//! vfs.mkdir_p("c", "/usr")?;
+//! vfs.write_file("c", "/usr/foo", b"data".to_vec())?;
+//! vfs.mkdir_p("a", "/projl")?;
+//! vfs.mount("a", "/projl", "c", "/usr")?;
+//!
+//! // The same file under two names resolves to one canonical identity.
+//! let via_a = vfs.resolve("a", "/projl/foo")?;
+//! let via_c = vfs.resolve("c", "/usr/foo")?;
+//! assert_eq!(via_a.file_id, via_c.file_id);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod error;
+mod hostfs;
+mod path;
+
+pub use cluster::{CanonicalName, MountEntry, NodeStat, NodeType, Vfs};
+pub use error::VfsError;
+pub use path::VPath;

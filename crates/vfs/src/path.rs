@@ -1,0 +1,215 @@
+//! Normalized absolute paths.
+
+use std::fmt;
+
+use crate::VfsError;
+
+/// A normalized absolute path: `/` followed by non-empty segments with no
+/// `.` or `..` components (those are normalized away lexically on parse).
+///
+/// # Example
+///
+/// ```
+/// use shadow_vfs::VPath;
+///
+/// # fn main() -> Result<(), shadow_vfs::VfsError> {
+/// let p = VPath::parse("/usr/./local/../proj/sim.f")?;
+/// assert_eq!(p.to_string(), "/usr/proj/sim.f");
+/// assert_eq!(p.file_name(), Some("sim.f"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VPath {
+    segments: Vec<String>,
+}
+
+impl VPath {
+    /// The root path `/`.
+    pub fn root() -> Self {
+        VPath::default()
+    }
+
+    /// Parses and normalizes an absolute path.
+    ///
+    /// `.` segments are dropped; `..` segments pop (and are clamped at the
+    /// root, as in POSIX resolution of `/..`). Repeated slashes collapse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::InvalidPath`] if `raw` is empty or relative.
+    pub fn parse(raw: &str) -> Result<Self, VfsError> {
+        if !raw.starts_with('/') {
+            return Err(VfsError::InvalidPath {
+                path: raw.to_string(),
+                reason: "path must be absolute",
+            });
+        }
+        let mut segments = Vec::new();
+        for seg in raw.split('/') {
+            match seg {
+                "" | "." => {}
+                ".." => {
+                    segments.pop();
+                }
+                s => segments.push(s.to_string()),
+            }
+        }
+        Ok(VPath { segments })
+    }
+
+    /// Builds a path directly from normalized segments.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that no segment is empty, `.` or `..`.
+    pub fn from_segments(segments: Vec<String>) -> Self {
+        debug_assert!(segments
+            .iter()
+            .all(|s| !s.is_empty() && s != "." && s != ".."));
+        VPath { segments }
+    }
+
+    /// The path's segments.
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    /// Whether this is the root path.
+    pub fn is_root(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Number of segments.
+    pub fn depth(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The final segment, if any.
+    pub fn file_name(&self) -> Option<&str> {
+        self.segments.last().map(String::as_str)
+    }
+
+    /// The path without its final segment; `None` for the root.
+    pub fn parent(&self) -> Option<VPath> {
+        if self.segments.is_empty() {
+            None
+        } else {
+            Some(VPath {
+                segments: self.segments[..self.segments.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// This path extended by one segment.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the segment is a plain name.
+    #[must_use]
+    pub fn child(&self, segment: &str) -> VPath {
+        debug_assert!(!segment.is_empty() && segment != "." && segment != "..");
+        let mut segments = self.segments.clone();
+        segments.push(segment.to_string());
+        VPath { segments }
+    }
+
+    /// This path extended by all of `rest`'s segments.
+    #[must_use]
+    pub fn join(&self, rest: &VPath) -> VPath {
+        let mut segments = self.segments.clone();
+        segments.extend(rest.segments.iter().cloned());
+        VPath { segments }
+    }
+
+    /// Whether `prefix` is a (non-strict) prefix of this path.
+    pub fn starts_with(&self, prefix: &VPath) -> bool {
+        self.segments.len() >= prefix.segments.len()
+            && self.segments[..prefix.segments.len()] == prefix.segments[..]
+    }
+
+    /// The remainder after removing `prefix`, if it is a prefix.
+    pub fn strip_prefix(&self, prefix: &VPath) -> Option<VPath> {
+        if self.starts_with(prefix) {
+            Some(VPath {
+                segments: self.segments[prefix.segments.len()..].to_vec(),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for VPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.segments.is_empty() {
+            write!(f, "/")
+        } else {
+            for seg in &self.segments {
+                write!(f, "/{seg}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(VPath::parse("/").unwrap().to_string(), "/");
+        assert_eq!(VPath::parse("/a/b").unwrap().to_string(), "/a/b");
+        assert_eq!(VPath::parse("//a///b/").unwrap().to_string(), "/a/b");
+        assert_eq!(VPath::parse("/a/./b").unwrap().to_string(), "/a/b");
+        assert_eq!(VPath::parse("/a/../b").unwrap().to_string(), "/b");
+        assert_eq!(VPath::parse("/../..").unwrap().to_string(), "/");
+    }
+
+    #[test]
+    fn relative_paths_rejected() {
+        assert!(VPath::parse("a/b").is_err());
+        assert!(VPath::parse("").is_err());
+    }
+
+    #[test]
+    fn parent_and_child() {
+        let p = VPath::parse("/a/b/c").unwrap();
+        assert_eq!(p.parent().unwrap().to_string(), "/a/b");
+        assert_eq!(p.child("d").to_string(), "/a/b/c/d");
+        assert_eq!(p.file_name(), Some("c"));
+        assert!(VPath::root().parent().is_none());
+        assert!(VPath::root().file_name().is_none());
+    }
+
+    #[test]
+    fn prefix_operations() {
+        let p = VPath::parse("/usr/proj/foo").unwrap();
+        let usr = VPath::parse("/usr").unwrap();
+        let other = VPath::parse("/us").unwrap();
+        assert!(p.starts_with(&usr));
+        assert!(!p.starts_with(&other));
+        assert_eq!(p.strip_prefix(&usr).unwrap().to_string(), "/proj/foo");
+        assert!(p.strip_prefix(&other).is_none());
+        assert!(p.starts_with(&VPath::root()));
+        assert_eq!(p.strip_prefix(&p).unwrap(), VPath::root());
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let a = VPath::parse("/x").unwrap();
+        let b = VPath::parse("/y/z").unwrap();
+        assert_eq!(a.join(&b).to_string(), "/x/y/z");
+        assert_eq!(VPath::root().join(&b), b);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_by_segments() {
+        let a = VPath::parse("/a").unwrap();
+        let ab = VPath::parse("/a/b").unwrap();
+        let b = VPath::parse("/b").unwrap();
+        assert!(a < ab);
+        assert!(ab < b);
+    }
+}
