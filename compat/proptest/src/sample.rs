@@ -1,0 +1,24 @@
+//! Sampling strategies over fixed collections.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+
+/// A uniform pick from a non-empty list of values.
+pub fn select<T: Clone + Debug>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select: empty choice list");
+    Select { values }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.values[rng.usize_in(0..self.values.len())].clone()
+    }
+}

@@ -1,0 +1,271 @@
+//! A tiny regex *generator*: turns the subset of regex syntax the
+//! workspace's string strategies use into random matching strings.
+//!
+//! Supported: literal characters, `.`, character classes with ranges
+//! (`[a-z./ -~]`), groups `(...)`, and the quantifiers `*` `+` `?`
+//! `{m}` `{m,n}`. Unbounded quantifiers repeat at most four times.
+//! Alternation and anchors are not supported and panic loudly, so an
+//! unsupported pattern fails the test rather than silently generating
+//! garbage.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    AnyChar,
+    Class(Vec<(char, char)>),
+    Group(Vec<Node>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+const UNBOUNDED_CAP: u32 = 4;
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            chars: pattern.chars().peekable(),
+            pattern,
+        }
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!("string strategy: {} in pattern {:?}", what, self.pattern)
+    }
+
+    fn sequence(&mut self, in_group: bool) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        loop {
+            match self.chars.peek().copied() {
+                None => {
+                    if in_group {
+                        self.fail("unterminated group");
+                    }
+                    return nodes;
+                }
+                Some(')') => {
+                    if !in_group {
+                        self.fail("unmatched ')'");
+                    }
+                    self.chars.next();
+                    return nodes;
+                }
+                Some(_) => {
+                    let atom = self.atom();
+                    nodes.push(self.quantified(atom));
+                }
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Node {
+        match self.chars.next().expect("peeked") {
+            '(' => Node::Group(self.sequence(true)),
+            '[' => self.class(),
+            '.' => Node::AnyChar,
+            '\\' => {
+                let escaped = self
+                    .chars
+                    .next()
+                    .unwrap_or_else(|| self.fail("dangling escape"));
+                Node::Literal(escaped)
+            }
+            '|' | '^' | '$' => self.fail("unsupported regex feature"),
+            c => Node::Literal(c),
+        }
+    }
+
+    fn class(&mut self) -> Node {
+        let mut ranges = Vec::new();
+        loop {
+            let c = self
+                .chars
+                .next()
+                .unwrap_or_else(|| self.fail("unterminated class"));
+            if c == ']' {
+                if ranges.is_empty() {
+                    self.fail("empty character class");
+                }
+                return Node::Class(ranges);
+            }
+            let lo = if c == '\\' {
+                self.chars
+                    .next()
+                    .unwrap_or_else(|| self.fail("dangling escape in class"))
+            } else {
+                c
+            };
+            if self.chars.peek() == Some(&'-') {
+                let mut ahead = self.chars.clone();
+                ahead.next();
+                if ahead.peek() != Some(&']') {
+                    self.chars.next();
+                    let hi = self
+                        .chars
+                        .next()
+                        .unwrap_or_else(|| self.fail("unterminated range"));
+                    if hi < lo {
+                        self.fail("inverted class range");
+                    }
+                    ranges.push((lo, hi));
+                    continue;
+                }
+            }
+            ranges.push((lo, lo));
+        }
+    }
+
+    fn quantified(&mut self, atom: Node) -> Node {
+        match self.chars.peek().copied() {
+            Some('*') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP)
+            }
+            Some('?') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut digits = String::new();
+                while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
+                    digits.push(self.chars.next().expect("peeked"));
+                }
+                let lo: u32 = digits
+                    .parse()
+                    .unwrap_or_else(|_| self.fail("bad repetition count"));
+                let hi = match self.chars.next() {
+                    Some('}') => lo,
+                    Some(',') => {
+                        let mut digits = String::new();
+                        while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
+                            digits.push(self.chars.next().expect("peeked"));
+                        }
+                        let hi: u32 = digits
+                            .parse()
+                            .unwrap_or_else(|_| self.fail("bad repetition bound"));
+                        match self.chars.next() {
+                            Some('}') => hi,
+                            _ => self.fail("unterminated repetition"),
+                        }
+                    }
+                    _ => self.fail("unterminated repetition"),
+                };
+                if hi < lo {
+                    self.fail("inverted repetition bounds");
+                }
+                Node::Repeat(Box::new(atom), lo, hi)
+            }
+            _ => atom,
+        }
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::AnyChar => out.push((b' ' + rng.below(95) as u8) as char),
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let span = (*hi as u64) - (*lo as u64) + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick as u32).expect("valid scalar"));
+                    return;
+                }
+                pick -= span;
+            }
+        }
+        Node::Group(nodes) => {
+            for n in nodes {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let times = *lo as u64 + rng.below((*hi as u64) - (*lo as u64) + 1);
+            for _ in 0..times {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let nodes = Parser::new(pattern).sequence(false);
+    let mut out = String::new();
+    for node in &nodes {
+        emit(node, rng, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_matching;
+    use crate::test_runner::TestRng;
+
+    fn gen100(pattern: &str) -> Vec<String> {
+        (0..100u64)
+            .map(|i| generate_matching(pattern, &mut TestRng::seed_from_u64(i)))
+            .collect()
+    }
+
+    #[test]
+    fn class_with_counts() {
+        for s in gen100("[a-d]{1,3}") {
+            assert!((1..=3).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range_class() {
+        for s in gen100("[ -~]{0,40}") {
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn groups_and_star_and_question() {
+        for s in gen100("(/([a-c.]{1,3}))*/?") {
+            // Every segment introduced by the group starts with '/'.
+            assert!(
+                s.is_empty() || s.starts_with('/'),
+                "unexpected shape: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn literal_runs_pass_through() {
+        assert_eq!(
+            generate_matching("abc", &mut TestRng::seed_from_u64(0)),
+            "abc"
+        );
+    }
+
+    #[test]
+    fn mixed_literal_class() {
+        for s in gen100("[a-z0-9.]{1,20}") {
+            assert!((1..=20).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.'));
+        }
+    }
+}

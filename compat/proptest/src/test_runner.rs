@@ -1,0 +1,129 @@
+//! Deterministic case runner: seeds, rejection handling, failure
+//! reporting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// How a property run is configured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config overriding only the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why one generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated; the run fails.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`/filters; resample.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: String) -> Self {
+        TestCaseError::Reject(reason)
+    }
+
+    /// Attaches the generated-inputs description to a failure.
+    pub fn with_inputs(self, inputs: &str) -> Self {
+        match self {
+            TestCaseError::Fail(msg) => {
+                TestCaseError::Fail(format!("{msg}\ngenerated inputs: {inputs}"))
+            }
+            reject => reject,
+        }
+    }
+}
+
+/// The generator handed to strategies; a seeded deterministic stream.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A generator for one case attempt.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// The raw 64-bit word source.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform usize draw from a half-open range.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + (self.below((range.end - range.start) as u64) as usize)
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn fnv1a(data: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` attempts pass, rejections aside.
+/// Deterministic: the seed stream depends only on the test name.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    let mut passed: u32 = 0;
+    let mut attempt: u64 = 0;
+    let max_attempts = (config.cases as u64) * 32 + 1024;
+    while passed < config.cases {
+        attempt += 1;
+        if attempt > max_attempts {
+            panic!(
+                "proptest '{name}': gave up after {attempt} attempts \
+                 ({passed}/{} cases passed; too many rejections)",
+                config.cases
+            );
+        }
+        let seed = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at attempt {attempt} (seed {seed:#x}):\n{msg}")
+            }
+        }
+    }
+}

@@ -16,7 +16,27 @@
 //! * [`LiveSystem`] — the same state machines over real threads and
 //!   in-process pipes: an actual concurrent deployment, byte-identical on
 //!   the wire.
+//! * [`TcpServerRuntime`] / [`connect_tcp`] — the same again over real
+//!   TCP sockets, the paper's prototype shape.
 //! * Re-exports of the full public API of the component crates.
+//!
+//! # Module map
+//!
+//! Protocol *dispatch* is not implemented here. All three deployments are
+//! thin adapters over the `shadow-runtime` crate, which owns the single
+//! `ClientAction`/`ServerAction` interpreter ([`ClientDriver`] /
+//! [`ServerDriver`]), the [`TimerQueue`], the [`FrameTransport`]
+//! abstraction, and the generic [`ServerRuntime`] poll loop:
+//!
+//! | module | role | runtime pieces used |
+//! |---|---|---|
+//! | `sim`  | discrete-event scheduler + CPU/network cost model | `ClientDriver`, `ServerDriver` (timers become sim events) |
+//! | `live` | threads + in-process pipes | `ClientDriver`, `ServerRuntime` over a channel acceptor |
+//! | `tcpd` | daemon + sockets | `ClientDriver`, `ServerRuntime` over a TCP acceptor |
+//!
+//! What remains in each adapter is only what genuinely differs: how
+//! frames move (simulated links, crossbeam pipes, TCP) and how time
+//! passes (virtual vs. wall clock).
 //!
 //! # Quickstart
 //!
@@ -51,9 +71,15 @@ mod sim;
 mod tcpd;
 
 pub use cpu::CpuModel;
-pub use live::{FrameTransport, LiveClient, LiveError, LiveSystem};
+pub use live::{LiveClient, LiveError, LiveSystem};
 pub use tcpd::{connect_tcp, TcpClient, TcpServerRuntime};
 pub use sim::{ClientId, FinishedJob, ServerId, SimError, Simulation};
+
+pub use shadow_runtime::{
+    Accepted, ClientDriver, ClientOutbound, Clock, CompletedJob, DriverEvent, DriverStats,
+    EventHook, FeedError, FrameInfo, FrameTransport, ServerDriver, ServerIo, ServerOutbound,
+    ServerRuntime, SessionAcceptor, TimerQueue, TransportClosed, VirtualClock, WallClock,
+};
 
 pub use shadow_cache::{CacheStats, EvictionPolicy, ShadowStore};
 pub use shadow_client::{

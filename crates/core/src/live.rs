@@ -7,23 +7,26 @@
 //! simulator carries. Nothing in the protocol code knows which world it is
 //! in — the paper's prototype structure (client and server as processes
 //! talking TCP) with the transport swapped for an in-process pipe.
+//!
+//! All protocol dispatch lives in `shadow-runtime`: the server thread is a
+//! [`ServerRuntime`] polled over a channel of accepted pipes, and
+//! [`LiveClient`] wraps a [`ClientDriver`] around whatever
+//! [`FrameTransport`] it was given.
 
-use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Sender};
-use shadow_client::{
-    ClientAction, ClientConfig, ClientError, ClientEvent, ClientNode, ConnId, FileRef,
-    Notification,
-};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use shadow_client::{ClientConfig, ClientError, ConnId, FileRef, Notification};
 use shadow_netsim::pipe::{duplex, PipeEnd};
-use shadow_proto::{
-    ClientMessage, Frame, JobId, JobStats, RequestId, ServerMessage, SubmitOptions, WireError,
+use shadow_proto::{JobId, JobStats, RequestId, SubmitOptions, WireError};
+use shadow_runtime::{
+    Accepted, ClientDriver, ClientOutbound, Clock, EventHook, FeedError, FrameTransport,
+    ServerRuntime, SessionAcceptor, WallClock,
 };
-use shadow_server::{ServerAction, ServerConfig, ServerEvent, ServerNode, SessionId, TimerToken};
+use shadow_server::{ServerConfig, ServerNode};
 
 /// Errors from the live system.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,48 +64,35 @@ impl From<WireError> for LiveError {
         LiveError::Wire(e)
     }
 }
-
-/// A transport that moves whole frames — implemented by the in-process
-/// [`PipeEnd`] and by [`TcpFramed`](shadow_netsim::tcp::TcpFramed), so one
-/// client driver serves both.
-pub trait FrameTransport {
-    /// Sends one frame.
-    ///
-    /// # Errors
-    ///
-    /// [`LiveError::Disconnected`] when the peer is gone.
-    fn send_frame(&mut self, frame: Vec<u8>) -> Result<(), LiveError>;
-
-    /// Receives a pending frame without blocking beyond a few
-    /// milliseconds; `Ok(None)` when nothing is available.
-    ///
-    /// # Errors
-    ///
-    /// [`LiveError::Disconnected`] when the peer is gone.
-    fn recv_frame(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, LiveError>;
-}
-
-impl FrameTransport for PipeEnd {
-    fn send_frame(&mut self, frame: Vec<u8>) -> Result<(), LiveError> {
-        PipeEnd::send(self, frame).map_err(|_| LiveError::Disconnected)
-    }
-
-    fn recv_frame(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, LiveError> {
-        PipeEnd::recv_timeout(self, timeout).map_err(|_| LiveError::Disconnected)
+impl From<FeedError> for LiveError {
+    fn from(e: FeedError) -> Self {
+        match e {
+            FeedError::Wire(w) => LiveError::Wire(w),
+            // Framed transports deliver whole frames; a short one means
+            // the stream is corrupt beyond recovery.
+            FeedError::Incomplete => LiveError::Disconnected,
+        }
     }
 }
 
-impl FrameTransport for shadow_netsim::tcp::TcpFramed {
-    fn send_frame(&mut self, frame: Vec<u8>) -> Result<(), LiveError> {
-        shadow_netsim::tcp::TcpFramed::send(self, &frame).map_err(|_| LiveError::Disconnected)
-    }
-
-    fn recv_frame(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, LiveError> {
-        shadow_netsim::tcp::TcpFramed::recv_timeout(self, timeout)
-            .map_err(|_| LiveError::Disconnected)
-    }
+/// Accepts sessions from the registrar channel: each new client hands the
+/// server its end of a fresh duplex pipe.
+struct ChannelAcceptor {
+    rx: Receiver<PipeEnd>,
 }
 
+impl SessionAcceptor for ChannelAcceptor {
+    type Transport = PipeEnd;
+    type Error = std::convert::Infallible;
+
+    fn poll_accept(&mut self) -> Result<Accepted<PipeEnd>, Self::Error> {
+        Ok(match self.rx.try_recv() {
+            Ok(pipe) => Accepted::Session(pipe),
+            Err(TryRecvError::Empty) => Accepted::None,
+            Err(TryRecvError::Disconnected) => Accepted::Closed,
+        })
+    }
+}
 
 /// A running shadow server thread plus a registrar for new clients.
 ///
@@ -140,114 +130,17 @@ impl LiveSystem {
         let handle = std::thread::Builder::new()
             .name("shadow-server".to_string())
             .spawn(move || {
-                let mut node = ServerNode::new(config);
-                let mut sessions: Vec<(SessionId, PipeEnd, bool)> = Vec::new();
-                let mut next_session = 0u64;
-                let mut timers: Vec<(Instant, TimerToken)> = Vec::new();
-                let started = Instant::now();
-                let now_ms = |started: Instant| started.elapsed().as_millis() as u64;
+                let mut runtime = ServerRuntime::new(
+                    ServerNode::new(config),
+                    ChannelAcceptor { rx: reg_rx },
+                    WallClock::new(),
+                );
                 loop {
-                    let mut busy = false;
-                    // New clients.
-                    loop {
-                        match reg_rx.try_recv() {
-                            Ok(pipe) => {
-                                next_session += 1;
-                                let session = SessionId::new(next_session);
-                                node.handle(ServerEvent::Connected {
-                                    session,
-                                    now_ms: now_ms(started),
-                                });
-                                sessions.push((session, pipe, true));
-                                busy = true;
-                            }
-                            Err(crossbeam::channel::TryRecvError::Empty) => break,
-                            Err(crossbeam::channel::TryRecvError::Disconnected) => {
-                                if sessions.iter().all(|(_, _, alive)| !alive) {
-                                    return node;
-                                }
-                                break;
-                            }
-                        }
-                    }
-                    // Incoming frames.
-                    let mut to_run: Vec<(SessionId, ClientMessage)> = Vec::new();
-                    for (session, pipe, alive) in sessions.iter_mut() {
-                        if !*alive {
-                            continue;
-                        }
-                        loop {
-                            match pipe.try_recv() {
-                                Ok(Some(frame)) => {
-                                    if let Ok(Some((message, _))) =
-                                        Frame::decode::<ClientMessage>(&frame)
-                                    {
-                                        to_run.push((*session, message));
-                                    }
-                                    busy = true;
-                                }
-                                Ok(None) => break,
-                                Err(_) => {
-                                    *alive = false;
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                    let mut actions = Vec::new();
-                    for (session, message) in to_run {
-                        actions.extend(node.handle(ServerEvent::Message {
-                            session,
-                            message,
-                            now_ms: now_ms(started),
-                        }));
-                    }
-                    // Due timers.
-                    let now = Instant::now();
-                    let mut due = Vec::new();
-                    timers.retain(|(at, token)| {
-                        if *at <= now {
-                            due.push(*token);
-                            false
-                        } else {
-                            true
-                        }
-                    });
-                    for token in due {
-                        busy = true;
-                        actions.extend(node.handle(ServerEvent::Timer {
-                            token,
-                            now_ms: now_ms(started),
-                        }));
-                    }
-                    // Perform actions.
-                    for action in actions {
-                        match action {
-                            ServerAction::Send { session, message } => {
-                                if let Some((_, pipe, alive)) =
-                                    sessions.iter_mut().find(|(s, _, _)| *s == session)
-                                {
-                                    if *alive && pipe.send(Frame::encode(&message)).is_err() {
-                                        *alive = false;
-                                    }
-                                }
-                            }
-                            ServerAction::SetTimer { delay_ms, token } => {
-                                timers.push((
-                                    Instant::now() + Duration::from_millis(delay_ms),
-                                    token,
-                                ));
-                            }
-                        }
-                    }
-                    // Exit when the registrar is gone and every client left.
-                    let registrar_gone =
-                        matches!(reg_rx.try_recv(), Err(crossbeam::channel::TryRecvError::Disconnected));
-                    if registrar_gone
-                        && sessions.iter().all(|(_, _, alive)| !alive)
-                        && timers.is_empty()
-                    {
-                        return node;
+                    let Ok(busy) = runtime.poll_once();
+                    // Exit once no new clients can arrive and all work
+                    // (sessions, pending timers) has drained.
+                    if runtime.acceptor_closed() && runtime.idle() {
+                        return runtime.into_node();
                     }
                     if !busy {
                         std::thread::sleep(Duration::from_millis(1));
@@ -287,11 +180,10 @@ impl LiveSystem {
 /// A client of a live deployment, driven by the calling thread; generic
 /// over the frame transport (in-process pipe or TCP).
 pub struct LiveClient<T: FrameTransport = PipeEnd> {
-    node: ClientNode,
-    pipe: T,
+    driver: ClientDriver,
+    transport: T,
     conn: ConnId,
-    notifications: VecDeque<Notification>,
-    started: Instant,
+    clock: WallClock,
 }
 
 impl<T: FrameTransport> LiveClient<T> {
@@ -303,31 +195,36 @@ impl<T: FrameTransport> LiveClient<T> {
     /// Transport failures sending the handshake.
     pub fn over_transport(config: ClientConfig, transport: T) -> Result<Self, LiveError> {
         let mut client = LiveClient {
-            node: ClientNode::new(config),
-            pipe: transport,
+            driver: ClientDriver::new(shadow_client::ClientNode::new(config)),
+            transport,
             conn: ConnId::new(0),
-            notifications: VecDeque::new(),
-            started: Instant::now(),
+            clock: WallClock::new(),
         };
-        let actions = client.node.connect(client.conn);
-        client.perform(actions)?;
+        let now_ms = client.clock.now_ms();
+        let out = client.driver.connect(client.conn, now_ms);
+        client.transmit(out)?;
         Ok(client)
     }
 
-    fn now_ms(&self) -> u64 {
-        self.started.elapsed().as_millis() as u64
+    /// Installs an instrumentation tap observing every frame this client
+    /// sends or receives.
+    pub fn set_event_hook(&mut self, hook: EventHook) {
+        self.driver.set_event_hook(hook);
     }
 
-    fn perform(&mut self, actions: Vec<ClientAction>) -> Result<(), LiveError> {
-        for action in actions {
-            match action {
-                ClientAction::Send { message, .. } => {
-                    self.pipe.send_frame(Frame::encode(&message))?;
-                }
-                ClientAction::Notify(n) => self.notifications.push_back(n),
-            }
+    fn transmit(&mut self, out: Vec<ClientOutbound>) -> Result<(), LiveError> {
+        for o in out {
+            self.transport
+                .send_frame(o.frame)
+                .map_err(|_| LiveError::Disconnected)?;
         }
         Ok(())
+    }
+
+    fn feed(&mut self, frame: &[u8]) -> Result<(), LiveError> {
+        let now_ms = self.clock.now_ms();
+        let out = self.driver.feed_frame(self.conn, frame, now_ms)?;
+        self.transmit(out)
     }
 
     /// Processes any frames that have arrived; returns how many.
@@ -337,15 +234,12 @@ impl<T: FrameTransport> LiveClient<T> {
     /// [`LiveError::Disconnected`] when the server is gone.
     pub fn pump(&mut self) -> Result<usize, LiveError> {
         let mut n = 0;
-        while let Some(frame) = self.pipe.recv_frame(Duration::ZERO)? {
-            let (message, _) = Frame::decode::<ServerMessage>(&frame)?
-                .expect("pipes carry whole frames");
-            let actions = self.node.handle(ClientEvent::Message {
-                conn: self.conn,
-                message,
-                now_ms: self.now_ms(),
-            });
-            self.perform(actions)?;
+        while let Some(frame) = self
+            .transport
+            .recv_frame(Duration::ZERO)
+            .map_err(|_| LiveError::Disconnected)?
+        {
+            self.feed(&frame)?;
             n += 1;
         }
         Ok(n)
@@ -364,25 +258,16 @@ impl<T: FrameTransport> LiveClient<T> {
     ) -> Result<Notification, LiveError> {
         let deadline = Instant::now() + timeout;
         loop {
-            if let Some(pos) = self.notifications.iter().position(&mut pred) {
-                return Ok(self.notifications.remove(pos).expect("position valid"));
+            if let Some(n) = self.driver.take_notification_matching(&mut pred) {
+                return Ok(n);
             }
             if Instant::now() >= deadline {
                 return Err(LiveError::Timeout);
             }
-            match self.pipe.recv_frame(Duration::from_millis(10)) {
-                Ok(Some(frame)) => {
-                    let (message, _) = Frame::decode::<ServerMessage>(&frame)?
-                        .expect("pipes carry whole frames");
-                    let actions = self.node.handle(ClientEvent::Message {
-                        conn: self.conn,
-                        message,
-                        now_ms: self.now_ms(),
-                    });
-                    self.perform(actions)?;
-                }
+            match self.transport.recv_frame(Duration::from_millis(10)) {
+                Ok(Some(frame)) => self.feed(&frame)?,
                 Ok(None) => {}
-                Err(e) => return Err(e),
+                Err(_) => return Err(LiveError::Disconnected),
             }
         }
     }
@@ -399,9 +284,10 @@ impl<T: FrameTransport> LiveClient<T> {
 
     /// Records an editing session's result (the shadow post-processor).
     pub fn edit_finished(&mut self, file: &FileRef, content: Vec<u8>) {
-        let (_, actions) = self.node.edit_finished(file, content);
+        let now_ms = self.clock.now_ms();
+        let (_, out) = self.driver.edit_finished(file, content, now_ms);
         // A send failure surfaces on the next pump.
-        let _ = self.perform(actions);
+        let _ = self.transmit(out);
     }
 
     /// Submits a job.
@@ -415,8 +301,11 @@ impl<T: FrameTransport> LiveClient<T> {
         data_files: &[FileRef],
         options: SubmitOptions,
     ) -> Result<RequestId, LiveError> {
-        let (request, actions) = self.node.submit(self.conn, job_file, data_files, options)?;
-        self.perform(actions)?;
+        let now_ms = self.clock.now_ms();
+        let (request, out) = self
+            .driver
+            .submit(self.conn, job_file, data_files, options, now_ms)?;
+        self.transmit(out)?;
         Ok(request)
     }
 
@@ -426,8 +315,9 @@ impl<T: FrameTransport> LiveClient<T> {
     ///
     /// Client-command or transport failures.
     pub fn status(&mut self, job: Option<JobId>) -> Result<RequestId, LiveError> {
-        let (request, actions) = self.node.status(self.conn, job)?;
-        self.perform(actions)?;
+        let now_ms = self.clock.now_ms();
+        let (request, out) = self.driver.status(self.conn, job, now_ms)?;
+        self.transmit(out)?;
         Ok(request)
     }
 
@@ -456,23 +346,27 @@ impl<T: FrameTransport> LiveClient<T> {
 
     /// Removes and returns all queued notifications.
     pub fn take_notifications(&mut self) -> Vec<Notification> {
-        self.notifications.drain(..).collect()
+        self.driver
+            .take_notifications()
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect()
     }
 
     /// The client's traffic counters.
     pub fn metrics(&self) -> shadow_client::ClientMetrics {
-        self.node.metrics()
+        self.driver.metrics()
     }
 
     /// Direct access to the protocol node (persistence, diagnostics).
-    pub fn node(&self) -> &ClientNode {
-        &self.node
+    pub fn node(&self) -> &shadow_client::ClientNode {
+        self.driver.node()
     }
 
     /// Mutable access to the protocol node (restoring persisted version
     /// chains before use).
-    pub fn node_mut(&mut self) -> &mut ClientNode {
-        &mut self.node
+    pub fn node_mut(&mut self) -> &mut shadow_client::ClientNode {
+        self.driver.node_mut()
     }
 }
 

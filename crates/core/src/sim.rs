@@ -4,21 +4,24 @@
 //! number of client/server state machines; routes encoded frames between
 //! them with realistic transmission times and charges the [`CpuModel`] for
 //! diff/apply work. Identical inputs produce identical timelines.
+//!
+//! Protocol dispatch lives in `shadow-runtime`: each endpoint is a
+//! [`ClientDriver`] or [`ServerDriver`], and this module is only the
+//! *scheduler* — it decides when frames depart (network + CPU model) and
+//! turns armed timer deadlines into discrete events.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
 use shadow_client::{
-    ClientAction, ClientConfig, ClientError, ClientEvent, ClientNode, ConnId, Editor, FileRef,
-    FnEditor, Notification, ShadowEditor,
+    ClientConfig, ClientError, ConnId, Editor, FileRef, FnEditor, Notification, ShadowEditor,
 };
 use shadow_netsim::{Delivery, LinkProfile, LinkStats, NetError, NodeId, SimEvent, SimNet, SimTime};
-use shadow_proto::{
-    ClientMessage, Frame, JobId, JobStats, RequestId, ServerMessage, SubmitOptions,
-    UpdatePayload, WireError,
-};
-use shadow_server::{ServerAction, ServerConfig, ServerEvent, ServerNode, SessionId, TimerToken};
+use shadow_proto::{ClientMessage, JobId, JobStats, RequestId, SubmitOptions, WireError};
+use shadow_runtime::{ClientDriver, EventHook, FrameInfo, ServerDriver, ServerIo};
+use shadow_server::{ServerConfig, ServerNode, SessionId};
 use shadow_vfs::{Vfs, VfsError};
 
 use crate::CpuModel;
@@ -98,6 +101,18 @@ impl From<WireError> for SimError {
     }
 }
 
+impl From<shadow_runtime::FeedError> for SimError {
+    fn from(e: shadow_runtime::FeedError) -> Self {
+        match e {
+            shadow_runtime::FeedError::Wire(w) => SimError::Wire(w),
+            shadow_runtime::FeedError::Incomplete => SimError::Wire(WireError::Truncated {
+                needed: 0,
+                available: 0,
+            }),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Endpoint {
     Client(ClientId),
@@ -105,23 +120,19 @@ enum Endpoint {
 }
 
 struct ClientRt {
-    node: ClientNode,
+    driver: ClientDriver,
     net: NodeId,
     host: String,
     notifications: Vec<(SimTime, Notification)>,
     finished: Vec<FinishedJob>,
-    request_options: HashMap<RequestId, SubmitOptions>,
-    job_options: HashMap<JobId, SubmitOptions>,
     next_conn: u64,
 }
 
 struct ServerRt {
-    node: ServerNode,
+    driver: ServerDriver,
     net: NodeId,
     sessions: HashMap<SessionId, (ClientId, ConnId)>,
     next_session: u64,
-    timers: HashMap<u64, TimerToken>,
-    next_timer: u64,
 }
 
 /// The deterministic multi-node simulation. See the
@@ -181,12 +192,10 @@ impl Simulation {
         let net = self.net.add_node(name);
         let id = ServerId(self.servers.len());
         self.servers.push(ServerRt {
-            node: ServerNode::new(config),
+            driver: ServerDriver::new(ServerNode::new(config)),
             net,
             sessions: HashMap::new(),
             next_session: 0,
-            timers: HashMap::new(),
-            next_timer: 0,
         });
         self.endpoints.insert(net, Endpoint::Server(id));
         id
@@ -200,17 +209,26 @@ impl Simulation {
         let _ = self.vfs.add_host(host);
         let id = ClientId(self.clients.len());
         self.clients.push(ClientRt {
-            node: ClientNode::new(config),
+            driver: ClientDriver::new(shadow_client::ClientNode::new(config)),
             net,
             host: host.to_string(),
             notifications: Vec::new(),
             finished: Vec::new(),
-            request_options: HashMap::new(),
-            job_options: HashMap::new(),
             next_conn: 0,
         });
         self.endpoints.insert(net, Endpoint::Client(id));
         id
+    }
+
+    /// Installs an instrumentation tap on a client's driver, observing
+    /// every frame it sends or receives.
+    pub fn set_client_event_hook(&mut self, client: ClientId, hook: EventHook) {
+        self.clients[client.0].driver.set_event_hook(hook);
+    }
+
+    /// Installs an instrumentation tap on a server's driver.
+    pub fn set_server_event_hook(&mut self, server: ServerId, hook: EventHook) {
+        self.servers[server.0].driver.set_event_hook(hook);
     }
 
     /// Connects a client to a server over `profile` and completes the
@@ -241,12 +259,13 @@ impl Simulation {
         self.pairs.insert((client.0, server.0), (conn, session));
 
         let now = self.net.now();
-        self.servers[server.0].node.handle(ServerEvent::Connected {
-            session,
-            now_ms: now.as_millis(),
-        });
-        let actions = self.clients[client.0].node.connect(conn);
-        self.process_client_actions(client, actions, now)?;
+        let io = self.servers[server.0]
+            .driver
+            .connected(session, now.as_millis());
+        self.route_server_io(server, io, now);
+        let out = self.clients[client.0].driver.connect(conn, now.as_millis());
+        self.send_client_frames(client, out, now)?;
+        self.drain_client(client, now);
         self.run_until_quiet();
         Ok(conn)
     }
@@ -254,12 +273,12 @@ impl Simulation {
     /// Tears down a client↔server connection (transport loss).
     pub fn drop_connection(&mut self, client: ClientId, server: ServerId) {
         if let Some((conn, session)) = self.pairs.remove(&(client.0, server.0)) {
-            self.clients[client.0].node.disconnect(conn);
-            let now = self.net.now().as_millis();
-            self.servers[server.0].node.handle(ServerEvent::Disconnected {
-                session,
-                now_ms: now,
-            });
+            self.clients[client.0].driver.disconnect(conn);
+            let now = self.net.now();
+            // Session teardown produces no sends; drop the (empty) io.
+            let _ = self.servers[server.0]
+                .driver
+                .disconnected(session, now.as_millis());
             self.servers[server.0].sessions.remove(&session);
         }
     }
@@ -298,11 +317,14 @@ impl Simulation {
             outcome.name.file_id,
             format!("{}:{}", outcome.name.host, outcome.name.path),
         );
-        let (_, actions) = self.clients[client.0]
-            .node
-            .edit_finished(&fref, outcome.content);
-        let depart = self.net.now() + self.cpu.message_time();
-        self.process_client_actions_at(client, actions, depart)?;
+        let now = self.net.now();
+        let (_, out) =
+            self.clients[client.0]
+                .driver
+                .edit_finished(&fref, outcome.content, now.as_millis());
+        let depart = now + self.cpu.message_time();
+        self.send_client_frames(client, out, depart)?;
+        self.drain_client(client, now);
         Ok(fref)
     }
 
@@ -341,20 +363,27 @@ impl Simulation {
             let fref = FileRef::new(name.file_id, format!("{}:{}", name.host, name.path));
             // Register current content (deduped if unchanged); background
             // notifications may flow.
-            let (_, actions) = self.clients[client.0].node.edit_finished(&fref, content);
-            let depart = self.net.now() + self.cpu.message_time();
-            self.process_client_actions_at(client, actions, depart)?;
+            let now = self.net.now();
+            let (_, out) =
+                self.clients[client.0]
+                    .driver
+                    .edit_finished(&fref, content, now.as_millis());
+            let depart = now + self.cpu.message_time();
+            self.send_client_frames(client, out, depart)?;
+            self.drain_client(client, now);
             refs.push(fref);
         }
-        let (request, actions) =
-            self.clients[client.0]
-                .node
-                .submit(conn, &refs[0], &refs[1..], options.clone())?;
-        self.clients[client.0]
-            .request_options
-            .insert(request, options);
-        let depart = self.net.now() + self.cpu.message_time();
-        self.process_client_actions_at(client, actions, depart)?;
+        let now = self.net.now();
+        let (request, out) = self.clients[client.0].driver.submit(
+            conn,
+            &refs[0],
+            &refs[1..],
+            options,
+            now.as_millis(),
+        )?;
+        let depart = now + self.cpu.message_time();
+        self.send_client_frames(client, out, depart)?;
+        self.drain_client(client, now);
         Ok(request)
     }
 
@@ -369,9 +398,13 @@ impl Simulation {
         conn: ConnId,
         job: Option<JobId>,
     ) -> Result<RequestId, SimError> {
-        let (request, actions) = self.clients[client.0].node.status(conn, job)?;
-        let depart = self.net.now() + self.cpu.message_time();
-        self.process_client_actions_at(client, actions, depart)?;
+        let now = self.net.now();
+        let (request, out) = self.clients[client.0]
+            .driver
+            .status(conn, job, now.as_millis())?;
+        let depart = now + self.cpu.message_time();
+        self.send_client_frames(client, out, depart)?;
+        self.drain_client(client, now);
         Ok(request)
     }
 
@@ -399,24 +432,20 @@ impl Simulation {
 
     fn dispatch(&mut self, delivery: Delivery) {
         match delivery.event {
-            SimEvent::Message { to, from, payload } => {
-                match self.endpoints[&to] {
-                    Endpoint::Server(s) => self.deliver_to_server(delivery.at, s, from, &payload),
-                    Endpoint::Client(c) => self.deliver_to_client(delivery.at, c, from, &payload),
-                }
-            }
-            SimEvent::Timer { node, token } => {
+            SimEvent::Message { to, from, payload } => match self.endpoints[&to] {
+                Endpoint::Server(s) => self.deliver_to_server(delivery.at, s, from, &payload),
+                Endpoint::Client(c) => self.deliver_to_client(delivery.at, c, from, &payload),
+            },
+            SimEvent::Timer { node, .. } => {
                 if let Endpoint::Server(s) = self.endpoints[&node] {
-                    let tok = self.servers[s.0]
-                        .timers
-                        .remove(&token)
-                        .expect("timer token registered");
-                    let actions = self.servers[s.0].node.handle(ServerEvent::Timer {
-                        token: tok,
-                        now_ms: delivery.at.as_millis(),
-                    });
-                    let depart = delivery.at + self.cpu.message_time();
-                    self.process_server_actions(s, actions, depart);
+                    // The driver owns the timer queue; this event is only
+                    // a wake-up for whatever is due by now.
+                    let at = delivery.at;
+                    let io = self.servers[s.0]
+                        .driver
+                        .fire_due(at.as_millis(), self.cpu.message_time().as_millis());
+                    let depart = at + self.cpu.message_time();
+                    self.route_server_io(s, io, depart);
                 }
             }
         }
@@ -427,21 +456,23 @@ impl Simulation {
             panic!("server received frame from a non-client node");
         };
         let (_, session) = self.pairs[&(client.0, server.0)];
-        let (message, _) = Frame::decode::<ClientMessage>(payload)
-            .expect("well-formed frame")
-            .expect("complete frame");
         // Processing cost: applying an update dominates; everything else
-        // is fixed per-message handling.
-        let cost = match &message {
-            ClientMessage::Update { payload, .. } => self.cpu.apply_time(payload.data_len()),
-            _ => self.cpu.message_time(),
-        };
-        let actions = self.servers[server.0].node.handle(ServerEvent::Message {
-            session,
-            message,
-            now_ms: at.as_millis(),
-        });
-        self.process_server_actions(server, actions, at + cost);
+        // is fixed per-message handling. The closure prices the decoded
+        // message and stashes the exact SimTime cost for frame routing.
+        let cost = Cell::new(SimTime::ZERO);
+        let cpu = self.cpu;
+        let io = self.servers[server.0]
+            .driver
+            .feed_frame(session, payload, at.as_millis(), |message| {
+                let c = match message {
+                    ClientMessage::Update { payload, .. } => cpu.apply_time(payload.data_len()),
+                    _ => cpu.message_time(),
+                };
+                cost.set(c);
+                c.as_millis()
+            })
+            .expect("well-formed frame");
+        self.route_server_io(server, io, at + cost.get());
     }
 
     fn deliver_to_client(&mut self, at: SimTime, client: ClientId, from: NodeId, payload: &[u8]) {
@@ -449,142 +480,95 @@ impl Simulation {
             panic!("client received frame from a non-server node");
         };
         let (conn, _) = self.pairs[&(client.0, server.0)];
-        let (message, _) = Frame::decode::<ServerMessage>(payload)
-            .expect("well-formed frame")
-            .expect("complete frame");
-        let actions = self.clients[client.0].node.handle(ClientEvent::Message {
-            conn,
-            message,
-            now_ms: at.as_millis(),
-        });
+        let out = self.clients[client.0]
+            .driver
+            .feed_frame(conn, payload, at.as_millis())
+            .expect("well-formed frame");
         // Cost: answering an update request with a delta means running the
         // differential comparison over the whole file at the workstation.
         let mut depart = at + self.cpu.message_time();
-        for a in &actions {
-            if let ClientAction::Send {
-                message: ClientMessage::Update { file, payload, .. },
-                ..
-            } = a
-            {
-                depart = at
-                    + match payload {
-                        UpdatePayload::Delta { .. } => {
-                            let size = self.clients[client.0]
-                                .node
-                                .file_size(*file)
-                                .unwrap_or(payload.data_len());
-                            self.cpu.diff_time(size)
-                        }
-                        UpdatePayload::Full { .. } => self.cpu.message_time(),
-                    };
+        for o in &out {
+            match o.info {
+                FrameInfo::UpdateDelta { file_size, .. } => {
+                    depart = at + self.cpu.diff_time(file_size);
+                }
+                FrameInfo::UpdateFull { .. } => depart = at + self.cpu.message_time(),
+                FrameInfo::Other => {}
             }
         }
-        self.process_client_actions_at(client, actions, depart)
+        self.send_client_frames(client, out, depart)
             .expect("routing of client actions");
+        self.drain_client(client, at);
     }
 
-    fn process_client_actions(
+    /// Schedules a client's encoded frames onto the network, all at
+    /// `depart` (clamped to the present).
+    fn send_client_frames(
         &mut self,
         client: ClientId,
-        actions: Vec<ClientAction>,
+        out: Vec<shadow_runtime::ClientOutbound>,
         depart: SimTime,
     ) -> Result<(), SimError> {
-        self.process_client_actions_at(client, actions, depart)
-    }
-
-    fn process_client_actions_at(
-        &mut self,
-        client: ClientId,
-        actions: Vec<ClientAction>,
-        depart: SimTime,
-    ) -> Result<(), SimError> {
-        for action in actions {
-            match action {
-                ClientAction::Send { conn, message } => {
-                    let server = self
-                        .pairs
-                        .iter()
-                        .find(|((c, _), (k, _))| *c == client.0 && *k == conn)
-                        .map(|((_, s), _)| ServerId(*s))
-                        .expect("conn belongs to a connected pair");
-                    let frame = Frame::encode(&message);
-                    let (c_net, s_net) = (self.clients[client.0].net, self.servers[server.0].net);
-                    let depart = depart.max(self.net.now());
-                    self.net.send_at(depart, c_net, s_net, frame)?;
-                }
-                ClientAction::Notify(n) => self.record_notification(client, n),
-            }
+        for o in out {
+            let server = self
+                .pairs
+                .iter()
+                .find(|((c, _), (k, _))| *c == client.0 && *k == o.conn)
+                .map(|((_, s), _)| ServerId(*s))
+                .expect("conn belongs to a connected pair");
+            let (c_net, s_net) = (self.clients[client.0].net, self.servers[server.0].net);
+            let depart = depart.max(self.net.now());
+            self.net.send_at(depart, c_net, s_net, o.frame)?;
         }
         Ok(())
     }
 
-    fn record_notification(&mut self, client: ClientId, n: Notification) {
-        let at = self.net.now();
-        if let Notification::JobAccepted { request, job, .. } = &n {
-            if let Some(options) = self.clients[client.0].request_options.remove(request) {
-                self.clients[client.0].job_options.insert(*job, options);
-            }
+    /// Schedules a server's frames at `depart` and turns armed timer
+    /// deadlines into simulator wake-up events.
+    fn route_server_io(&mut self, server: ServerId, io: ServerIo, depart: SimTime) {
+        let now = self.net.now();
+        for out in io.outbound {
+            let (client, _) = self.servers[server.0].sessions[&out.session];
+            let (s_net, c_net) = (self.servers[server.0].net, self.clients[client.0].net);
+            let depart = depart.max(now);
+            self.net
+                .send_at(depart, s_net, c_net, out.frame)
+                .expect("connected pair has a link");
         }
-        if let Notification::JobFinished {
-            conn,
-            job,
-            output,
-            errors,
-            stats,
-        } = &n
-        {
-            self.clients[client.0].finished.push(FinishedJob {
-                conn: *conn,
-                job: *job,
-                output: output.clone(),
-                errors: errors.clone(),
-                stats: *stats,
-                at,
-            });
-            // Transparency: place output/errors into the user's files when
-            // the submit asked for it.
-            let host = self.clients[client.0].host.clone();
-            let options = self.clients[client.0].job_options.get(job).cloned();
-            if let Some(options) = options {
-                if let Some(out_path) = &options.output_file {
-                    let _ = self.vfs.write_file(&host, out_path, output.clone());
-                }
-                if let Some(err_path) = &options.error_file {
-                    let _ = self.vfs.write_file(&host, err_path, errors.clone());
-                }
-            }
+        for deadline_ms in io.armed {
+            let wake = SimTime::from_millis(deadline_ms).saturating_sub(now);
+            self.net.schedule_timer(self.servers[server.0].net, wake, 0);
         }
-        self.clients[client.0].notifications.push((at, n));
     }
 
-    fn process_server_actions(
-        &mut self,
-        server: ServerId,
-        actions: Vec<ServerAction>,
-        depart: SimTime,
-    ) {
-        for action in actions {
-            match action {
-                ServerAction::Send { session, message } => {
-                    let (client, _) = self.servers[server.0].sessions[&session];
-                    let frame = Frame::encode(&message);
-                    let (s_net, c_net) = (self.servers[server.0].net, self.clients[client.0].net);
-                    let depart = depart.max(self.net.now());
-                    self.net
-                        .send_at(depart, s_net, c_net, frame)
-                        .expect("connected pair has a link");
+    /// Moves buffered driver notifications into the simulation's log,
+    /// stamping them with simulated time and performing output-file
+    /// transparency (writing job output into the user's files).
+    fn drain_client(&mut self, client: ClientId, at: SimTime) {
+        let host = self.clients[client.0].host.clone();
+        for job in self.clients[client.0].driver.take_finished() {
+            let options = self.clients[client.0].driver.options_for(job.job).cloned();
+            if let Some(options) = options {
+                if let Some(out_path) = &options.output_file {
+                    let _ = self.vfs.write_file(&host, out_path, job.output.clone());
                 }
-                ServerAction::SetTimer { delay_ms, token } => {
-                    let rt = &mut self.servers[server.0];
-                    rt.next_timer += 1;
-                    let raw = rt.next_timer;
-                    rt.timers.insert(raw, token);
-                    let delay = depart.saturating_sub(self.net.now())
-                        + SimTime::from_millis(delay_ms);
-                    self.net.schedule_timer(rt.net, delay, raw);
+                if let Some(err_path) = &options.error_file {
+                    let _ = self.vfs.write_file(&host, err_path, job.errors.clone());
                 }
             }
+            self.clients[client.0].finished.push(FinishedJob {
+                conn: job.conn,
+                job: job.job,
+                output: job.output,
+                errors: job.errors,
+                stats: job.stats,
+                at,
+            });
         }
+        let drained = self.clients[client.0].driver.take_notifications();
+        self.clients[client.0]
+            .notifications
+            .extend(drained.into_iter().map(|(_, n)| (at, n)));
     }
 
     /// All notifications a client has received, in delivery order.
@@ -611,27 +595,27 @@ impl Simulation {
 
     /// A server's behaviour counters.
     pub fn server_metrics(&self, server: ServerId) -> shadow_server::ServerMetrics {
-        self.servers[server.0].node.metrics()
+        self.servers[server.0].driver.metrics()
     }
 
     /// A server's shadow-cache counters.
     pub fn cache_stats(&self, server: ServerId) -> shadow_cache::CacheStats {
-        self.servers[server.0].node.cache_stats()
+        self.servers[server.0].driver.node().cache_stats()
     }
 
     /// A client's traffic counters.
     pub fn client_metrics(&self, client: ClientId) -> shadow_client::ClientMetrics {
-        self.clients[client.0].node.metrics()
+        self.clients[client.0].driver.metrics()
     }
 
     /// A client's version-store summary (retention diagnostics).
     pub fn client_version_stats(&self, client: ClientId) -> shadow_version::VersionStoreStats {
-        self.clients[client.0].node.version_stats()
+        self.clients[client.0].driver.node().version_stats()
     }
 
     /// Fault injection: the server loses its shadow disk (§5.1).
     pub fn drop_server_cache(&mut self, server: ServerId) {
-        self.servers[server.0].node.drop_cache();
+        self.servers[server.0].driver.node_mut().drop_cache();
     }
 }
 
@@ -754,7 +738,7 @@ mod tests {
         );
         let _ = server;
         assert_eq!(
-            sim.servers[0].node.cached_version(key),
+            sim.servers[0].driver.node().cached_version(key),
             Some(shadow_proto::VersionNumber::new(2)),
             "background update should land without a submit"
         );

@@ -3,6 +3,10 @@
 //! implemented as UNIX processes that use a reliable transport protocol
 //! (TCP/IP) … a server process listens at a well-known port for
 //! connections from clients."
+//!
+//! Like the in-process [`LiveSystem`](crate::LiveSystem), this is a thin
+//! adapter over the shared [`ServerRuntime`]: only the
+//! [`SessionAcceptor`] (a non-blocking listener) is TCP-specific.
 
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs};
@@ -10,8 +14,8 @@ use std::time::{Duration, Instant};
 
 use shadow_client::ClientConfig;
 use shadow_netsim::tcp::{TcpFramed, TcpServer};
-use shadow_proto::{ClientMessage, Frame};
-use shadow_server::{ServerAction, ServerConfig, ServerEvent, ServerNode, SessionId, TimerToken};
+use shadow_runtime::{Accepted, ServerRuntime, SessionAcceptor, WallClock};
+use shadow_server::{ServerConfig, ServerNode};
 
 use crate::live::LiveClient;
 
@@ -30,6 +34,24 @@ pub fn connect_tcp(config: ClientConfig, addr: impl ToSocketAddrs) -> io::Result
         .map_err(|e| io::Error::new(io::ErrorKind::ConnectionReset, e.to_string()))
 }
 
+/// Accepts framed TCP connections from the well-known port. The listener
+/// never closes by itself, so [`Accepted::Closed`] is never produced.
+struct TcpAcceptor {
+    listener: TcpServer,
+}
+
+impl SessionAcceptor for TcpAcceptor {
+    type Transport = TcpFramed;
+    type Error = io::Error;
+
+    fn poll_accept(&mut self) -> Result<Accepted<TcpFramed>, io::Error> {
+        Ok(match self.listener.try_accept()? {
+            Some(conn) => Accepted::Session(conn),
+            None => Accepted::None,
+        })
+    }
+}
+
 /// The blocking server loop: accepts connections on a well-known port and
 /// drives a [`ServerNode`].
 ///
@@ -44,12 +66,8 @@ pub fn connect_tcp(config: ClientConfig, addr: impl ToSocketAddrs) -> io::Result
 /// # }
 /// ```
 pub struct TcpServerRuntime {
-    listener: TcpServer,
-    node: ServerNode,
-    sessions: Vec<(SessionId, TcpFramed, bool)>,
-    next_session: u64,
-    timers: Vec<(Instant, TimerToken)>,
-    started: Instant,
+    inner: ServerRuntime<TcpAcceptor, WallClock>,
+    addr: SocketAddr,
 }
 
 impl TcpServerRuntime {
@@ -59,13 +77,15 @@ impl TcpServerRuntime {
     ///
     /// Bind failures.
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpServer::bind(addr)?;
+        let addr = listener.local_addr()?;
         Ok(TcpServerRuntime {
-            listener: TcpServer::bind(addr)?,
-            node: ServerNode::new(config),
-            sessions: Vec::new(),
-            next_session: 0,
-            timers: Vec::new(),
-            started: Instant::now(),
+            inner: ServerRuntime::new(
+                ServerNode::new(config),
+                TcpAcceptor { listener },
+                WallClock::new(),
+            ),
+            addr,
         })
     }
 
@@ -75,11 +95,7 @@ impl TcpServerRuntime {
     ///
     /// Socket errors.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.listener.local_addr()
-    }
-
-    fn now_ms(&self) -> u64 {
-        self.started.elapsed().as_millis() as u64
+        Ok(self.addr)
     }
 
     /// One scheduling round: accept, read, fire timers, write. Returns
@@ -89,96 +105,7 @@ impl TcpServerRuntime {
     ///
     /// Listener failures (per-connection errors just drop the session).
     pub fn poll_once(&mut self) -> io::Result<bool> {
-        let mut busy = false;
-        // Accept new clients.
-        while let Some(conn) = self.listener.try_accept()? {
-            self.next_session += 1;
-            let session = SessionId::new(self.next_session);
-            let now_ms = self.now_ms();
-            self.node.handle(ServerEvent::Connected { session, now_ms });
-            self.sessions.push((session, conn, true));
-            busy = true;
-        }
-        // Read frames.
-        let mut inbound = Vec::new();
-        for (session, conn, alive) in self.sessions.iter_mut() {
-            if !*alive {
-                continue;
-            }
-            loop {
-                match conn.try_recv() {
-                    Ok(Some(frame)) => {
-                        if let Ok(Some((message, _))) = Frame::decode::<ClientMessage>(&frame) {
-                            inbound.push((*session, message));
-                        }
-                        busy = true;
-                    }
-                    Ok(None) => break,
-                    Err(_) => {
-                        *alive = false;
-                        break;
-                    }
-                }
-            }
-        }
-        let now_ms = self.now_ms();
-        let mut actions = Vec::new();
-        for (session, message) in inbound {
-            actions.extend(self.node.handle(ServerEvent::Message {
-                session,
-                message,
-                now_ms,
-            }));
-        }
-        // Report dead sessions to the node once and drop their slots.
-        let mut dropped = Vec::new();
-        self.sessions.retain(|(session, _, alive)| {
-            if *alive {
-                true
-            } else {
-                dropped.push(*session);
-                false
-            }
-        });
-        for session in dropped {
-            busy = true;
-            actions.extend(self.node.handle(ServerEvent::Disconnected { session, now_ms }));
-        }
-        // Fire due timers.
-        let now = Instant::now();
-        let mut due = Vec::new();
-        self.timers.retain(|(at, token)| {
-            if *at <= now {
-                due.push(*token);
-                false
-            } else {
-                true
-            }
-        });
-        for token in due {
-            busy = true;
-            let now_ms = self.now_ms();
-            actions.extend(self.node.handle(ServerEvent::Timer { token, now_ms }));
-        }
-        // Perform actions.
-        for action in actions {
-            match action {
-                ServerAction::Send { session, message } => {
-                    if let Some((_, conn, alive)) =
-                        self.sessions.iter_mut().find(|(s, _, _)| *s == session)
-                    {
-                        if *alive && conn.send(&Frame::encode(&message)).is_err() {
-                            *alive = false;
-                        }
-                    }
-                }
-                ServerAction::SetTimer { delay_ms, token } => {
-                    self.timers
-                        .push((Instant::now() + Duration::from_millis(delay_ms), token));
-                }
-            }
-        }
-        Ok(busy)
+        self.inner.poll_once()
     }
 
     /// Serves forever (the daemon entry point).
@@ -208,19 +135,14 @@ impl TcpServerRuntime {
             } else {
                 // Pending timers (running jobs) and live sessions are not
                 // "idle": only a quiet, clientless, timerless server exits.
-                let quiescent = self.timers.is_empty() && self.sessions.is_empty();
-                if quiescent && last_busy.elapsed() >= idle {
-                    return Ok(self.node);
+                if self.inner.idle() && last_busy.elapsed() >= idle {
+                    return Ok(self.inner.into_node());
                 }
                 std::thread::sleep(Duration::from_millis(1));
             }
         }
     }
 }
-
-// Dead-session bookkeeping note: a session slot flips `alive = false` on
-// first transport error; the next poll reports `Disconnected` to the node
-// exactly once and removes the slot.
 
 #[cfg(test)]
 mod tests {

@@ -162,6 +162,23 @@ impl TcpFramed {
     }
 }
 
+impl shadow_runtime::FrameTransport for TcpFramed {
+    fn send_frame(&mut self, frame: Vec<u8>) -> Result<(), shadow_runtime::TransportClosed> {
+        TcpFramed::send(self, &frame).map_err(|_| shadow_runtime::TransportClosed)
+    }
+
+    fn recv_frame(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<Vec<u8>>, shadow_runtime::TransportClosed> {
+        TcpFramed::recv_timeout(self, timeout).map_err(|_| shadow_runtime::TransportClosed)
+    }
+
+    fn try_recv_frame(&mut self) -> Result<Option<Vec<u8>>, shadow_runtime::TransportClosed> {
+        TcpFramed::try_recv(self).map_err(|_| shadow_runtime::TransportClosed)
+    }
+}
+
 /// A listening socket accepting framed connections.
 #[derive(Debug)]
 pub struct TcpServer {

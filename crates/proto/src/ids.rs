@@ -6,14 +6,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 macro_rules! id_u64 {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
         #[derive(
             Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
-            Serialize, Deserialize,
+           
         )]
         pub struct $name(u64);
 
@@ -68,7 +67,7 @@ id_u64!(
 /// Monotonically increasing version of a file at the client (§6.3.2): every
 /// editing session that changes the file creates the next version.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct VersionNumber(u64);
 
@@ -108,7 +107,7 @@ impl fmt::Display for VersionNumber {
 /// The globally unique key of a shadow file: `(domain id, file id)` exactly
 /// as in §5.3 of the paper.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct FileKey {
     /// The naming domain the file belongs to.
@@ -132,7 +131,7 @@ impl fmt::Display for FileKey {
 
 /// A host name, e.g. `"merlin.cs.purdue.edu"`.
 #[derive(
-    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct HostName(String);
 

@@ -3,14 +3,13 @@
 use std::fmt;
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 
 use crate::{ContentDigest, DomainId, FileId, HostName, JobId, RequestId, VersionNumber};
 
 /// Transfer encoding applied to a payload's bytes (§8.3 future work: "we
 /// also plan to explore data compression techniques").
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default,
 )]
 pub enum TransferEncoding {
     /// Bytes as-is.
@@ -124,7 +123,7 @@ impl OutputPayload {
 }
 
 /// Options accepted by the `submit` command (§6.2).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SubmitOptions {
     /// File (at the client) into which standard output is stored.
     pub output_file: Option<String>,
@@ -142,7 +141,7 @@ pub struct SubmitOptions {
 
 /// Lifecycle state of a submitted job.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash,
 )]
 pub enum JobStatus {
     /// Accepted; waiting in the batch queue.
@@ -184,7 +183,7 @@ impl fmt::Display for JobStatus {
 }
 
 /// One row of a [`ServerMessage::StatusReport`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobStatusEntry {
     /// The job.
     pub job: JobId,
@@ -195,7 +194,7 @@ pub struct JobStatusEntry {
 }
 
 /// Accounting attached to a completed job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct JobStats {
     /// Milliseconds spent queued before file retrieval/execution.
     pub queued_ms: u64,

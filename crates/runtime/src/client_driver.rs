@@ -1,0 +1,261 @@
+//! The client-side driver: encode→send, receive→decode→feed,
+//! notification buffering.
+
+use std::collections::{HashMap, VecDeque};
+
+use shadow_client::{
+    ClientAction, ClientError, ClientEvent, ClientMetrics, ClientNode, ConnId, FileRef,
+    Notification,
+};
+use shadow_proto::{
+    ClientMessage, Frame, JobId, RequestId, ServerMessage, SubmitOptions, UpdatePayload,
+    VersionNumber,
+};
+
+use crate::event::{CompletedJob, DriverEvent, DriverStats, EventHook, FeedError, FrameInfo};
+
+/// An encoded frame the runtime must put on the wire, with its
+/// transfer classification.
+#[derive(Debug, Clone)]
+pub struct ClientOutbound {
+    /// The connection to send on.
+    pub conn: ConnId,
+    /// The encoded frame, length prefix included.
+    pub frame: Vec<u8>,
+    /// What the frame carries (deltas vs. full transfers…).
+    pub info: FrameInfo,
+}
+
+/// Drives a [`ClientNode`]: the single place client actions are
+/// dispatched.
+///
+/// Runtimes (simulator, live threads, TCP client) call the command
+/// methods ([`connect`](Self::connect), [`submit`](Self::submit), …)
+/// and [`feed_frame`](Self::feed_frame) for inbound traffic; every call
+/// returns the encoded frames to transmit. Notifications and finished
+/// jobs accumulate internally until drained.
+pub struct ClientDriver {
+    node: ClientNode,
+    notifications: VecDeque<(u64, Notification)>,
+    finished: Vec<CompletedJob>,
+    request_options: HashMap<RequestId, SubmitOptions>,
+    job_options: HashMap<JobId, SubmitOptions>,
+    stats: DriverStats,
+    hook: Option<EventHook>,
+}
+
+impl ClientDriver {
+    /// Wraps a client state machine.
+    pub fn new(node: ClientNode) -> Self {
+        ClientDriver {
+            node,
+            notifications: VecDeque::new(),
+            finished: Vec::new(),
+            request_options: HashMap::new(),
+            job_options: HashMap::new(),
+            stats: DriverStats::default(),
+            hook: None,
+        }
+    }
+
+    /// Installs an instrumentation tap observing every frame.
+    pub fn set_event_hook(&mut self, hook: EventHook) {
+        self.hook = Some(hook);
+    }
+
+    /// The wrapped state machine (read-only).
+    pub fn node(&self) -> &ClientNode {
+        &self.node
+    }
+
+    /// The wrapped state machine (mutable, for diagnostics hooks).
+    pub fn node_mut(&mut self) -> &mut ClientNode {
+        &mut self.node
+    }
+
+    /// The state machine's transfer metrics.
+    pub fn metrics(&self) -> ClientMetrics {
+        self.node.metrics()
+    }
+
+    /// Driver-level wire counters.
+    pub fn stats(&self) -> DriverStats {
+        self.stats
+    }
+
+    /// Opens a session: emits the Hello.
+    pub fn connect(&mut self, conn: ConnId, now_ms: u64) -> Vec<ClientOutbound> {
+        let actions = self.node.connect(conn);
+        self.perform(actions, now_ms)
+    }
+
+    /// Forgets a connection (transport already gone; nothing to send).
+    pub fn disconnect(&mut self, conn: ConnId) {
+        self.node.disconnect(conn);
+    }
+
+    /// Records the result of an editing session (§6.1 `edit_finished`).
+    pub fn edit_finished(
+        &mut self,
+        file: &FileRef,
+        content: Vec<u8>,
+        now_ms: u64,
+    ) -> (VersionNumber, Vec<ClientOutbound>) {
+        let (version, actions) = self.node.edit_finished(file, content);
+        (version, self.perform(actions, now_ms))
+    }
+
+    /// Submits a job (§6.2), remembering its options for output routing.
+    pub fn submit(
+        &mut self,
+        conn: ConnId,
+        job_file: &FileRef,
+        data_files: &[FileRef],
+        options: SubmitOptions,
+        now_ms: u64,
+    ) -> Result<(RequestId, Vec<ClientOutbound>), ClientError> {
+        let (request, actions) = self
+            .node
+            .submit(conn, job_file, data_files, options.clone())?;
+        self.request_options.insert(request, options);
+        Ok((request, self.perform(actions, now_ms)))
+    }
+
+    /// Queries job status (§6.3).
+    pub fn status(
+        &mut self,
+        conn: ConnId,
+        job: Option<JobId>,
+        now_ms: u64,
+    ) -> Result<(RequestId, Vec<ClientOutbound>), ClientError> {
+        let (request, actions) = self.node.status(conn, job)?;
+        Ok((request, self.perform(actions, now_ms)))
+    }
+
+    /// Decodes one inbound frame and feeds it to the state machine.
+    pub fn feed_frame(
+        &mut self,
+        conn: ConnId,
+        frame: &[u8],
+        now_ms: u64,
+    ) -> Result<Vec<ClientOutbound>, FeedError> {
+        self.stats.frames_received += 1;
+        self.stats.bytes_received += frame.len() as u64;
+        if let Some(hook) = &mut self.hook {
+            hook(DriverEvent::FrameReceived { frame });
+        }
+        let (message, _used) =
+            Frame::decode::<ServerMessage>(frame)?.ok_or(FeedError::Incomplete)?;
+        let actions = self.node.handle(ClientEvent::Message {
+            conn,
+            message,
+            now_ms,
+        });
+        Ok(self.perform(actions, now_ms))
+    }
+
+    /// **The** client action dispatch: encodes sends, buffers
+    /// notifications. Nothing outside this function interprets a
+    /// [`ClientAction`].
+    fn perform(&mut self, actions: Vec<ClientAction>, now_ms: u64) -> Vec<ClientOutbound> {
+        let mut out = Vec::new();
+        for action in actions {
+            match action {
+                ClientAction::Send { conn, message } => {
+                    let info = self.classify(&message);
+                    let frame = Frame::encode(&message);
+                    self.stats.frames_sent += 1;
+                    self.stats.bytes_sent += frame.len() as u64;
+                    match info {
+                        FrameInfo::UpdateDelta { .. } => self.stats.deltas_sent += 1,
+                        FrameInfo::UpdateFull { .. } => self.stats.fulls_sent += 1,
+                        FrameInfo::Other => {}
+                    }
+                    if let Some(hook) = &mut self.hook {
+                        hook(DriverEvent::FrameSent {
+                            frame: &frame,
+                            info: &info,
+                        });
+                    }
+                    out.push(ClientOutbound { conn, frame, info });
+                }
+                ClientAction::Notify(n) => self.record(n, now_ms),
+            }
+        }
+        out
+    }
+
+    fn classify(&self, message: &ClientMessage) -> FrameInfo {
+        match message {
+            ClientMessage::Update { file, payload, .. } => match payload {
+                UpdatePayload::Full { .. } => FrameInfo::UpdateFull {
+                    file: *file,
+                    data_len: payload.data_len(),
+                },
+                UpdatePayload::Delta { .. } => FrameInfo::UpdateDelta {
+                    file: *file,
+                    data_len: payload.data_len(),
+                    file_size: self
+                        .node
+                        .file_size(*file)
+                        .unwrap_or_else(|| payload.data_len()),
+                },
+            },
+            _ => FrameInfo::Other,
+        }
+    }
+
+    fn record(&mut self, notification: Notification, now_ms: u64) {
+        self.stats.notifications += 1;
+        match &notification {
+            Notification::JobAccepted { request, job, .. } => {
+                if let Some(options) = self.request_options.remove(request) {
+                    self.job_options.insert(*job, options);
+                }
+            }
+            Notification::JobFinished {
+                conn,
+                job,
+                output,
+                errors,
+                stats,
+            } => {
+                self.finished.push(CompletedJob {
+                    conn: *conn,
+                    job: *job,
+                    output: output.clone(),
+                    errors: errors.clone(),
+                    stats: *stats,
+                    at_ms: now_ms,
+                });
+            }
+            _ => {}
+        }
+        self.notifications.push_back((now_ms, notification));
+    }
+
+    /// Drains all buffered notifications with their arrival times.
+    pub fn take_notifications(&mut self) -> Vec<(u64, Notification)> {
+        self.notifications.drain(..).collect()
+    }
+
+    /// Removes and returns the first buffered notification matching
+    /// `pred`, preserving the order of the rest.
+    pub fn take_notification_matching(
+        &mut self,
+        mut pred: impl FnMut(&Notification) -> bool,
+    ) -> Option<Notification> {
+        let idx = self.notifications.iter().position(|(_, n)| pred(n))?;
+        self.notifications.remove(idx).map(|(_, n)| n)
+    }
+
+    /// Drains all completed jobs.
+    pub fn take_finished(&mut self) -> Vec<CompletedJob> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// The submit options recorded for a job, for output routing.
+    pub fn options_for(&self, job: JobId) -> Option<&SubmitOptions> {
+        self.job_options.get(&job)
+    }
+}

@@ -1,0 +1,90 @@
+//! Time sources for the drivers.
+
+use std::time::Instant;
+
+/// A monotonic millisecond clock.
+///
+/// The drivers take `now_ms` values rather than reading time themselves,
+/// but runtimes (the poll loops, the live client) need a uniform way to
+/// produce those values whether time is real or simulated.
+pub trait Clock {
+    /// Milliseconds since this clock's epoch.
+    fn now_ms(&self) -> u64;
+}
+
+/// Wall time: milliseconds since the clock was created.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    started: Instant,
+}
+
+impl WallClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        WallClock {
+            started: Instant::now(),
+        }
+    }
+
+    /// The underlying epoch, for interop with `Instant`-based code.
+    pub fn started(&self) -> Instant {
+        self.started
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+}
+
+/// Virtual time, advanced explicitly by a discrete-event scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VirtualClock {
+    now_ms: u64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Advances to `now_ms`; time never moves backwards.
+    pub fn advance_to(&mut self, now_ms: u64) {
+        self.now_ms = self.now_ms.max(now_ms);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_is_monotone() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance_to(50);
+        assert_eq!(c.now_ms(), 50);
+        c.advance_to(20);
+        assert_eq!(c.now_ms(), 50, "must not go backwards");
+    }
+
+    #[test]
+    fn wall_clock_starts_near_zero() {
+        let c = WallClock::new();
+        assert!(c.now_ms() < 1_000);
+    }
+}

@@ -1,0 +1,50 @@
+//! The transport-agnostic driver runtime.
+//!
+//! The paper's central claim (§5, §7) is that **one** protocol — shadow
+//! caching plus demand-driven delta pull — behaves identically over a
+//! 9600-baud simulated link and a real long-haul connection. This crate
+//! makes that claim true *by construction*: it is the single place that
+//! turns the sans-io state machines ([`shadow_client::ClientNode`],
+//! [`shadow_server::ServerNode`]) into running endpoints. Every
+//! deployment — the discrete-event simulator, the in-process
+//! threads-and-pipes system, and the TCP daemon — drives the same
+//! [`ClientDriver`]/[`ServerDriver`] and therefore produces the same
+//! bytes on the wire.
+//!
+//! The pieces:
+//!
+//! * [`Clock`] — wall time ([`WallClock`]) vs. externally-advanced
+//!   virtual time ([`VirtualClock`]), so the drivers never call
+//!   `Instant::now()` themselves;
+//! * [`FrameTransport`] — a byte-frame pipe; implemented by
+//!   `shadow_netsim`'s in-process pipes and TCP framing;
+//! * [`TimerQueue`] — deadline-ordered, FIFO on ties, replacing the two
+//!   divergent ad-hoc timer structures the drivers used to carry;
+//! * [`ClientDriver`] / [`ServerDriver`] — own the encode→send /
+//!   receive→decode→feed loop, `SetTimer` handling, and notification
+//!   buffering. The `ClientAction`/`ServerAction` match arms live here
+//!   and **only** here;
+//! * [`ServerRuntime`] — the generic accept/read/feed/timer poll loop
+//!   shared by every wall-clock server deployment;
+//! * [`DriverEvent`] — a structured instrumentation tap (frames and
+//!   bytes on the wire, deltas vs. full transfers, timers) used by the
+//!   equivalence tests and by metrics collection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client_driver;
+mod clock;
+mod event;
+mod server_driver;
+mod server_runtime;
+mod timer;
+mod transport;
+
+pub use client_driver::{ClientDriver, ClientOutbound};
+pub use clock::{Clock, VirtualClock, WallClock};
+pub use event::{CompletedJob, DriverEvent, DriverStats, EventHook, FeedError, FrameInfo};
+pub use server_driver::{ServerDriver, ServerIo, ServerOutbound};
+pub use server_runtime::{Accepted, ServerRuntime, SessionAcceptor};
+pub use timer::TimerQueue;
+pub use transport::{FrameTransport, TransportClosed};

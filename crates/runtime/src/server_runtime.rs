@@ -1,0 +1,188 @@
+//! A transport-generic server poll loop.
+
+use shadow_server::{ServerNode, SessionId};
+
+use crate::clock::Clock;
+use crate::server_driver::{ServerDriver, ServerIo};
+use crate::transport::FrameTransport;
+
+/// One step of accepting new sessions.
+pub enum Accepted<T> {
+    /// A new session arrived on the given transport.
+    Session(T),
+    /// Nothing waiting right now.
+    None,
+    /// The listener is gone; no further sessions will ever arrive.
+    Closed,
+}
+
+/// A source of incoming sessions: the listening half of a deployment.
+///
+/// The live system implements this over a crossbeam channel of pipe
+/// ends; the TCP daemon over a non-blocking `TcpListener`.
+pub trait SessionAcceptor {
+    /// The transport handed out for each accepted session.
+    type Transport: FrameTransport;
+    /// Errors the listener itself can raise (distinct from per-session
+    /// transport failures, which just close that session).
+    type Error;
+
+    /// Polls for one new session without blocking.
+    fn poll_accept(&mut self) -> Result<Accepted<Self::Transport>, Self::Error>;
+}
+
+struct Session<T> {
+    id: SessionId,
+    transport: T,
+    alive: bool,
+}
+
+/// The shared server event loop: accept → read → feed → fire timers →
+/// reap dead sessions.
+///
+/// Both wall-clock deployments (in-process live system, TCP daemon) are
+/// thin wrappers around this; they differ only in their
+/// [`SessionAcceptor`] and [`FrameTransport`]. A session whose
+/// transport fails (read or write) is reported to the driver as
+/// disconnected exactly once and then forgotten.
+pub struct ServerRuntime<A: SessionAcceptor, C: Clock> {
+    driver: ServerDriver,
+    acceptor: A,
+    clock: C,
+    sessions: Vec<Session<A::Transport>>,
+    next_session: u64,
+    closed: bool,
+}
+
+impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
+    /// Builds a runtime around a server state machine.
+    pub fn new(node: ServerNode, acceptor: A, clock: C) -> Self {
+        ServerRuntime {
+            driver: ServerDriver::new(node),
+            acceptor,
+            clock,
+            sessions: Vec::new(),
+            next_session: 1,
+            closed: false,
+        }
+    }
+
+    /// The underlying driver (read-only).
+    pub fn driver(&self) -> &ServerDriver {
+        &self.driver
+    }
+
+    /// The underlying driver (mutable, for installing hooks).
+    pub fn driver_mut(&mut self) -> &mut ServerDriver {
+        &mut self.driver
+    }
+
+    /// Unwraps the state machine (for post-shutdown inspection).
+    pub fn into_node(self) -> ServerNode {
+        self.driver.into_node()
+    }
+
+    /// True once the acceptor reported [`Accepted::Closed`].
+    pub fn acceptor_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Live session count.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when there is nothing left to do: no sessions and no
+    /// pending timers.
+    pub fn idle(&self) -> bool {
+        self.sessions.is_empty() && self.driver.timers_idle()
+    }
+
+    /// Runs one scheduling round. Returns `true` if any work happened
+    /// (a session accepted, a frame processed, a timer fired), so
+    /// callers can sleep when the loop goes quiet.
+    pub fn poll_once(&mut self) -> Result<bool, A::Error> {
+        let mut busy = false;
+
+        if !self.closed {
+            loop {
+                match self.acceptor.poll_accept()? {
+                    Accepted::Session(transport) => {
+                        let id = SessionId::new(self.next_session);
+                        self.next_session += 1;
+                        self.sessions.push(Session {
+                            id,
+                            transport,
+                            alive: true,
+                        });
+                        let now = self.clock.now_ms();
+                        let io = self.driver.connected(id, now);
+                        self.dispatch(io);
+                        busy = true;
+                    }
+                    Accepted::None => break,
+                    Accepted::Closed => {
+                        self.closed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        for i in 0..self.sessions.len() {
+            while self.sessions[i].alive {
+                match self.sessions[i].transport.try_recv_frame() {
+                    Ok(Some(frame)) => {
+                        busy = true;
+                        let id = self.sessions[i].id;
+                        let now = self.clock.now_ms();
+                        match self.driver.feed_frame(id, &frame, now, |_| 0) {
+                            Ok(io) => self.dispatch(io),
+                            // A frame that cannot be decoded means the
+                            // peer is hopelessly confused; drop them.
+                            Err(_) => self.sessions[i].alive = false,
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => self.sessions[i].alive = false,
+                }
+            }
+        }
+
+        let now = self.clock.now_ms();
+        if self.driver.next_deadline().is_some_and(|d| d <= now) {
+            busy = true;
+        }
+        let io = self.driver.fire_due(now, 0);
+        self.dispatch(io);
+
+        // Reap in a loop: disconnect handling can emit sends whose
+        // failure kills further sessions.
+        while let Some(pos) = self.sessions.iter().position(|s| !s.alive) {
+            let dead = self.sessions.remove(pos);
+            let now = self.clock.now_ms();
+            let io = self.driver.disconnected(dead.id, now);
+            self.dispatch(io);
+            busy = true;
+        }
+
+        Ok(busy)
+    }
+
+    /// Routes driver output to the owning transports. Armed deadlines
+    /// are ignored here: wall-clock runtimes poll
+    /// [`ServerDriver::next_deadline`] each round instead.
+    fn dispatch(&mut self, io: ServerIo) {
+        for out in io.outbound {
+            if let Some(s) = self
+                .sessions
+                .iter_mut()
+                .find(|s| s.id == out.session && s.alive)
+            {
+                if s.transport.send_frame(out.frame).is_err() {
+                    s.alive = false;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Deadline-ordered timers with FIFO tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<T> {
+    deadline_ms: u64,
+    seq: u64,
+    token: T,
+}
+
+// Ordered by (deadline, arm order) only; the token does not participate.
+// `BinaryHeap` is a max-heap, so comparisons are reversed to pop the
+// earliest deadline first.
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline_ms == other.deadline_ms && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.deadline_ms, other.seq).cmp(&(self.deadline_ms, self.seq))
+    }
+}
+
+/// A queue of pending timers, popped in deadline order; timers armed for
+/// the *same* deadline fire in the order they were armed.
+///
+/// This replaces the two divergent structures the deployments used to
+/// hand-roll: the TCP daemon's unordered `Vec` scanned against `now_ms`
+/// and the live system's `VecDeque` of `Instant` deadlines. Both were
+/// deadline-correct but disagreed on tie order; every runtime now gets
+/// the same semantics from this queue.
+pub struct TimerQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> TimerQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        TimerQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Arms a timer for `deadline_ms`.
+    pub fn schedule(&mut self, deadline_ms: u64, token: T) {
+        self.seq += 1;
+        self.heap.push(Entry {
+            deadline_ms,
+            seq: self.seq,
+            token,
+        });
+    }
+
+    /// Pops the earliest timer due at or before `now_ms`.
+    pub fn pop_due(&mut self, now_ms: u64) -> Option<(u64, T)> {
+        if self.heap.peek()?.deadline_ms <= now_ms {
+            let e = self.heap.pop().expect("peeked");
+            Some((e.deadline_ms, e.token))
+        } else {
+            None
+        }
+    }
+
+    /// The earliest pending deadline.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.deadline_ms)
+    }
+
+    /// Pending timer count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for TimerQueue<T> {
+    fn default() -> Self {
+        TimerQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_deadline_order() {
+        let mut q = TimerQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.next_deadline(), Some(10));
+        assert_eq!(q.pop_due(100), Some((10, "a")));
+        assert_eq!(q.pop_due(100), Some((20, "b")));
+        assert_eq!(q.pop_due(100), Some((30, "c")));
+        assert_eq!(q.pop_due(100), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn nothing_due_before_deadline() {
+        let mut q = TimerQueue::new();
+        q.schedule(50, ());
+        assert_eq!(q.pop_due(49), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(50), Some((50, ())));
+    }
+
+    // Regression: the pre-runtime deployments disagreed on the order of
+    // timers armed for identical delays (unordered Vec scan vs. FIFO
+    // VecDeque). The unified queue must fire same-deadline timers in
+    // the order they were armed, whatever the arming interleaving.
+    #[test]
+    fn identical_deadlines_fire_in_arm_order() {
+        let mut q = TimerQueue::new();
+        q.schedule(100, 1);
+        q.schedule(100, 2);
+        q.schedule(40, 0);
+        q.schedule(100, 3);
+        let mut fired = Vec::new();
+        while let Some((_, t)) = q.pop_due(100) {
+            fired.push(t);
+        }
+        assert_eq!(fired, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn interleaved_arming_between_pops_keeps_fifo_ties() {
+        let mut q = TimerQueue::new();
+        q.schedule(10, "first");
+        q.schedule(10, "second");
+        assert_eq!(q.pop_due(10), Some((10, "first")));
+        // Arming another timer for the same (already reached) deadline
+        // must not jump ahead of older pending ties elsewhere.
+        q.schedule(10, "third");
+        assert_eq!(q.pop_due(10), Some((10, "second")));
+        assert_eq!(q.pop_due(10), Some((10, "third")));
+    }
+}

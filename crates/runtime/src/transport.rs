@@ -1,0 +1,41 @@
+//! The byte-frame transport abstraction.
+
+use std::fmt;
+use std::time::Duration;
+
+/// The peer is gone: the pipe, channel, or socket closed.
+///
+/// Transports collapse their own error vocabularies (EOF, reset,
+/// disconnected channel…) into this single terminal condition; the
+/// drivers treat any transport failure as a session disconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportClosed;
+
+impl fmt::Display for TransportClosed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transport closed by peer")
+    }
+}
+
+impl std::error::Error for TransportClosed {}
+
+/// A bidirectional pipe carrying whole frames (already length-delimited
+/// by the transport).
+///
+/// This is the seam between the shared runtime and each deployment's
+/// I/O: in-process crossbeam pipes, framed TCP sockets, or anything
+/// else that can move a `Vec<u8>`. Implementations live next to the
+/// transport itself (in `shadow-netsim`), not here.
+pub trait FrameTransport {
+    /// Sends one frame.
+    fn send_frame(&mut self, frame: Vec<u8>) -> Result<(), TransportClosed>;
+
+    /// Receives one frame, waiting up to `timeout`. `Ok(None)` means
+    /// the wait elapsed with nothing to read.
+    fn recv_frame(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportClosed>;
+
+    /// Receives one frame without waiting.
+    fn try_recv_frame(&mut self) -> Result<Option<Vec<u8>>, TransportClosed> {
+        self.recv_frame(Duration::ZERO)
+    }
+}

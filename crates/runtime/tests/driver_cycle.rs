@@ -1,0 +1,160 @@
+//! End-to-end exercise of the drivers with no deployment at all: frames
+//! are ferried between a `ClientDriver` and a `ServerDriver` by hand, and
+//! time is a plain counter. If this passes, every transport adapter only
+//! has to move bytes.
+
+use shadow_client::{ClientConfig, ClientNode, ConnId, FileRef, Notification};
+use shadow_proto::{FileId, SubmitOptions};
+use shadow_runtime::{ClientDriver, Clock, DriverEvent, ServerDriver, VirtualClock};
+use shadow_server::{ServerConfig, ServerNode, SessionId};
+
+struct Harness {
+    client: ClientDriver,
+    server: ServerDriver,
+    conn: ConnId,
+    session: SessionId,
+    clock: VirtualClock,
+}
+
+impl Harness {
+    fn new() -> Self {
+        let mut h = Harness {
+            client: ClientDriver::new(ClientNode::new(ClientConfig::new("ws", 1))),
+            server: ServerDriver::new(ServerNode::new(ServerConfig::new("sc"))),
+            conn: ConnId::new(0),
+            session: SessionId::new(1),
+            clock: VirtualClock::new(),
+        };
+        let now = h.clock.now_ms();
+        let io = h.server.connected(h.session, now);
+        assert!(io.outbound.is_empty(), "connect is client-initiated");
+        let out = h.client.connect(h.conn, now);
+        h.ferry(out);
+        h
+    }
+
+    /// Moves frames back and forth (and fires due timers, advancing the
+    /// virtual clock to each deadline) until the system quiesces.
+    fn ferry(&mut self, mut client_out: Vec<shadow_runtime::ClientOutbound>) {
+        loop {
+            let mut server_out = Vec::new();
+            for o in client_out.drain(..) {
+                let io = self
+                    .server
+                    .feed_frame(self.session, &o.frame, self.clock.now_ms(), |_| 0)
+                    .expect("client frames decode");
+                server_out.extend(io.outbound);
+            }
+            while let Some(deadline) = self.server.next_deadline() {
+                self.clock.advance_to(deadline);
+                let io = self.server.fire_due(self.clock.now_ms(), 0);
+                server_out.extend(io.outbound);
+            }
+            if server_out.is_empty() {
+                return;
+            }
+            for o in server_out {
+                let out = self
+                    .client
+                    .feed_frame(self.conn, &o.frame, self.clock.now_ms())
+                    .expect("server frames decode");
+                client_out.extend(out);
+            }
+            if client_out.is_empty() {
+                return;
+            }
+        }
+    }
+
+    fn edit(&mut self, file: &FileRef, content: &[u8]) {
+        let now = self.clock.now_ms();
+        let (_, out) = self.client.edit_finished(file, content.to_vec(), now);
+        self.ferry(out);
+    }
+
+    fn submit(&mut self, job: &FileRef, data: &[FileRef]) {
+        let now = self.clock.now_ms();
+        let (_, out) = self
+            .client
+            .submit(self.conn, job, data, SubmitOptions::default(), now)
+            .expect("submit accepted");
+        self.ferry(out);
+    }
+}
+
+#[test]
+fn handshake_then_job_completes() {
+    let mut h = Harness::new();
+    assert!(h
+        .client
+        .take_notification_matching(|n| matches!(n, Notification::SessionReady { .. }))
+        .is_some());
+
+    let job = FileRef::new(FileId::new(1), "ws:/hello.job");
+    h.edit(&job, b"echo runtime\n");
+    h.submit(&job, &[]);
+
+    let done = h.client.take_finished();
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].output, b"runtime\n");
+    assert_eq!(done[0].stats.exit_code, 0);
+    assert_eq!(h.server.metrics().jobs_completed, 1);
+
+    // The timer that ran the job went through the driver's queue.
+    let s = h.server.stats();
+    assert!(s.timers_armed >= 1);
+    assert_eq!(s.timers_armed, s.timers_fired);
+    assert!(h.server.timers_idle());
+}
+
+#[test]
+fn resubmission_travels_as_delta_and_stats_count_frames() {
+    let mut h = Harness::new();
+    let data = FileRef::new(FileId::new(2), "ws:/data");
+    let job = FileRef::new(FileId::new(1), "ws:/job");
+    let content: Vec<u8> = (0..500)
+        .flat_map(|i| format!("row {i}\n").into_bytes())
+        .collect();
+    h.edit(&data, &content);
+    h.edit(&job, b"wc ws:/data\n");
+    h.submit(&job, std::slice::from_ref(&data));
+
+    let mut edited = content;
+    edited.extend_from_slice(b"one more\n");
+    h.edit(&data, &edited);
+    h.submit(&job, std::slice::from_ref(&data));
+
+    assert_eq!(h.client.take_finished().len(), 2);
+    let cs = h.client.stats();
+    assert_eq!(cs.deltas_sent, 1, "second upload is a delta: {cs:?}");
+    assert!(cs.fulls_sent >= 2, "initial uploads were full: {cs:?}");
+    // Both sides agree about how many frames crossed each way.
+    let ss = h.server.stats();
+    assert_eq!(cs.frames_sent, ss.frames_received);
+    assert_eq!(cs.bytes_sent, ss.bytes_received);
+    assert_eq!(ss.frames_sent, cs.frames_received);
+}
+
+#[test]
+fn event_hook_sees_every_sent_frame() {
+    use std::sync::{Arc, Mutex};
+
+    let mut h = Harness::new();
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let tap = Arc::clone(&seen);
+    h.client.set_event_hook(Box::new(move |e| {
+        if let DriverEvent::FrameSent { frame, .. } = e {
+            tap.lock().unwrap().push(frame.to_vec());
+        }
+    }));
+
+    let job = FileRef::new(FileId::new(1), "ws:/j");
+    h.edit(&job, b"echo tap\n");
+    h.submit(&job, &[]);
+
+    let frames = seen.lock().unwrap();
+    let stats = h.client.stats();
+    // The hook was installed after the Hello, so it saw everything since.
+    assert_eq!(frames.len() as u64 + 1, stats.frames_sent);
+    assert!(frames.iter().all(|f| !f.is_empty()));
+}

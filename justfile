@@ -1,0 +1,20 @@
+# Development shortcuts. `just check` is what CI runs.
+
+# Build everything, run the full test suite, and lint.
+check: build test lint
+
+# Release build of the whole workspace.
+build:
+    cargo build --release
+
+# The full test suite (unit + integration + property tests).
+test:
+    cargo test -q
+
+# Clippy with warnings promoted to errors.
+lint:
+    cargo clippy -- -D warnings
+
+# Regenerate the paper's figures/tables (slow; see EXPERIMENTS.md).
+experiments:
+    cargo test -q --release -p shadow experiment

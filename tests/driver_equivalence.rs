@@ -1,0 +1,156 @@
+//! Property-based transport equivalence: a randomly generated
+//! edit/submit/resubmit script replayed through the [`Simulation`] and
+//! through a [`LiveSystem`] must put the *identical byte sequence* of
+//! client→server frames on the wire and produce identical job outputs.
+//!
+//! Both deployments are adapters over the same `shadow-runtime` drivers,
+//! so any divergence here means an adapter is reordering, dropping, or
+//! re-encoding traffic. Client→server frames carry no timestamps, which
+//! makes byte equality meaningful; server→client frames embed job stats
+//! and are compared only through the outputs they deliver.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use shadow::{
+    profiles, ClientConfig, DriverEvent, FileRef, LiveSystem, ServerConfig, Simulation,
+    SubmitOptions,
+};
+use shadow_proto::{ContentDigest, FileId};
+
+/// One step of the script: mutate `/data` this way, then submit.
+#[derive(Debug, Clone, Copy)]
+struct EditOp {
+    replace: bool,
+    idx: u64,
+}
+
+const LINES: u64 = 200;
+
+fn base_content() -> Vec<u8> {
+    (0..LINES)
+        .map(|i| format!("entry {i} = {}\n", i * 31 % 1000))
+        .collect::<String>()
+        .into_bytes()
+}
+
+fn apply(cur: &mut Vec<u8>, op: EditOp) {
+    let text = String::from_utf8(cur.clone()).unwrap();
+    let idx = op.idx % LINES;
+    let next = if op.replace {
+        text.replace(&format!("entry {idx} ="), &format!("ENTRY {idx} ="))
+    } else {
+        format!("{text}entry {} = appended\n", LINES + idx)
+    };
+    *cur = next.into_bytes();
+}
+
+/// Captures the bytes of every frame a client driver sends.
+fn tap() -> (Arc<Mutex<Vec<Vec<u8>>>>, shadow::EventHook) {
+    let seen: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&seen);
+    let hook: shadow::EventHook = Box::new(move |e| {
+        if let DriverEvent::FrameSent { frame, .. } = e {
+            sink.lock().unwrap().push(frame.to_vec());
+        }
+    });
+    (seen, hook)
+}
+
+fn run_sim(script: &[EditOp]) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let mut sim = Simulation::new(1);
+    let server = sim.add_server("sc", ServerConfig::new("sc"));
+    let client = sim.add_client("ws", ClientConfig::new("ws", 1));
+    let conn = sim.connect(client, server, profiles::cypress()).unwrap();
+    // Installed after connect so that, like the live client (whose Hello
+    // is sent inside the constructor), the tap starts after the Hello.
+    let (frames, hook) = tap();
+    sim.set_client_event_hook(client, hook);
+
+    let mut content = base_content();
+    let v0 = content.clone();
+    sim.edit_file(client, "/data", move |_| v0.clone()).unwrap();
+    let name = sim.canonical_name(client, "/data").unwrap();
+    sim.edit_file(client, "/run.job", move |_| {
+        format!("grep ENTRY {name}\n").into_bytes()
+    })
+    .unwrap();
+
+    for op in script {
+        apply(&mut content, *op);
+        let v = content.clone();
+        sim.edit_file(client, "/data", move |_| v.clone()).unwrap();
+        sim.submit(client, conn, "/run.job", &["/data"], SubmitOptions::default())
+            .unwrap();
+        sim.run_until_quiet();
+    }
+    let outputs = sim
+        .finished_jobs(client)
+        .iter()
+        .map(|j| j.output.clone())
+        .collect();
+    let frames = frames.lock().unwrap().clone();
+    (frames, outputs)
+}
+
+fn run_live(script: &[EditOp]) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let system = LiveSystem::start(ServerConfig::new("sc"));
+    let mut client = system.connect_client(ClientConfig::new("ws", 1));
+    let (frames, hook) = tap();
+    client.set_event_hook(hook);
+    client.wait_ready(Duration::from_secs(5)).unwrap();
+
+    // Mirror the simulation's vfs-derived file ids so both worlds name
+    // identical files on the wire.
+    let data = FileRef::new(id_for("ws", "/data"), "ws:/data");
+    let job = FileRef::new(id_for("ws", "/run.job"), "ws:/run.job");
+    let mut content = base_content();
+    client.edit_finished(&data, content.clone());
+    client.edit_finished(&job, b"grep ENTRY ws:/data\n".to_vec());
+
+    let mut outputs = Vec::new();
+    for op in script {
+        apply(&mut content, *op);
+        client.edit_finished(&data, content.clone());
+        client
+            .submit(&job, std::slice::from_ref(&data), SubmitOptions::default())
+            .unwrap();
+        let (_, output, _, _) = client.wait_job(Duration::from_secs(10)).unwrap();
+        outputs.push(output);
+    }
+    drop(client);
+    system.shutdown();
+    let frames = frames.lock().unwrap().clone();
+    (frames, outputs)
+}
+
+fn id_for(host: &str, path: &str) -> FileId {
+    let digest = ContentDigest::of(format!("{host}\u{0}{path}").as_bytes());
+    FileId::new(digest.as_u64())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn sim_and_live_put_identical_frames_on_the_wire(
+        script in prop::collection::vec(
+            (any::<bool>(), 0u64..LINES).prop_map(|(replace, idx)| EditOp { replace, idx }),
+            1..4,
+        ),
+    ) {
+        let (sim_frames, sim_outputs) = run_sim(&script);
+        let (live_frames, live_outputs) = run_live(&script);
+        prop_assert_eq!(
+            sim_frames.len(),
+            live_frames.len(),
+            "frame count diverged for {:?}",
+            script
+        );
+        for (i, (s, l)) in sim_frames.iter().zip(&live_frames).enumerate() {
+            prop_assert_eq!(s, l, "frame {} diverged for {:?}", i, script);
+        }
+        prop_assert_eq!(sim_outputs, live_outputs);
+    }
+}
