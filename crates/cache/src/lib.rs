@@ -276,6 +276,27 @@ impl ShadowStore {
     pub fn iter(&self) -> impl Iterator<Item = (&FileKey, &CacheEntry)> {
         self.entries.iter()
     }
+
+    /// A deterministic digest of the *protocol-visible* cache state: the
+    /// sorted `(key, version, content digest)` triples plus the bytes in
+    /// use. Recency/frequency bookkeeping and hit counters are
+    /// deliberately excluded — the model checker uses this to deduplicate
+    /// explored states, and two caches holding the same shadows behave
+    /// identically at the protocol level as long as no eviction is
+    /// pending (checker scenarios run far below the byte budget).
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut items: Vec<(FileKey, VersionNumber, u64)> = self
+            .entries
+            .iter()
+            .map(|(k, e)| (*k, e.version, e.digest.as_u64()))
+            .collect();
+        items.sort_unstable();
+        let mut h = shadow_proto::StableHasher::new();
+        items.hash(&mut h);
+        self.used.hash(&mut h);
+        h.finish()
+    }
 }
 
 #[cfg(test)]

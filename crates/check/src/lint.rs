@@ -1,0 +1,609 @@
+//! Repo-specific source lints for the sans-io discipline.
+//!
+//! These are deliberately *textual* (comment/string stripping plus
+//! brace matching — no rustc, no syn): they run offline in milliseconds
+//! and enforce rules clippy has no names for:
+//!
+//! 1. **No wall-clock reads in protocol crates.** The sans-io crates
+//!    (`proto`, `diff`, `compress`, `version`, `cache`, `client`,
+//!    `server`, `runtime`) must take time as an argument; `SystemTime`
+//!    and `Instant::now` are banned there. The single allowlisted file
+//!    is `crates/runtime/src/clock.rs`, the one place wall time is
+//!    permitted to enter the system.
+//! 2. **No panics in wire-decode paths.** `crates/proto/src/wire.rs`
+//!    parses bytes from the network; outside `#[cfg(test)]` it must not
+//!    contain `unwrap`/`expect`/`panic!`-family macros or panicking
+//!    index expressions — malformed input must surface as `WireError`.
+//! 3. **Variant coverage.** Every `ClientMessage`/`ServerMessage`
+//!    variant must appear in the proto round-trip property tests, and
+//!    every `DriverEvent` variant must actually be emitted by a driver
+//!    (dead instrumentation variants rot silently otherwise).
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose sources must stay free of wall-clock reads.
+const SANS_IO_CRATES: &[&str] = &[
+    "proto", "diff", "compress", "version", "cache", "client", "server", "runtime",
+];
+
+/// Files exempt from the wall-clock rule (path suffix match).
+const WALL_CLOCK_ALLOW: &[&str] = &["crates/runtime/src/clock.rs"];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line number (0 when the finding is file-level).
+    pub line: usize,
+    /// Stable rule identifier.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Replaces comments, string literals, and char literals with spaces,
+/// preserving line structure so findings keep their line numbers.
+pub fn strip_code(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < b.len() {
+        match b[i] {
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                while i < b.len() && b[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                let mut depth = 1;
+                out.push(' ');
+                out.push(' ');
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+            }
+            'r' if i + 1 < b.len() && (b[i + 1] == '"' || b[i + 1] == '#') => {
+                // Raw string r"…" / r#"…"# (any hash count).
+                let start = i;
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == '"' {
+                    out.push(' ');
+                    out.extend(std::iter::repeat_n(' ', hashes + 1));
+                    i = j + 1;
+                    'raw: while i < b.len() {
+                        if b[i] == '"' {
+                            let mut k = i + 1;
+                            let mut h = 0;
+                            while k < b.len() && b[k] == '#' && h < hashes {
+                                h += 1;
+                                k += 1;
+                            }
+                            if h == hashes {
+                                out.extend(std::iter::repeat_n(' ', hashes + 1));
+                                i = k;
+                                break 'raw;
+                            }
+                        }
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                } else {
+                    out.push(b[start]);
+                    i = start + 1;
+                }
+            }
+            '"' => {
+                out.push(' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == '\\' && i + 1 < b.len() {
+                        out.push(' ');
+                        out.push(blank(b[i + 1]));
+                        i += 2;
+                    } else if b[i] == '"' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal vs. lifetime: a literal closes with a
+                // quote after one (possibly escaped) character.
+                let is_char = if i + 2 < b.len() && b[i + 1] == '\\' {
+                    true
+                } else {
+                    i + 2 < b.len() && b[i + 2] == '\''
+                };
+                if is_char {
+                    out.push(' ');
+                    i += 1;
+                    if i < b.len() && b[i] == '\\' {
+                        out.push(' ');
+                        i += 1;
+                        // Escapes like \n, \x7f, \u{..}: skip to quote.
+                        while i < b.len() && b[i] != '\'' {
+                            out.push(blank(b[i]));
+                            i += 1;
+                        }
+                    } else if i < b.len() {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                    if i < b.len() && b[i] == '\'' {
+                        out.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Blanks every `#[cfg(test)]` item (attribute through the matching
+/// close brace, or the terminating `;`), preserving line structure.
+/// Input should already be comment/string-stripped.
+pub fn strip_cfg_test(stripped: &str) -> String {
+    let mut out: Vec<char> = stripped.chars().collect();
+    let needle: Vec<char> = "#[cfg(test)]".chars().collect();
+    let mut i = 0;
+    while i + needle.len() <= out.len() {
+        if out[i..i + needle.len()] != needle[..] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + needle.len();
+        // Skip further attributes and the item header to the first `{`
+        // or a `;` at zero brace depth (e.g. `#[cfg(test)] mod t;`).
+        let mut end = None;
+        while j < out.len() {
+            match out[j] {
+                '{' => {
+                    let mut depth = 0usize;
+                    while j < out.len() {
+                        match out[j] {
+                            '{' => depth += 1,
+                            '}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    end = Some(j + 1);
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    break;
+                }
+                ';' => {
+                    end = Some(j + 1);
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let end = end.unwrap_or(out.len());
+        for c in out.iter_mut().take(end).skip(start) {
+            if *c != '\n' {
+                *c = ' ';
+            }
+        }
+        i = end;
+    }
+    out.into_iter().collect()
+}
+
+fn line_of(text: &str, byte_idx: usize) -> usize {
+    text[..byte_idx].chars().filter(|c| *c == '\n').count() + 1
+}
+
+fn find_token(stripped: &str, token: &str) -> Vec<usize> {
+    let mut lines = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = stripped[from..].find(token) {
+        let at = from + pos;
+        lines.push(line_of(stripped, at));
+        from = at + token.len();
+    }
+    lines
+}
+
+/// Rule 1: wall-clock reads in a sans-io source file.
+pub fn check_wall_clock(label: &str, code: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for token in ["SystemTime", "Instant::now"] {
+        for line in find_token(code, token) {
+            findings.push(Finding {
+                file: label.to_string(),
+                line,
+                rule: "wall-clock",
+                message: format!(
+                    "`{token}` in a sans-io crate: time must arrive as an \
+                     argument (now_ms) or through the runtime Clock"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Rule 2: panicking constructs in a wire-decode source file
+/// (input already comment/string/test-stripped).
+pub fn check_decode_panics(label: &str, code: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for token in [
+        ".unwrap()",
+        ".expect(",
+        "panic!(",
+        "unreachable!(",
+        "todo!(",
+        "unimplemented!(",
+    ] {
+        for line in find_token(code, token) {
+            findings.push(Finding {
+                file: label.to_string(),
+                line,
+                rule: "decode-panic",
+                message: format!(
+                    "`{token}` in a wire-decode path: malformed network \
+                     bytes must produce WireError, never a panic"
+                ),
+            });
+        }
+    }
+    // Index expressions `expr[...]`: '[' directly preceded by an
+    // identifier character or a closing paren/bracket. Attributes
+    // (`#[`), slice types (`&[u8]`), and array literals (`([1, 2]`)
+    // all have non-expression characters before '['.
+    let chars: Vec<char> = code.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' || i == 0 {
+            continue;
+        }
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']' {
+            let byte_idx = chars[..i].iter().map(|ch| ch.len_utf8()).sum();
+            findings.push(Finding {
+                file: label.to_string(),
+                line: line_of(code, byte_idx),
+                rule: "decode-panic",
+                message: "index expression in a wire-decode path can panic \
+                          on truncated input; use `get`/`first_chunk`"
+                    .to_string(),
+            });
+        }
+    }
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// Extracts the variant names of `enum <name>` from stripped source.
+pub fn enum_variants(stripped: &str, name: &str) -> Vec<String> {
+    let header = format!("enum {name}");
+    let Some(pos) = stripped.find(&header) else {
+        return Vec::new();
+    };
+    let body_start = match stripped[pos..].find('{') {
+        Some(off) => pos + off + 1,
+        None => return Vec::new(),
+    };
+    let mut variants = Vec::new();
+    let mut depth = 1usize;
+    let mut chars = stripped[body_start..].char_indices().peekable();
+    let mut at_variant_start = true;
+    while let Some((_, c)) = chars.next() {
+        match c {
+            '{' | '(' => depth += 1,
+            '}' | ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                if depth == 1 {
+                    at_variant_start = true;
+                }
+            }
+            ',' if depth == 1 => at_variant_start = true,
+            '#' if depth == 1 => {
+                // Attribute: skip the bracketed group.
+                if let Some((_, '[')) = chars.peek().copied() {
+                    let mut d = 0;
+                    for (_, c2) in chars.by_ref() {
+                        match c2 {
+                            '[' => d += 1,
+                            ']' => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            c if depth == 1 && at_variant_start && c.is_ascii_uppercase() => {
+                let mut ident = String::new();
+                ident.push(c);
+                while let Some(&(_, c2)) = chars.peek() {
+                    if c2.is_alphanumeric() || c2 == '_' {
+                        ident.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                variants.push(ident);
+                at_variant_start = false;
+            }
+            _ => {}
+        }
+    }
+    variants
+}
+
+fn rust_files_under(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            rust_files_under(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_label(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Runs every lint over the workspace rooted at `root` (the directory
+/// containing `crates/`). Returns all findings; empty means clean.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+
+    // Rule 1: wall-clock reads in sans-io crates.
+    for krate in SANS_IO_CRATES {
+        let src_dir = root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        rust_files_under(&src_dir, &mut files)?;
+        files.sort();
+        for path in files {
+            let label = rel_label(root, &path);
+            if WALL_CLOCK_ALLOW.iter().any(|a| label.ends_with(a)) {
+                continue;
+            }
+            let code = strip_cfg_test(&strip_code(&fs::read_to_string(&path)?));
+            findings.extend(check_wall_clock(&label, &code));
+        }
+    }
+
+    // Rule 2: panic-free wire decoding.
+    let wire = root.join("crates/proto/src/wire.rs");
+    if wire.exists() {
+        let code = strip_cfg_test(&strip_code(&fs::read_to_string(&wire)?));
+        findings.extend(check_decode_panics(&rel_label(root, &wire), &code));
+    } else {
+        findings.push(Finding {
+            file: "crates/proto/src/wire.rs".to_string(),
+            line: 0,
+            rule: "decode-panic",
+            message: "wire.rs not found; cannot verify decode paths".to_string(),
+        });
+    }
+
+    // Rule 3a: every protocol message variant is round-trip tested.
+    let message_src = strip_code(
+        &fs::read_to_string(root.join("crates/proto/src/message.rs")).unwrap_or_default(),
+    );
+    let prop_path = root.join("crates/proto/tests/prop.rs");
+    let prop_src = strip_code(&fs::read_to_string(&prop_path).unwrap_or_default());
+    for enum_name in ["ClientMessage", "ServerMessage"] {
+        let variants = enum_variants(&message_src, enum_name);
+        if variants.is_empty() {
+            findings.push(Finding {
+                file: "crates/proto/src/message.rs".to_string(),
+                line: 0,
+                rule: "variant-coverage",
+                message: format!("could not locate `enum {enum_name}`"),
+            });
+            continue;
+        }
+        for v in variants {
+            if !prop_src.contains(&format!("{enum_name}::{v}")) {
+                findings.push(Finding {
+                    file: rel_label(root, &prop_path),
+                    line: 0,
+                    rule: "variant-coverage",
+                    message: format!(
+                        "{enum_name}::{v} never appears in the round-trip \
+                         property tests"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Rule 3b: every DriverEvent variant is emitted by some driver.
+    let event_path = root.join("crates/runtime/src/event.rs");
+    let event_src = strip_code(&fs::read_to_string(&event_path).unwrap_or_default());
+    let variants = enum_variants(&event_src, "DriverEvent");
+    if variants.is_empty() {
+        findings.push(Finding {
+            file: rel_label(root, &event_path),
+            line: 0,
+            rule: "variant-coverage",
+            message: "could not locate `enum DriverEvent`".to_string(),
+        });
+    } else {
+        let mut emitters = String::new();
+        let mut files = Vec::new();
+        rust_files_under(&root.join("crates/runtime/src"), &mut files)?;
+        files.sort();
+        for path in files {
+            if path.ends_with("event.rs") {
+                continue;
+            }
+            emitters.push_str(&strip_code(&fs::read_to_string(&path)?));
+        }
+        for v in variants {
+            if !emitters.contains(&format!("DriverEvent::{v}")) {
+                findings.push(Finding {
+                    file: rel_label(root, &event_path),
+                    line: 0,
+                    rule: "variant-coverage",
+                    message: format!(
+                        "DriverEvent::{v} is declared but no driver emits it"
+                    ),
+                });
+            }
+        }
+    }
+
+    Ok(findings)
+}
+
+/// Walks upward from `start` to the workspace root (the directory
+/// containing `crates/proto`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("crates/proto").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_removes_comments_and_strings_but_keeps_lines() {
+        let src = "let a = \"Instant::now()\"; // SystemTime\nlet b = 1;\n";
+        let out = strip_code(src);
+        assert!(!out.contains("Instant"));
+        assert!(!out.contains("SystemTime"));
+        assert!(out.contains("let b = 1;"));
+        assert_eq!(src.matches('\n').count(), out.matches('\n').count());
+    }
+
+    #[test]
+    fn strip_handles_raw_strings_and_chars() {
+        let src = "let s = r#\"panic!(\"x\")\"#; let c = '\"'; let l: &'static str = s;";
+        let out = strip_code(src);
+        assert!(!out.contains("panic!"));
+        assert!(out.contains("&'static str"));
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_blanked() {
+        let src = "fn live() { now() }\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let out = strip_cfg_test(&strip_code(src));
+        assert!(out.contains("fn live"));
+        assert!(out.contains("fn after"));
+        assert!(!out.contains("unwrap"));
+        assert_eq!(src.matches('\n').count(), out.matches('\n').count());
+    }
+
+    #[test]
+    fn wall_clock_rule_fires_on_violations() {
+        let bad = "fn f() { let t = std::time::Instant::now(); }";
+        let findings = check_wall_clock("x.rs", &strip_code(bad));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "wall-clock");
+        assert!(check_wall_clock("x.rs", "fn f(now_ms: u64) {}").is_empty());
+    }
+
+    #[test]
+    fn decode_panic_rule_fires_on_unwrap_and_indexing() {
+        let bad = "fn d(b: &[u8]) { let x = b[0]; let y = h.unwrap(); }";
+        let findings = check_decode_panics("wire.rs", &strip_code(bad));
+        assert_eq!(findings.len(), 2);
+        let ok = "fn d(b: &[u8]) -> Option<u8> { b.first().copied() }";
+        assert!(check_decode_panics("wire.rs", &strip_code(ok)).is_empty());
+    }
+
+    #[test]
+    fn decode_panic_rule_ignores_types_attrs_and_literals() {
+        let ok = "#[derive(Debug)]\nfn d(b: &[u8], a: [u8; 4]) { let v = vec![1, 2]; }";
+        // `vec![` is macro-bang-bracket: '!' precedes '[', not an ident.
+        assert!(check_decode_panics("wire.rs", &strip_code(ok)).is_empty());
+    }
+
+    #[test]
+    fn enum_variants_are_extracted_with_fields_and_attrs() {
+        let src = "
+            pub enum Msg {
+                /// doc
+                Plain,
+                #[allow(dead_code)]
+                WithFields { a: u32, b: Vec<Inner> },
+                Tuple(u8, String),
+            }
+            pub enum Other { NotMe }
+        ";
+        let v = enum_variants(&strip_code(src), "Msg");
+        assert_eq!(v, vec!["Plain", "WithFields", "Tuple"]);
+        assert_eq!(enum_variants(&strip_code(src), "Other"), vec!["NotMe"]);
+        assert!(enum_variants(&strip_code(src), "Absent").is_empty());
+    }
+}

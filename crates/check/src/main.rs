@@ -1,0 +1,167 @@
+//! `shadow-check` — state-space exploration and repo lints from the
+//! command line.
+//!
+//! ```text
+//! shadow-check explore [--profile ci|deep|reorder|in-order] [--scenario NAME]
+//!                      [--depth N] [--max-states N] [--seed-bug]
+//! shadow-check lint [--root PATH]
+//! shadow-check scenarios
+//! ```
+//!
+//! Exit status: 0 clean, 1 violation or lint findings, 2 usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use shadow_check::scenario::scenario_by_name;
+use shadow_check::{builtin_scenarios, explore, lint_workspace, Profile, Scenario};
+use shadow_server::FaultInjection;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("explore") => cmd_explore(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("scenarios") => {
+            for s in builtin_scenarios() {
+                println!("{:<14} {}", s.name, s.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: shadow-check explore [--profile ci|deep|reorder|in-order] \
+         [--scenario NAME] [--depth N] [--max-states N] [--seed-bug]\n\
+         \x20      shadow-check lint [--root PATH]\n\
+         \x20      shadow-check scenarios"
+    );
+    ExitCode::from(2)
+}
+
+fn cmd_explore(args: &[String]) -> ExitCode {
+    let mut profile = Profile::ci();
+    let mut scenarios: Option<Vec<Scenario>> = None;
+    let mut faults = FaultInjection::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--profile" => match it.next().map(String::as_str) {
+                Some("ci") => profile = Profile::ci(),
+                Some("deep") => profile = Profile::deep(),
+                Some("reorder") => profile = Profile::reorder(),
+                Some("in-order") => profile = Profile::in_order(),
+                other => {
+                    eprintln!("unknown profile {other:?}");
+                    return usage();
+                }
+            },
+            "--scenario" => {
+                let Some(name) = it.next() else {
+                    return usage();
+                };
+                let Some(s) = scenario_by_name(name) else {
+                    eprintln!("unknown scenario {name:?} (see `shadow-check scenarios`)");
+                    return ExitCode::from(2);
+                };
+                scenarios.get_or_insert_with(Vec::new).push(s);
+            }
+            "--depth" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => profile.max_depth = n,
+                None => return usage(),
+            },
+            "--max-states" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => profile.max_states = n,
+                None => return usage(),
+            },
+            "--seed-bug" => faults = FaultInjection {
+                delta_base_bug: true,
+            },
+            _ => {
+                eprintln!("unknown argument {arg:?}");
+                return usage();
+            }
+        }
+    }
+    let scenarios = scenarios.unwrap_or_else(builtin_scenarios);
+    let mut failed = false;
+    for scenario in &scenarios {
+        let report = explore(scenario, &profile, faults);
+        let status = match (&report.violation, report.truncated) {
+            (Some(_), _) => "VIOLATION",
+            (None, true) => "clean (truncated)",
+            (None, false) => "clean (exhausted)",
+        };
+        println!(
+            "{:<14} [{}] {} — {} states, {} transitions, depth {}",
+            report.scenario,
+            report.profile,
+            status,
+            report.states,
+            report.transitions,
+            report.deepest
+        );
+        if let Some(cx) = &report.violation {
+            failed = true;
+            println!("  violation: {}", cx.violation);
+            println!(
+                "  counterexample ({} steps, minimized from {}):",
+                cx.trace.len(),
+                cx.original_len
+            );
+            for (i, choice) in cx.trace.iter().enumerate() {
+                println!("    {:>3}. {choice}", i + 1);
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => {
+                eprintln!("unknown argument {arg:?}");
+                return usage();
+            }
+        }
+    }
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        shadow_check::lint::find_workspace_root(&cwd)
+    });
+    let Some(root) = root else {
+        eprintln!("cannot locate the workspace root (pass --root)");
+        return ExitCode::from(2);
+    };
+    match lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("lint clean: sans-io discipline holds");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("{} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lint failed to read sources: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

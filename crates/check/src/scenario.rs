@@ -1,0 +1,181 @@
+//! Checker scenarios: the scripted user-level operations whose
+//! interleavings with the network the explorer enumerates.
+//!
+//! A scenario fixes *what* the user does (edits, submissions, a cache
+//! loss at the server); the explorer owns *when* each step happens
+//! relative to frame deliveries, drops, duplicates, and timer firings.
+
+/// One scripted user-level operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// The user finishes an editing session on file `file_idx`,
+    /// producing that file's next version (content is deterministic,
+    /// see [`content_for`]).
+    Edit(usize),
+    /// The user submits a job: `job` is the command-file index,
+    /// `data` the data-file indexes. Every referenced file must have
+    /// been edited at least once earlier in the script.
+    Submit {
+        /// Index of the job command file.
+        job: usize,
+        /// Indexes of the data files.
+        data: Vec<usize>,
+    },
+    /// The server loses its entire shadow cache (disk purge, §5.1's
+    /// "best effort" caveat). The protocol must degrade to full
+    /// transfers, never corrupt or wedge.
+    DropCache,
+}
+
+/// A named script plus the file count it touches.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Short name (CLI `--scenario`).
+    pub name: &'static str,
+    /// One-line description for listings.
+    pub summary: &'static str,
+    /// The scripted operations, in program order.
+    pub script: Vec<Op>,
+}
+
+impl Scenario {
+    /// Number of distinct files the script references.
+    pub fn file_count(&self) -> usize {
+        self.script
+            .iter()
+            .flat_map(|op| match op {
+                Op::Edit(f) => vec![*f],
+                Op::Submit { job, data } => {
+                    let mut v = vec![*job];
+                    v.extend(data.iter().copied());
+                    v
+                }
+                Op::DropCache => vec![],
+            })
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+}
+
+/// The built-in scenario library.
+///
+/// Each targets a different slice of the protocol: the delta pipeline
+/// with overlapping pulls, the submit/execute/deliver round trip, and
+/// cache-loss recovery.
+pub fn builtin_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "delta-chain",
+            summary: "three versions of one file with overlapping pulls; \
+                      exercises delta-base selection under reordering",
+            script: vec![
+                Op::Edit(0),
+                Op::Submit {
+                    job: 0,
+                    data: vec![],
+                },
+                Op::Edit(0),
+                Op::Edit(0),
+            ],
+        },
+        Scenario {
+            name: "job-roundtrip",
+            summary: "edit two files, submit a job needing both, edit again \
+                      while it may be running",
+            script: vec![
+                Op::Edit(0),
+                Op::Edit(1),
+                Op::Submit {
+                    job: 0,
+                    data: vec![1],
+                },
+                Op::Edit(1),
+            ],
+        },
+        Scenario {
+            name: "cache-loss",
+            summary: "server loses its shadow cache mid-conversation; \
+                      must fall back to full transfers without corruption",
+            script: vec![
+                Op::Edit(0),
+                Op::Submit {
+                    job: 0,
+                    data: vec![],
+                },
+                Op::Edit(0),
+                Op::DropCache,
+                Op::Edit(0),
+            ],
+        },
+    ]
+}
+
+/// Looks a built-in scenario up by name.
+pub fn scenario_by_name(name: &str) -> Option<Scenario> {
+    builtin_scenarios().into_iter().find(|s| s.name == name)
+}
+
+/// Deterministic content of file `file_idx` at revision `rev` (1-based).
+///
+/// Each revision *prepends* a line, so the ed script between two
+/// non-adjacent revisions is a multi-line insertion whose line numbers
+/// are wrong against any intermediate revision. That shape is what makes
+/// delta-base confusion *observable*: applying the 1→3 script to version
+/// 2 yields content that is not version 3 (a same-length line *change*
+/// would accidentally reconstruct the right bytes).
+pub fn content_for(file_idx: usize, rev: u32) -> Vec<u8> {
+    let mut lines: Vec<String> = (1..=rev)
+        .rev()
+        .map(|r| format!("file{file_idx} revision {r}"))
+        .collect();
+    for base in 0..3 {
+        lines.push(format!("file{file_idx} base line {base}"));
+    }
+    let mut text = lines.join("\n");
+    text.push('\n');
+    text.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_is_deterministic_and_versioned() {
+        assert_eq!(content_for(0, 1), content_for(0, 1));
+        assert_ne!(content_for(0, 1), content_for(0, 2));
+        assert_ne!(content_for(0, 1), content_for(1, 1));
+        // Prepend-shape: rev 2 contains rev 1's lines as a suffix.
+        let v1 = String::from_utf8(content_for(0, 1)).unwrap();
+        let v2 = String::from_utf8(content_for(0, 2)).unwrap();
+        assert!(v2.ends_with(&v1));
+    }
+
+    #[test]
+    fn builtin_scripts_reference_only_edited_files() {
+        for s in builtin_scenarios() {
+            let mut edited = std::collections::BTreeSet::new();
+            for op in &s.script {
+                match op {
+                    Op::Edit(f) => {
+                        edited.insert(*f);
+                    }
+                    Op::Submit { job, data } => {
+                        assert!(edited.contains(job), "{}: job file unedited", s.name);
+                        for d in data {
+                            assert!(edited.contains(d), "{}: data file unedited", s.name);
+                        }
+                    }
+                    Op::DropCache => {}
+                }
+            }
+            assert!(s.file_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(scenario_by_name("delta-chain").is_some());
+        assert!(scenario_by_name("no-such").is_none());
+    }
+}

@@ -1,0 +1,71 @@
+//! The lint pass must hold on the repository itself — and must actually
+//! fire when a violation is introduced.
+
+use std::path::PathBuf;
+
+use shadow_check::lint::{
+    check_decode_panics, check_wall_clock, lint_workspace, strip_cfg_test, strip_code,
+};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/check sits two levels below the root")
+        .to_path_buf()
+}
+
+/// `shadow-check lint` passes on main: the sans-io crates read no wall
+/// clock, the wire decoder cannot panic, and every message/event
+/// variant is covered.
+#[test]
+fn workspace_is_lint_clean() {
+    let findings = lint_workspace(&repo_root()).expect("sources readable");
+    assert!(
+        findings.is_empty(),
+        "lint findings on the repository:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Introducing a wall-clock read into a sans-io source is caught.
+#[test]
+fn injected_wall_clock_read_fails() {
+    let clean = std::fs::read_to_string(repo_root().join("crates/version/src/lib.rs")).unwrap();
+    let tainted = format!("{clean}\npub fn stamp() -> u64 {{ let _ = std::time::Instant::now(); 0 }}\n");
+    let code = strip_cfg_test(&strip_code(&tainted));
+    let findings = check_wall_clock("crates/version/src/lib.rs", &code);
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].message.contains("Instant::now"));
+    // The line number points at the injected line, not somewhere random.
+    assert_eq!(findings[0].line, tainted.lines().count());
+}
+
+/// Re-introducing the pre-hardening indexing pattern into the decoder
+/// is caught (regression guard for the `first_chunk`/`get` rewrite).
+#[test]
+fn injected_decode_unwrap_and_indexing_fail() {
+    let clean = std::fs::read_to_string(repo_root().join("crates/proto/src/wire.rs")).unwrap();
+    let code = strip_cfg_test(&strip_code(&clean));
+    assert!(
+        check_decode_panics("wire.rs", &code).is_empty(),
+        "wire.rs must be clean before injection"
+    );
+    let tainted = code.replace(
+        "input.first_chunk::<4>()",
+        "Some(&[input[0], input[1], input[2], input[3]])",
+    );
+    assert_ne!(code, tainted, "decode header site must exist to taint");
+    assert!(
+        !check_decode_panics("wire.rs", &tainted).is_empty(),
+        "indexing in the decode path must be flagged"
+    );
+    let tainted = format!("{code}\nfn bad(b: &[u8]) -> u8 {{ b.first().copied().unwrap() }}\n");
+    let findings = check_decode_panics("wire.rs", &tainted);
+    assert_eq!(findings.len(), 1, "unwrap in the decode path must be flagged");
+    assert_eq!(findings[0].line, tainted.lines().count());
+}

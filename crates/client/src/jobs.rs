@@ -39,22 +39,27 @@ impl JobTracker {
     }
 
     /// Converts a pending submit into a tracked job on `SubmitAck`.
+    ///
+    /// A `JobComplete` can overtake its `SubmitAck` (re-delivery across a
+    /// reconnect); the job is then already tracked in a terminal state and
+    /// the late ack only fills in the submit bookkeeping — it must not
+    /// resurrect the job as `Queued`.
     pub(crate) fn accepted(&mut self, request: RequestId, job: JobId, now_ms: u64) {
         let (conn, submitted_at_ms) = self
             .pending
             .remove(&request)
             .unwrap_or((ConnId::new(0), now_ms));
-        self.jobs.insert(
-            job,
-            TrackedJob {
-                conn,
-                request,
-                status: JobStatus::Queued,
-                submitted_at_ms,
-                completed_at_ms: None,
-                output_bytes: None,
-            },
-        );
+        let t = self.jobs.entry(job).or_insert(TrackedJob {
+            conn,
+            request,
+            status: JobStatus::Queued,
+            submitted_at_ms,
+            completed_at_ms: None,
+            output_bytes: None,
+        });
+        t.conn = conn;
+        t.request = request;
+        t.submitted_at_ms = submitted_at_ms;
     }
 
     /// Drops a pending submit on `SubmitError`.
@@ -72,17 +77,32 @@ impl JobTracker {
         }
     }
 
-    /// Marks a job completed with its delivered output size.
-    pub(crate) fn completed(&mut self, job: JobId, output_bytes: u64, failed: bool, now_ms: u64) {
-        if let Some(t) = self.jobs.get_mut(&job) {
-            t.status = if failed {
-                JobStatus::Failed
-            } else {
-                JobStatus::Completed
-            };
-            t.completed_at_ms = Some(now_ms);
-            t.output_bytes = Some(output_bytes);
-        }
+    /// Marks a job completed with its delivered output size. A job the
+    /// tracker has no ack for yet is recorded on the spot, so a
+    /// completion that overtakes its `SubmitAck` is never lost.
+    pub(crate) fn completed(
+        &mut self,
+        conn: ConnId,
+        job: JobId,
+        output_bytes: u64,
+        failed: bool,
+        now_ms: u64,
+    ) {
+        let t = self.jobs.entry(job).or_insert(TrackedJob {
+            conn,
+            request: RequestId::new(0),
+            status: JobStatus::Queued,
+            submitted_at_ms: now_ms,
+            completed_at_ms: None,
+            output_bytes: None,
+        });
+        t.status = if failed {
+            JobStatus::Failed
+        } else {
+            JobStatus::Completed
+        };
+        t.completed_at_ms = Some(now_ms);
+        t.output_bytes = Some(output_bytes);
     }
 
     /// Everything known about `job`.
@@ -125,7 +145,7 @@ mod tests {
         assert_eq!(t.get(JobId::new(7)).unwrap().status, JobStatus::Running);
         assert_eq!(t.pending_jobs(), vec![JobId::new(7)]);
 
-        t.completed(JobId::new(7), 42, false, 900);
+        t.completed(conn, JobId::new(7), 42, false, 900);
         let job = t.get(JobId::new(7)).unwrap();
         assert_eq!(job.status, JobStatus::Completed);
         assert_eq!(job.completed_at_ms, Some(900));
@@ -148,9 +168,33 @@ mod tests {
         let mut t = JobTracker::default();
         t.submitted(RequestId::new(1), ConnId::new(0), 0);
         t.accepted(RequestId::new(1), JobId::new(1), 1);
-        t.completed(JobId::new(1), 10, false, 5);
+        t.completed(ConnId::new(0), JobId::new(1), 10, false, 5);
         t.status_update(JobId::new(1), JobStatus::Running);
         assert_eq!(t.get(JobId::new(1)).unwrap().status, JobStatus::Completed);
+    }
+
+    /// A `JobComplete` that overtakes its `SubmitAck` must still leave
+    /// the job terminal once the late ack arrives — found by
+    /// `shadow-check explore` as a stuck-job violation under reordered
+    /// delivery.
+    #[test]
+    fn completion_before_ack_stays_terminal() {
+        let mut t = JobTracker::default();
+        let conn = ConnId::new(2);
+        t.submitted(RequestId::new(1), conn, 100);
+        t.completed(conn, JobId::new(4), 8, false, 200);
+        let job = t.get(JobId::new(4)).unwrap();
+        assert_eq!(job.status, JobStatus::Completed);
+        assert!(t.pending_jobs().is_empty());
+
+        t.accepted(RequestId::new(1), JobId::new(4), 300);
+        let job = t.get(JobId::new(4)).unwrap();
+        assert_eq!(job.status, JobStatus::Completed, "late ack must not requeue");
+        assert_eq!(job.conn, conn);
+        assert_eq!(job.request, RequestId::new(1));
+        assert_eq!(job.submitted_at_ms, 100);
+        assert_eq!(job.output_bytes, Some(8));
+        assert!(t.pending_jobs().is_empty());
     }
 
     #[test]
@@ -158,7 +202,7 @@ mod tests {
         let mut t = JobTracker::default();
         t.submitted(RequestId::new(1), ConnId::new(0), 0);
         t.accepted(RequestId::new(1), JobId::new(1), 1);
-        t.completed(JobId::new(1), 0, true, 5);
+        t.completed(ConnId::new(0), JobId::new(1), 0, true, 5);
         assert_eq!(t.get(JobId::new(1)).unwrap().status, JobStatus::Failed);
         assert!(t.pending_jobs().is_empty());
     }

@@ -189,14 +189,14 @@ pub struct ClientMetrics {
     pub output_deltas_applied: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct Conn {
     ready: bool,
     server: Option<HostName>,
 }
 
 /// The shadow client state machine. See the [crate docs](crate).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ClientNode {
     config: ClientConfig,
     versions: VersionStore,
@@ -256,6 +256,86 @@ impl ClientNode {
     /// checks against a server's cache).
     pub fn latest_digest(&self, file: FileId) -> Option<ContentDigest> {
         self.versions.latest_digest(file)
+    }
+
+    /// The latest recorded version number of a file, if tracked.
+    pub fn latest_version(&self, file: FileId) -> Option<VersionNumber> {
+        self.versions.latest(file).map(|(v, _)| v)
+    }
+
+    /// The digest of a specific retained version's content, if still
+    /// held (the model checker's coherence oracle: what *should* the
+    /// server's shadow of this version contain?).
+    pub fn digest_of_version(&self, file: FileId, version: VersionNumber) -> Option<ContentDigest> {
+        self.versions
+            .content_of(file, version)
+            .map(ContentDigest::of)
+    }
+
+    /// The newest version this client has announced to a connection.
+    pub fn announced_version(&self, conn: ConnId, file: FileId) -> Option<VersionNumber> {
+        self.announced.get(&(conn, file)).copied()
+    }
+
+    /// The newest version a connection's server has acknowledged caching.
+    pub fn acked_version(&self, conn: ConnId, file: FileId) -> Option<VersionNumber> {
+        self.acked.get(&(conn, file)).copied()
+    }
+
+    /// A deterministic digest of the protocol-relevant client state:
+    /// connections (readiness, interest), per-connection announce/ack
+    /// watermarks, the version chains, retained outputs, job table, and
+    /// the request counter. Used by the model checker to deduplicate
+    /// explored states; two clients with equal digests react identically
+    /// to any future event sequence.
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = shadow_proto::StableHasher::new();
+        let mut conns: Vec<(ConnId, bool, Option<&HostName>)> = self
+            .conns
+            .iter()
+            .map(|(id, c)| (*id, c.ready, c.server.as_ref()))
+            .collect();
+        conns.sort_unstable_by_key(|(id, ..)| *id);
+        conns.hash(&mut h);
+        let mut interest: Vec<(ConnId, Vec<FileId>)> = self
+            .interest
+            .iter()
+            .map(|(c, set)| {
+                let mut files: Vec<FileId> = set.iter().copied().collect();
+                files.sort_unstable();
+                (*c, files)
+            })
+            .collect();
+        interest.sort_unstable();
+        interest.hash(&mut h);
+        let mut announced: Vec<(&(ConnId, FileId), &VersionNumber)> =
+            self.announced.iter().collect();
+        announced.sort_unstable();
+        announced.hash(&mut h);
+        let mut acked: Vec<(&(ConnId, FileId), &VersionNumber)> = self.acked.iter().collect();
+        acked.sort_unstable();
+        acked.hash(&mut h);
+        self.versions.state_digest().hash(&mut h);
+        let mut outputs: Vec<(ConnId, Vec<(JobId, u64)>)> = self
+            .outputs
+            .iter()
+            .map(|(c, q)| {
+                (
+                    *c,
+                    q.iter()
+                        .map(|(j, o)| (*j, ContentDigest::of(o).as_u64()))
+                        .collect(),
+                )
+            })
+            .collect();
+        outputs.sort_unstable();
+        outputs.hash(&mut h);
+        for (job, tracked) in self.jobs.iter() {
+            (job, tracked.conn, tracked.request, tracked.status as u8).hash(&mut h);
+        }
+        self.next_request.hash(&mut h);
+        h.finish()
     }
 
     /// Restores a persisted version chain entry (shadow environments that
@@ -572,7 +652,7 @@ impl ClientNode {
                 stats,
             } => {
                 self.jobs
-                    .completed(job, stats.output_bytes, stats.exit_code != 0, now_ms);
+                    .completed(conn, job, stats.output_bytes, stats.exit_code != 0, now_ms);
                 self.on_job_complete(conn, job, output, errors.to_vec(), stats, &mut actions);
             }
             ServerMessage::Bye => {

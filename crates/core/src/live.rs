@@ -118,6 +118,7 @@ impl SessionAcceptor for ChannelAcceptor {
 /// # Ok(())
 /// # }
 /// ```
+#[derive(Debug)]
 pub struct LiveSystem {
     handle: Option<JoinHandle<ServerNode>>,
     registrar: Sender<PipeEnd>,
@@ -184,6 +185,16 @@ pub struct LiveClient<T: FrameTransport = PipeEnd> {
     transport: T,
     conn: ConnId,
     clock: WallClock,
+}
+
+// Manual impl: transports need not be `Debug`.
+impl<T: FrameTransport> std::fmt::Debug for LiveClient<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveClient")
+            .field("driver", &self.driver)
+            .field("conn", &self.conn)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<T: FrameTransport> LiveClient<T> {

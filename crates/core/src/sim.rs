@@ -148,6 +148,17 @@ pub struct Simulation {
     cpu: CpuModel,
 }
 
+// Manual impl: a full dump of every node would be pages long; summarize.
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("clients", &self.clients.len())
+            .field("servers", &self.servers.len())
+            .field("pairs", &self.pairs.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Simulation {
     /// Creates a simulation whose clients share naming domain `domain`,
     /// with negligible CPU costs (functional default). Use

@@ -65,6 +65,7 @@ impl SessionAcceptor for TcpAcceptor {
 /// runtime.run_forever()
 /// # }
 /// ```
+#[derive(Debug)]
 pub struct TcpServerRuntime {
     inner: ServerRuntime<TcpAcceptor, WallClock>,
     addr: SocketAddr,

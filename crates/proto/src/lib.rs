@@ -35,9 +35,11 @@ mod digest;
 mod error;
 mod ids;
 mod message;
+mod stable_hash;
 mod wire;
 
 pub use digest::ContentDigest;
+pub use stable_hash::StableHasher;
 pub use error::WireError;
 pub use ids::{DomainId, FileId, FileKey, HostName, JobId, RequestId, VersionNumber};
 pub use message::{

@@ -84,10 +84,10 @@ impl Frame {
     /// Returns a [`WireError`] for malformed frames; the stream should then
     /// be torn down, since framing sync is lost.
     pub fn decode<M: WireDecode>(input: &[u8]) -> Result<Option<(M, usize)>, WireError> {
-        if input.len() < 4 {
+        let Some(header) = input.first_chunk::<4>() else {
             return Ok(None);
-        }
-        let len = u32::from_le_bytes([input[0], input[1], input[2], input[3]]) as usize;
+        };
+        let len = u32::from_le_bytes(*header) as usize;
         if len > MAX_FRAME_LEN {
             return Err(WireError::LengthOverflow {
                 what: "frame",
@@ -95,12 +95,10 @@ impl Frame {
                 max: MAX_FRAME_LEN as u64,
             });
         }
-        if input.len() < 4 + len {
+        let Some(body) = input.get(4..4 + len) else {
             return Ok(None);
-        }
-        let mut cursor = Cursor {
-            buf: &input[4..4 + len],
         };
+        let mut cursor = Cursor { buf: body };
         let msg = M::decode_body(&mut cursor)?;
         if !cursor.buf.is_empty() {
             return Err(WireError::TrailingBytes {

@@ -228,6 +228,23 @@ proptest! {
     }
 
     #[test]
+    fn corrupted_valid_frame_never_panics(
+        msg in arb_client_message(),
+        flips in prop::collection::vec((any::<usize>(), any::<u8>()), 1..8),
+    ) {
+        // Valid frames with a few bytes flipped exercise decode paths far
+        // deeper than pure byte soup (tags and length fields are mostly
+        // plausible). Any Result is fine; a panic is not.
+        let mut bytes = Frame::encode(&msg);
+        for (pos, val) in flips {
+            let idx = pos % bytes.len();
+            bytes[idx] = val;
+        }
+        let _ = Frame::decode::<ClientMessage>(&bytes);
+        let _ = Frame::decode::<ServerMessage>(&bytes);
+    }
+
+    #[test]
     fn truncation_of_valid_frame_never_panics(msg in arb_client_message(), keep in 0usize..64) {
         let bytes = Frame::encode(&msg);
         let cut = keep.min(bytes.len());

@@ -44,6 +44,35 @@ pub struct ClientDriver {
     hook: Option<EventHook>,
 }
 
+impl std::fmt::Debug for ClientDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientDriver")
+            .field("node", &self.node)
+            .field("notifications", &self.notifications.len())
+            .field("finished", &self.finished.len())
+            .field("stats", &self.stats)
+            .field("hook", &self.hook.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for ClientDriver {
+    /// Clones the full protocol state. The instrumentation hook is a
+    /// non-cloneable closure and is **not** carried over — snapshots
+    /// taken by the model checker are driven headless.
+    fn clone(&self) -> Self {
+        ClientDriver {
+            node: self.node.clone(),
+            notifications: self.notifications.clone(),
+            finished: self.finished.clone(),
+            request_options: self.request_options.clone(),
+            job_options: self.job_options.clone(),
+            stats: self.stats,
+            hook: None,
+        }
+    }
+}
+
 impl ClientDriver {
     /// Wraps a client state machine.
     pub fn new(node: ClientNode) -> Self {
@@ -257,5 +286,25 @@ impl ClientDriver {
     /// The submit options recorded for a job, for output routing.
     pub fn options_for(&self, job: JobId) -> Option<&SubmitOptions> {
         self.job_options.get(&job)
+    }
+
+    /// A deterministic digest of the driver's protocol-relevant state:
+    /// the wrapped node plus the undrained notification/completion
+    /// buffers and the request→options routing tables. Wire counters are
+    /// excluded — they grow monotonically and would defeat the model
+    /// checker's state deduplication.
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = shadow_proto::StableHasher::new();
+        self.node.state_digest().hash(&mut h);
+        self.notifications.len().hash(&mut h);
+        self.finished.len().hash(&mut h);
+        let mut requests: Vec<RequestId> = self.request_options.keys().copied().collect();
+        requests.sort_unstable();
+        requests.hash(&mut h);
+        let mut jobs: Vec<JobId> = self.job_options.keys().copied().collect();
+        jobs.sort_unstable();
+        jobs.hash(&mut h);
+        h.finish()
     }
 }

@@ -50,6 +50,31 @@ pub struct ServerDriver {
     hook: Option<EventHook>,
 }
 
+impl std::fmt::Debug for ServerDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerDriver")
+            .field("node", &self.node)
+            .field("timers", &self.timers.len())
+            .field("stats", &self.stats)
+            .field("hook", &self.hook.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for ServerDriver {
+    /// Clones the full protocol state. The instrumentation hook is a
+    /// non-cloneable closure and is **not** carried over — snapshots
+    /// taken by the model checker are driven headless.
+    fn clone(&self) -> Self {
+        ServerDriver {
+            node: self.node.clone(),
+            timers: self.timers.clone(),
+            stats: self.stats,
+            hook: None,
+        }
+    }
+}
+
 impl ServerDriver {
     /// Wraps a server state machine.
     pub fn new(node: ServerNode) -> Self {
@@ -141,6 +166,30 @@ impl ServerDriver {
     /// True when no timers are pending.
     pub fn timers_idle(&self) -> bool {
         self.timers.is_empty()
+    }
+
+    /// All pending `(deadline_ms, token)` pairs in firing order.
+    pub fn pending_timers(&self) -> Vec<(u64, TimerToken)> {
+        self.timers
+            .pending()
+            .into_iter()
+            .map(|(d, t)| (d, *t))
+            .collect()
+    }
+
+    /// A deterministic digest of the driver's protocol-relevant state:
+    /// the wrapped node plus pending timers, with deadlines taken
+    /// *relative* to `now_ms` so two worlds that differ only by a clock
+    /// translation deduplicate to one explored state. Wire counters are
+    /// excluded (monotonic; would defeat deduplication).
+    pub fn state_digest(&self, now_ms: u64) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = shadow_proto::StableHasher::new();
+        self.node.state_digest().hash(&mut h);
+        for (deadline_ms, token) in self.timers.pending() {
+            (deadline_ms.saturating_sub(now_ms), token).hash(&mut h);
+        }
+        h.finish()
     }
 
     /// Fires every timer due at or before `now_ms`, in deadline order

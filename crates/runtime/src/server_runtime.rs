@@ -16,6 +16,17 @@ pub enum Accepted<T> {
     Closed,
 }
 
+// Manual impl: transports need not be `Debug` themselves.
+impl<T> std::fmt::Debug for Accepted<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Accepted::Session(_) => "Accepted::Session(..)",
+            Accepted::None => "Accepted::None",
+            Accepted::Closed => "Accepted::Closed",
+        })
+    }
+}
+
 /// A source of incoming sessions: the listening half of a deployment.
 ///
 /// The live system implements this over a crossbeam channel of pipe
@@ -52,6 +63,18 @@ pub struct ServerRuntime<A: SessionAcceptor, C: Clock> {
     sessions: Vec<Session<A::Transport>>,
     next_session: u64,
     closed: bool,
+}
+
+// Manual impl: acceptors, clocks, and transports need not be `Debug`.
+impl<A: SessionAcceptor, C: Clock> std::fmt::Debug for ServerRuntime<A, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerRuntime")
+            .field("driver", &self.driver)
+            .field("sessions", &self.sessions.len())
+            .field("next_session", &self.next_session)
+            .field("closed", &self.closed)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {

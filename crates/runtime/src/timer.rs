@@ -3,6 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+#[derive(Debug, Clone)]
 struct Entry<T> {
     deadline_ms: u64,
     seq: u64,
@@ -40,6 +41,7 @@ impl<T> Ord for Entry<T> {
 /// and the live system's `VecDeque` of `Instant` deadlines. Both were
 /// deadline-correct but disagreed on tie order; every runtime now gets
 /// the same semantics from this queue.
+#[derive(Debug, Clone)]
 pub struct TimerQueue<T> {
     heap: BinaryHeap<Entry<T>>,
     seq: u64,
@@ -87,6 +89,17 @@ impl<T> TimerQueue<T> {
     /// True when no timers are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// All pending `(deadline_ms, token)` pairs in firing order (the heap
+    /// itself iterates in arbitrary order; checkers need determinism).
+    pub fn pending(&self) -> Vec<(u64, &T)> {
+        let mut entries: Vec<&Entry<T>> = self.heap.iter().collect();
+        entries.sort_unstable_by_key(|e| (e.deadline_ms, e.seq));
+        entries
+            .into_iter()
+            .map(|e| (e.deadline_ms, &e.token))
+            .collect()
     }
 }
 

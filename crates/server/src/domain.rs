@@ -77,6 +77,31 @@ impl DomainDirectory {
     pub fn domain_count(&self) -> usize {
         self.domains.len()
     }
+
+    /// A deterministic digest of every mapping entry, in sorted order
+    /// (model-checker state deduplication).
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut entries: Vec<(DomainId, FileId, &MappingEntry)> = self
+            .domains
+            .iter()
+            .flat_map(|(d, files)| files.iter().map(move |(f, e)| (*d, *f, e)))
+            .collect();
+        entries.sort_unstable_by_key(|(d, f, _)| (*d, *f));
+        let mut h = shadow_proto::StableHasher::new();
+        for (d, f, e) in entries {
+            (
+                d,
+                f,
+                &e.name,
+                e.announced_version,
+                e.announced_size,
+                e.announced_digest.as_u64(),
+            )
+                .hash(&mut h);
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]

@@ -62,4 +62,6 @@ pub use config::{ExecProfile, FlowControl, ServerConfig};
 pub use domain::{DomainDirectory, MappingEntry};
 pub use jobs::{Job, JobPhase};
 pub use node::{ServerMetrics, ServerNode, SessionId};
+#[cfg(any(test, feature = "check-faults"))]
+pub use node::FaultInjection;
 pub use output_shadow::OutputShadowStore;

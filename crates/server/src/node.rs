@@ -68,8 +68,25 @@ pub struct ServerMetrics {
     pub update_payload_bytes: u64,
 }
 
+/// Deliberately injectable protocol bugs, used to prove the model
+/// checker in `shadow-check` is not vacuous: a checker that cannot find
+/// a *known* bug within its exploration budget is not checking anything.
+///
+/// All faults default to **off**; the flag is runtime-toggled because
+/// cargo feature unification would otherwise enable the buggy code path
+/// for every crate in a workspace build.
+#[cfg(any(test, feature = "check-faults"))]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Apply delta updates without validating that the cached base
+    /// matches the delta's base version, and skip the post-apply digest
+    /// check — the server "trusts its cache bookkeeping". Two deltas
+    /// against the same base then silently corrupt the shadow.
+    pub delta_base_bug: bool,
+}
+
 /// The shadow server state machine. See the [crate docs](crate).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ServerNode {
     config: ServerConfig,
     sessions: HashMap<SessionId, Session>,
@@ -87,6 +104,8 @@ pub struct ServerNode {
     next_job: u64,
     outputs: OutputShadowStore,
     metrics: ServerMetrics,
+    #[cfg(any(test, feature = "check-faults"))]
+    faults: FaultInjection,
 }
 
 impl ServerNode {
@@ -108,7 +127,15 @@ impl ServerNode {
             next_job: 0,
             outputs,
             metrics: ServerMetrics::default(),
+            #[cfg(any(test, feature = "check-faults"))]
+            faults: FaultInjection::default(),
         }
+    }
+
+    /// Enables or disables injected faults (checker validation only).
+    #[cfg(any(test, feature = "check-faults"))]
+    pub fn set_faults(&mut self, faults: FaultInjection) {
+        self.faults = faults;
     }
 
     /// The server's configuration.
@@ -140,6 +167,71 @@ impl ServerNode {
     /// best-effort caching must survive (§5.1).
     pub fn drop_cache(&mut self) {
         self.cache.clear();
+    }
+
+    /// Every file key currently cached (coherence checks).
+    pub fn cached_keys(&self) -> Vec<FileKey> {
+        let mut keys: Vec<FileKey> = self.cache.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Ids of jobs not yet in a terminal phase (liveness checks).
+    pub fn pending_job_ids(&self) -> Vec<JobId> {
+        self.jobs
+            .iter()
+            .filter(|j| j.is_pending())
+            .map(|j| j.id)
+            .collect()
+    }
+
+    /// A deterministic digest of the protocol-relevant server state:
+    /// sessions, the mapping directory, the shadow cache, pull
+    /// bookkeeping, the job table, and output shadows. Used by the model
+    /// checker to deduplicate explored states; two servers with equal
+    /// digests react identically to any future event sequence.
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = shadow_proto::StableHasher::new();
+        let mut sessions: Vec<(SessionId, DomainId, &HostName)> = self
+            .sessions
+            .iter()
+            .map(|(id, s)| (*id, s.domain, &s.host))
+            .collect();
+        sessions.sort_unstable_by_key(|(id, ..)| *id);
+        sessions.hash(&mut h);
+        let mut hosts: Vec<(&HostName, SessionId)> =
+            self.hosts.iter().map(|(n, s)| (n, *s)).collect();
+        hosts.sort_unstable();
+        hosts.hash(&mut h);
+        self.directory.state_digest().hash(&mut h);
+        self.cache.state_digest().hash(&mut h);
+        let mut announcers: Vec<(&FileKey, &SessionId)> = self.announcers.iter().collect();
+        announcers.sort_unstable();
+        announcers.hash(&mut h);
+        let mut in_flight: Vec<(&FileKey, &VersionNumber)> = self.in_flight.iter().collect();
+        in_flight.sort_unstable();
+        in_flight.hash(&mut h);
+        let mut postponed = self.postponed.clone();
+        postponed.sort_unstable();
+        postponed.hash(&mut h);
+        self.pulse_armed.hash(&mut h);
+        for job in self.jobs.iter() {
+            (
+                job.id,
+                job.session,
+                job.domain,
+                &job.client_host,
+                job.job_file,
+                &job.data_files,
+                job.status(),
+                &job.fetch_attempts,
+            )
+                .hash(&mut h);
+        }
+        self.next_job.hash(&mut h);
+        self.outputs.state_digest().hash(&mut h);
+        h.finish()
     }
 
     /// A job's current status (diagnostic hook).
@@ -377,8 +469,29 @@ impl ServerNode {
         now_ms: u64,
         actions: &mut Vec<ServerAction>,
     ) {
-        self.in_flight.remove(&key);
+        // Only an update at least as new as the outstanding pull answers
+        // it; an older (reordered/duplicated) frame must leave the pull
+        // pending or the newer version would never arrive.
+        if self.in_flight.get(&key).is_some_and(|&v| v <= version) {
+            self.in_flight.remove(&key);
+        }
         self.metrics.update_payload_bytes += payload.data_len() as u64;
+        // Reordered or duplicated delivery: an update no newer than the
+        // cached shadow must not overwrite it (an old Full would roll the
+        // shadow back) and must not be re-acked.
+        if self.cache.version_of(&key).is_some_and(|have| have >= version) {
+            return;
+        }
+        let trust_bookkeeping = {
+            #[cfg(any(test, feature = "check-faults"))]
+            {
+                self.faults.delta_base_bug
+            }
+            #[cfg(not(any(test, feature = "check-faults")))]
+            {
+                false
+            }
+        };
         let expected_digest = payload.digest();
         let content: Result<Vec<u8>, &'static str> = match &payload {
             UpdatePayload::Full { encoding, data, .. } => {
@@ -393,7 +506,7 @@ impl ServerNode {
             } => {
                 self.metrics.delta_updates += 1;
                 match self.cache.get(&key) {
-                    Some(entry) if entry.version == *base => {
+                    Some(entry) if trust_bookkeeping || entry.version == *base => {
                         let base_doc = Document::from_bytes(entry.content.clone());
                         Self::decode_payload(*encoding, data).and_then(|script_text| {
                             let script = EdScript::parse(&script_text)
@@ -410,7 +523,7 @@ impl ServerNode {
             }
         };
         let content = content.and_then(|c| {
-            if ContentDigest::of(&c) == expected_digest {
+            if trust_bookkeeping || ContentDigest::of(&c) == expected_digest {
                 Ok(c)
             } else {
                 Err("content digest mismatch")

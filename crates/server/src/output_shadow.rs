@@ -110,6 +110,31 @@ impl OutputShadowStore {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// A deterministic digest of the cached outputs (model-checker state
+    /// deduplication). Insertion order is excluded for the same reason
+    /// recency is excluded from the file cache's digest: it only matters
+    /// once eviction pressure exists.
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut items: Vec<((DomainId, FileId), JobId, u64, bool)> = self
+            .entries
+            .iter()
+            .map(|(k, e)| {
+                (
+                    *k,
+                    e.job,
+                    shadow_proto::ContentDigest::of(&e.output).as_u64(),
+                    e.acked,
+                )
+            })
+            .collect();
+        items.sort_unstable();
+        let mut h = shadow_proto::StableHasher::new();
+        items.hash(&mut h);
+        self.used.hash(&mut h);
+        h.finish()
+    }
 }
 
 #[cfg(test)]

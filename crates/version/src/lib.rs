@@ -254,6 +254,25 @@ impl VersionStore {
         s
     }
 
+    /// A deterministic digest of the version-chain state: per file (in
+    /// sorted order) the latest and acked versions plus the digest of
+    /// every retained version's content. Used by the model checker to
+    /// deduplicate explored states.
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut files: Vec<FileId> = self.files.keys().copied().collect();
+        files.sort_unstable();
+        let mut h = shadow_proto::StableHasher::new();
+        for file in files {
+            let entry = &self.files[&file];
+            (file, entry.latest, entry.acked).hash(&mut h);
+            for (v, content) in &entry.versions {
+                (*v, ContentDigest::of(content).as_u64()).hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
     /// Keeps the latest plus at most `limit` older versions, preferring to
     /// drop the oldest. The acked version is protected when possible (it is
     /// the most probable delta base).

@@ -1,7 +1,7 @@
 # Development shortcuts. `just check` is what CI runs.
 
 # Build everything, run the full test suite, and lint.
-check: build test lint
+check: build test lint verify
 
 # Release build of the whole workspace.
 build:
@@ -14,6 +14,16 @@ test:
 # Clippy with warnings promoted to errors.
 lint:
     cargo clippy -- -D warnings
+
+# Protocol-level verification: repo lints plus the bounded state-space
+# sweep over the built-in scenarios (CI profile, a few seconds).
+verify:
+    cargo run --release -p shadow-check -- lint --root .
+    cargo run --release -p shadow-check -- explore --profile ci
+
+# The overnight sweep: wider reordering, bigger budgets and state caps.
+verify-deep:
+    cargo run --release -p shadow-check -- explore --profile deep
 
 # Regenerate the paper's figures/tables (slow; see EXPERIMENTS.md).
 experiments:
