@@ -10,7 +10,8 @@ use shadow::{
     profiles, ClientConfig, CpuModel, EditModel, EvictionPolicy, FileSpec, ServerConfig,
     Simulation, SubmitOptions,
 };
-use shadow_bench::{banner, quick_mode};
+use shadow_bench::{banner, export_rows, quick_mode};
+use shadow_obs::Json;
 
 struct Outcome {
     fulls: u64,
@@ -53,13 +54,13 @@ fn run(policy: EvictionPolicy, budget: usize, files: usize, rounds: usize) -> Ou
             .unwrap();
         sim.run_until_quiet();
     }
-    let m = sim.client_metrics(client);
-    let cache = sim.cache_stats(server);
+    let m = sim.client_report(client);
+    let evictions = sim.server_report(server).counter("cache", "evictions");
     Outcome {
-        fulls: m.fulls_sent,
-        deltas: m.deltas_sent,
-        payload: m.update_payload_bytes,
-        evictions: cache.evictions,
+        fulls: m.counter("client", "fulls_sent"),
+        deltas: m.counter("client", "deltas_sent"),
+        payload: m.counter("client", "update_payload_bytes"),
+        evictions,
     }
 }
 
@@ -73,6 +74,7 @@ fn main() {
         "{:>10} {:>14} {:>8} {:>8} {:>10} {:>14}",
         "budget", "policy", "fulls", "deltas", "evictions", "payload bytes"
     );
+    let mut rows = Vec::new();
     for budget in [400_000usize, 100_000, 60_000] {
         for policy in [
             EvictionPolicy::Lru,
@@ -90,8 +92,18 @@ fn main() {
                 o.evictions,
                 o.payload
             );
+            rows.push(
+                Json::object()
+                    .with("budget", budget)
+                    .with("policy", policy.to_string())
+                    .with("fulls", o.fulls)
+                    .with("deltas", o.deltas)
+                    .with("evictions", o.evictions)
+                    .with("payload_bytes", o.payload),
+            );
         }
     }
+    export_rows("ablation_cache", rows);
     println!();
     println!("expected shape: with a generous cache every resubmission is a delta;");
     println!("as the budget starves, evictions force full retransfers — the system");

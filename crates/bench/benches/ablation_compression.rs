@@ -10,7 +10,8 @@ use shadow::{
     profiles, ClientConfig, CpuModel, EditModel, FileSpec, ServerConfig, ShadowEnv, Simulation,
     SubmitOptions, TransferEncoding,
 };
-use shadow_bench::{banner, quick_mode};
+use shadow_bench::{banner, export_rows, quick_mode};
+use shadow_obs::Json;
 
 fn cycle_with_encoding(encoding: TransferEncoding, size: usize, fraction: f64) -> (f64, u64, u64) {
     let env = ShadowEnv {
@@ -57,6 +58,7 @@ fn main() {
         "{:>10} {:>7} {:>14} {:>14} {:>14}",
         "encoding", "%mod", "resubmit(s)", "first bytes", "resubmit bytes"
     );
+    let mut rows = Vec::new();
     for fraction in [0.05, 0.40] {
         for encoding in [
             TransferEncoding::Identity,
@@ -72,8 +74,17 @@ fn main() {
                 first,
                 resubmit
             );
+            rows.push(
+                Json::object()
+                    .with("encoding", encoding.to_string())
+                    .with("fraction", fraction)
+                    .with("resubmit_secs", secs)
+                    .with("first_bytes", first)
+                    .with("resubmit_bytes", resubmit),
+            );
         }
     }
+    export_rows("ablation_compression", rows);
     println!();
     println!("expected shape: LZSS compresses both the initial full transfer and");
     println!("the structured ed-script deltas; RLE helps only marginally on text.");

@@ -13,7 +13,8 @@ use shadow::{
     profiles, ClientConfig, CpuModel, EditModel, FileSpec, ServerConfig, SimTime, Simulation,
     SubmitOptions, TransferMode,
 };
-use shadow_bench::{banner, quick_mode};
+use shadow_bench::{banner, export_rows, quick_mode};
+use shadow_obs::Json;
 
 fn run(mode: TransferMode, clients: usize, rounds: usize) -> (f64, u64, u64) {
     let mut sim = Simulation::new(1).with_cpu(CpuModel::default());
@@ -58,7 +59,7 @@ fn run(mode: TransferMode, clients: usize, rounds: usize) -> (f64, u64, u64) {
         .iter()
         .map(|&(c, _)| sim.link_stats(c, server).0.payload_bytes)
         .sum();
-    let jobs: u64 = sim.server_metrics(server).jobs_completed;
+    let jobs: u64 = sim.server_report(server).counter("server", "jobs_completed");
     (last_done.as_secs_f64(), total_payload, jobs)
 }
 
@@ -72,13 +73,24 @@ fn main() {
         "{:>16} {:>10} {:>16} {:>18} {:>8}",
         "mode", "clients", "makespan(s)", "uplink bytes", "jobs"
     );
+    let mut rows = Vec::new();
     for (label, mode) in [
         ("conventional", TransferMode::Conventional),
         ("shadow", TransferMode::Shadow),
     ] {
         let (makespan, payload, jobs) = run(mode, clients, rounds);
         println!("{label:>16} {clients:>10} {makespan:>16.1} {payload:>18} {jobs:>8}");
+        rows.push(
+            Json::object()
+                .with("mode", label)
+                .with("clients", clients)
+                .with("rounds", rounds)
+                .with("makespan_secs", makespan)
+                .with("uplink_bytes", payload)
+                .with("jobs", jobs),
+        );
     }
+    export_rows("ablation_contention", rows);
     println!();
     println!("expected shape: with shadow processing the server ingests each 40 KB");
     println!("file once and then only 3% deltas, so total uplink collapses and the");

@@ -9,7 +9,8 @@ use shadow::{
     profiles, ClientConfig, CpuModel, DeltaPolicy, EditModel, FileSpec, ServerConfig, ShadowEnv,
     Simulation, SubmitOptions,
 };
-use shadow_bench::{banner, quick_mode};
+use shadow_bench::{banner, export_rows, quick_mode};
+use shadow_obs::Json;
 
 /// A total rewrite: every line replaced (the ed script must carry the whole
 /// new file plus framing, exceeding the raw file).
@@ -64,6 +65,7 @@ fn main() {
         "{:>7} {:>16} {:>16} {:>10}",
         "%mod", "always-delta B", "adaptive B", "full file B"
     );
+    let mut rows = Vec::new();
     for fraction in [0.01, 0.10, 0.30, 0.60, 0.80] {
         let always = resubmit_bytes(DeltaPolicy::Always, size, fraction);
         let adaptive = resubmit_bytes(DeltaPolicy::Adaptive, size, fraction);
@@ -74,12 +76,28 @@ fn main() {
             adaptive,
             size
         );
+        rows.push(
+            Json::object()
+                .with("fraction", fraction)
+                .with("always_bytes", always)
+                .with("adaptive_bytes", adaptive)
+                .with("full_bytes", size),
+        );
     }
     // Total rewrite: the ed script must carry every line plus framing, so
     // it exceeds the raw file and the adaptive policy ships full instead.
     let always = rewrite_bytes(DeltaPolicy::Always, size);
     let adaptive = rewrite_bytes(DeltaPolicy::Adaptive, size);
     println!("{:>7} {always:>16} {adaptive:>16} {size:>10}", "100*");
+    rows.push(
+        Json::object()
+            .with("fraction", 1.0)
+            .with("rewrite", true)
+            .with("always_bytes", always)
+            .with("adaptive_bytes", adaptive)
+            .with("full_bytes", size),
+    );
+    export_rows("ablation_delta_policy", rows);
     println!("        (* = total rewrite; every line replaced)");
     println!();
     println!("expected shape: identical at small fractions; once the script");

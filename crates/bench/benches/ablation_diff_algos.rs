@@ -9,7 +9,7 @@
 //! * Myers O(ND) linear-space (Miller–Myers [MM85] family),
 //! * Tichy block-move ([Tic84], byte-level).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use shadow::{diff, DiffAlgorithm, Document, EditModel, FileSpec};
 use shadow::block_diff;
 
@@ -67,4 +67,33 @@ fn bench_apply(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_diff_algorithms, bench_apply);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // Export the deterministic wire-cost comparison (the figure the
+    // service actually pays per algorithm) machine-readably.
+    let mut rows = Vec::new();
+    for &size in &[10_000usize, 100_000] {
+        for &fraction in &[0.01f64, 0.20] {
+            let base = shadow::generate_file(&FileSpec::new(size, 42));
+            let edited = EditModel::fraction(fraction, 43).apply(&base);
+            let old_doc = Document::from_bytes(base.clone());
+            let new_doc = Document::from_bytes(edited.clone());
+            rows.push(
+                shadow_obs::Json::object()
+                    .with("file_bytes", size)
+                    .with("fraction", fraction)
+                    .with(
+                        "hunt_mcilroy_bytes",
+                        diff(DiffAlgorithm::HuntMcIlroy, &old_doc, &new_doc).wire_len(),
+                    )
+                    .with(
+                        "myers_bytes",
+                        diff(DiffAlgorithm::Myers, &old_doc, &new_doc).wire_len(),
+                    )
+                    .with("tichy_bytes", block_diff(&base, &edited).wire_len()),
+            );
+        }
+    }
+    shadow_bench::export_rows("ablation_diff_algos", rows);
+}

@@ -10,7 +10,8 @@
 
 use shadow::experiment::{run_cycle, CycleSetup};
 use shadow::{profiles, ClientConfig, CpuModel, FlowControl, ServerConfig, Simulation, SubmitOptions};
-use shadow_bench::{banner, quick_mode};
+use shadow_bench::{banner, export_rows, quick_mode};
+use shadow_obs::Json;
 
 /// Runs one shadow cycle with an explicit server flow-control policy and
 /// reports (resubmit seconds, resubmit payload bytes).
@@ -65,6 +66,10 @@ fn main() {
         "{:>24} {:>14.1} {:>16}",
         "request-driven (full)", conv.resubmit_secs, conv.resubmit_bytes
     );
+    let mut rows = vec![Json::object()
+        .with("policy", "request-driven (full)")
+        .with("resubmit_secs", conv.resubmit_secs)
+        .with("payload_bytes", conv.resubmit_bytes)];
     for (label, flow) in [
         ("demand eager", FlowControl::DemandEager),
         ("demand lazy", FlowControl::DemandLazy),
@@ -78,7 +83,14 @@ fn main() {
     ] {
         let (secs, bytes) = cycle_with_flow(flow, size, fraction);
         println!("{label:>24} {secs:>14.1} {bytes:>16}");
+        rows.push(
+            Json::object()
+                .with("policy", label)
+                .with("resubmit_secs", secs)
+                .with("payload_bytes", bytes),
+        );
     }
+    export_rows("ablation_flow_control", rows);
     println!();
     println!("expected shape: every demand-driven mode moves ~{:.0}% of the", fraction * 100.0);
     println!("file instead of all of it; eager overlaps the transfer with editing");

@@ -14,7 +14,8 @@ use shadow::{
     profiles, ClientConfig, CpuModel, EditModel, FileSpec, ServerConfig, Simulation,
     SubmitOptions,
 };
-use shadow_bench::{banner, quick_mode};
+use shadow_bench::{banner, export_rows, quick_mode};
+use shadow_obs::Json;
 
 fn run(shadow_output: bool, rounds: usize) -> (u64, u64) {
     let mut sim = Simulation::new(1).with_cpu(CpuModel::default());
@@ -45,8 +46,8 @@ fn run(shadow_output: bool, rounds: usize) -> (u64, u64) {
         sim.run_until_quiet();
     }
     let down = sim.link_stats(client, server).1.payload_bytes;
-    let m = sim.server_metrics(server);
-    (down, m.output_deltas)
+    let output_deltas = sim.server_report(server).counter("server", "output_deltas");
+    (down, output_deltas)
 }
 
 fn main() {
@@ -63,6 +64,21 @@ fn main() {
     );
     println!("{:>22} {plain_bytes:>18} {plain_deltas:>14}", "full output");
     println!("{:>22} {shadow_bytes:>18} {shadow_deltas:>14}", "shadowed output");
+    export_rows(
+        "ext_output_shadow",
+        vec![
+            Json::object()
+                .with("mode", "full")
+                .with("rounds", rounds)
+                .with("downlink_bytes", plain_bytes)
+                .with("output_deltas", plain_deltas),
+            Json::object()
+                .with("mode", "shadow")
+                .with("rounds", rounds)
+                .with("downlink_bytes", shadow_bytes)
+                .with("output_deltas", shadow_deltas),
+        ],
+    );
     println!();
     println!(
         "reduction: {:.1}x fewer downlink bytes across {rounds} runs",

@@ -11,7 +11,7 @@
 
 use shadow::experiment::{figure_rows, render_figure};
 use shadow::{profiles, CpuModel, PAPER_PERCENTS_FIG1, PAPER_SIZES_FIG1};
-use shadow_bench::{banner, quick_mode};
+use shadow_bench::{banner, export_rows, quick_mode};
 
 fn main() {
     banner(
@@ -30,4 +30,5 @@ fn main() {
     };
     let points = figure_rows(&profiles::cypress(), sizes, fractions, CpuModel::default());
     print!("{}", render_figure("Cypress, sizes 100k/200k/500k", &points));
+    export_rows("fig1_cypress", points.iter().map(|p| p.to_json()).collect());
 }

@@ -15,7 +15,7 @@
 
 use shadow::experiment::{figure_rows, render_speedup_table};
 use shadow::{profiles, CpuModel, PAPER_PERCENTS_FIG3, PAPER_SIZES_FIG3};
-use shadow_bench::{banner, quick_mode};
+use shadow_bench::{banner, export_rows, quick_mode};
 
 fn main() {
     banner(
@@ -34,6 +34,7 @@ fn main() {
         CpuModel::default(),
     );
     print!("{}", render_speedup_table(&points, &PAPER_PERCENTS_FIG3));
+    export_rows("fig3_speedup", points.iter().map(|p| p.to_json()).collect());
     println!();
     println!("(paper reported: 1%: 13.5/22.5/24.2/24.9, 5%: 9.3/11.9/12.0/12.5,");
     println!(" 10%: 6.5/7.1/7.5/7.6, 20%: 3.7/4.3/4.3/4.3)");

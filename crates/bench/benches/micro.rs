@@ -2,7 +2,7 @@
 //! deployment cares about — wire codec, compressors, content digest, and
 //! the end-to-end in-memory protocol round trip.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, Criterion, Throughput};
 use shadow::{
     Codec, ContentDigest, DomainId, FileId, FileSpec, Frame, HostName, Lzss, Rle,
     ClientMessage, TransferEncoding, UpdatePayload, VersionNumber,
@@ -84,4 +84,63 @@ fn bench_end_to_end(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_codec, bench_compress, bench_digest, bench_end_to_end);
-criterion_main!(benches);
+
+/// Times `f` over `iters` calls, returning mean nanoseconds per call.
+fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters.max(1))
+}
+
+fn main() {
+    benches();
+    // Re-measure the headline operations with a plain timer and export
+    // them machine-readably alongside the Criterion report.
+    let iters = if shadow_bench::quick_mode() { 20 } else { 200 };
+    let payload = shadow::generate_file(&FileSpec::new(100_000, 1));
+    let digest = ContentDigest::of(&payload);
+    let msg = ClientMessage::Update {
+        file: FileId::new(7),
+        version: VersionNumber::new(3),
+        payload: UpdatePayload::Full {
+            encoding: TransferEncoding::Identity,
+            data: bytes::Bytes::from(payload.clone()),
+            digest,
+        },
+    };
+    let frame = Frame::encode(&msg);
+    let big = shadow::generate_file(&FileSpec::new(500_000, 3));
+    let row = |name: &str, bytes: usize, ns: f64| {
+        shadow_obs::Json::object()
+            .with("op", name)
+            .with("bytes", bytes)
+            .with("ns_per_op", ns)
+            .with("mb_per_sec", bytes as f64 * 1000.0 / ns.max(1.0))
+    };
+    let rows = vec![
+        row(
+            "encode_update_100k",
+            payload.len(),
+            time_ns(iters, || {
+                let _ = Frame::encode(&msg);
+            }),
+        ),
+        row(
+            "decode_update_100k",
+            payload.len(),
+            time_ns(iters, || {
+                let _ = Frame::decode::<ClientMessage>(&frame);
+            }),
+        ),
+        row(
+            "fnv_digest_500k",
+            big.len(),
+            time_ns(iters, || {
+                let _ = ContentDigest::of(&big);
+            }),
+        ),
+    ];
+    shadow_bench::export_rows("micro", rows);
+}

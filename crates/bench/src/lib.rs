@@ -2,11 +2,17 @@
 //!
 //! Each `[[bench]]` target under `benches/` regenerates one table or
 //! figure of the paper's evaluation (or one ablation of a design choice
-//! from DESIGN.md) and prints the rows to stdout; `cargo bench` runs them
-//! all. The micro-benchmarks (`micro`, `ablation_diff_algos`) additionally
-//! use Criterion for real CPU-time measurements.
+//! from DESIGN.md), prints the rows to stdout, and exports the same rows
+//! machine-readably as `BENCH_<name>.json` in the workspace root (see
+//! [`export_json`]); `cargo bench` runs them all. The micro-benchmarks
+//! (`micro`, `ablation_diff_algos`) additionally use Criterion for real
+//! CPU-time measurements.
 
 #![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+
+use shadow_obs::Json;
 
 /// Prints a banner so `cargo bench` output separates cleanly per figure.
 pub fn banner(title: &str, context: &str) {
@@ -21,4 +27,52 @@ pub fn banner(title: &str, context: &str) {
 /// controlled by `SHADOW_BENCH_QUICK=1`.
 pub fn quick_mode() -> bool {
     std::env::var("SHADOW_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Directory benchmark JSON lands in: `SHADOW_BENCH_DIR` when set,
+/// otherwise the workspace root. Cargo runs bench binaries with the
+/// *crate* directory as CWD, so the root is found by walking up to the
+/// first directory holding a `Cargo.lock`; if none is found the CWD
+/// itself is used.
+pub fn bench_output_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("SHADOW_BENCH_DIR") {
+        return PathBuf::from(dir);
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir: &Path = &cwd;
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.to_path_buf();
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return cwd,
+        }
+    }
+}
+
+/// Wraps benchmark rows in the common export envelope:
+/// `{"bench": <name>, "quick": <bool>, "rows": [...]}`.
+pub fn bench_doc(name: &str, rows: Vec<Json>) -> Json {
+    Json::object()
+        .with("bench", name)
+        .with("quick", quick_mode())
+        .with("rows", Json::Arr(rows))
+}
+
+/// Writes `doc` to `BENCH_<name>.json` in [`bench_output_dir`] and
+/// reports where it went. Export failure is reported, not fatal: the
+/// stdout table is the primary artifact and must still appear.
+pub fn export_json(name: &str, doc: &Json) {
+    let path = bench_output_dir().join(format!("BENCH_{name}.json"));
+    match std::fs::write(&path, doc.render_pretty()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// One-call export for the common case: wrap `rows` in the envelope and
+/// write `BENCH_<name>.json`.
+pub fn export_rows(name: &str, rows: Vec<Json>) {
+    export_json(name, &bench_doc(name, rows));
 }

@@ -108,6 +108,23 @@ impl CacheStats {
     }
 }
 
+impl shadow_obs::Snapshot for CacheStats {
+    fn section_name(&self) -> &'static str {
+        "cache"
+    }
+
+    fn snapshot(&self) -> shadow_obs::Section {
+        shadow_obs::Section::new("cache")
+            .with("hits", self.hits)
+            .with("misses", self.misses)
+            .with("insertions", self.insertions)
+            .with("evictions", self.evictions)
+            .with("bytes_evicted", self.bytes_evicted)
+            .with("rejected_too_large", self.rejected_too_large)
+            .with("hit_rate", self.hit_rate())
+    }
+}
+
 /// The byte-budgeted, policy-driven shadow file store.
 ///
 /// See the [crate docs](crate) for background and an example.

@@ -101,6 +101,11 @@ pub struct Counterexample {
     pub trace: Vec<Choice>,
     /// Length of the trace as first discovered, before minimization.
     pub original_len: usize,
+    /// Flight-recorder dump from replaying the minimized trace: the
+    /// last choices applied before the violation, oldest first, as
+    /// `#seq @at_ms label` lines (includes the deterministic handshake
+    /// steps, which the trace itself omits).
+    pub flight: Vec<String>,
 }
 
 /// The outcome of exploring one scenario.
@@ -193,11 +198,12 @@ fn counterexample(
     let minimized = minimize_trace(scenario, profile, faults, &trace);
     // Minimization preserves *a* violation, not necessarily the same
     // variant; report what the minimized trace actually produces.
-    let violation = replay(scenario, profile, faults, &minimized).unwrap_or(violation);
+    let (replayed, flight) = replay_recorded(scenario, profile, faults, &minimized);
     Counterexample {
-        violation,
+        violation: replayed.unwrap_or(violation),
         trace: minimized,
         original_len,
+        flight,
     }
 }
 
@@ -215,19 +221,35 @@ pub fn replay(
     faults: FaultInjection,
     trace: &[Choice],
 ) -> Option<Violation> {
+    replay_recorded(scenario, profile, faults, trace).0
+}
+
+/// Like [`replay`], additionally returning the flight-recorder dump of
+/// the replayed world at the point the violation fired (or at the end
+/// of the trace when none did).
+fn replay_recorded(
+    scenario: &Scenario,
+    profile: &Profile,
+    faults: FaultInjection,
+    trace: &[Choice],
+) -> (Option<Violation>, Vec<String>) {
     let mut world = World::new(scenario, profile.budgets, faults);
     for &choice in trace {
         if !world.enabled().contains(&choice) {
             continue;
         }
         if let Err(v) = world.apply(choice) {
-            return Some(v);
+            let flight = world.flight_lines();
+            return (Some(v), flight);
         }
     }
-    if world.quiescent() {
-        return world.check_quiescent();
-    }
-    None
+    let violation = if world.quiescent() {
+        world.check_quiescent()
+    } else {
+        None
+    };
+    let flight = world.flight_lines();
+    (violation, flight)
 }
 
 /// Shrinks a violating trace to a minimal still-violating core via

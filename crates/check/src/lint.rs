@@ -6,18 +6,23 @@
 //!
 //! 1. **No wall-clock reads in protocol crates.** The sans-io crates
 //!    (`proto`, `diff`, `compress`, `version`, `cache`, `client`,
-//!    `server`, `runtime`) must take time as an argument; `SystemTime`
-//!    and `Instant::now` are banned there. The single allowlisted file
-//!    is `crates/runtime/src/clock.rs`, the one place wall time is
-//!    permitted to enter the system.
+//!    `server`, `runtime`, `obs`) must take time as an argument;
+//!    `SystemTime` and `Instant::now` are banned there. The single
+//!    allowlisted file is `crates/runtime/src/clock.rs`, the one place
+//!    wall time is permitted to enter the system.
 //! 2. **No panics in wire-decode paths.** `crates/proto/src/wire.rs`
 //!    parses bytes from the network; outside `#[cfg(test)]` it must not
 //!    contain `unwrap`/`expect`/`panic!`-family macros or panicking
 //!    index expressions — malformed input must surface as `WireError`.
 //! 3. **Variant coverage.** Every `ClientMessage`/`ServerMessage`
 //!    variant must appear in the proto round-trip property tests, and
-//!    every `DriverEvent` variant must actually be emitted by a driver
-//!    (dead instrumentation variants rot silently otherwise).
+//!    every `DriverEvent` variant (declared in `crates/obs`) must
+//!    actually be emitted by a driver in `crates/runtime` (dead
+//!    instrumentation variants rot silently otherwise).
+//! 4. **Panic-free observability.** `crates/obs` is instrumentation:
+//!    it runs inside drivers and event hooks, so outside `#[cfg(test)]`
+//!    it must not contain `unwrap`/`expect`/`panic!`-family macros —
+//!    a metrics bug must never take down a protocol node.
 
 use std::fmt;
 use std::fs;
@@ -26,7 +31,7 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose sources must stay free of wall-clock reads.
 const SANS_IO_CRATES: &[&str] = &[
-    "proto", "diff", "compress", "version", "cache", "client", "server", "runtime",
+    "proto", "diff", "compress", "version", "cache", "client", "server", "runtime", "obs",
 ];
 
 /// Files exempt from the wall-clock rule (path suffix match).
@@ -325,6 +330,38 @@ pub fn check_decode_panics(label: &str, code: &str) -> Vec<Finding> {
     findings
 }
 
+/// Rule 4: panic-family macros or `unwrap`/`expect` in observability
+/// sources (input already comment/string/test-stripped). Unlike the
+/// wire-decode rule this does not flag index expressions — slicing a
+/// histogram bucket table by a bounds-checked index is fine; explicit
+/// panics and unwraps are not.
+pub fn check_obs_panics(label: &str, code: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for token in [
+        ".unwrap()",
+        ".expect(",
+        "panic!(",
+        "unreachable!(",
+        "todo!(",
+        "unimplemented!(",
+    ] {
+        for line in find_token(code, token) {
+            findings.push(Finding {
+                file: label.to_string(),
+                line,
+                rule: "obs-panic",
+                message: format!(
+                    "`{token}` in the observability crate: instrumentation \
+                     must degrade (drop the sample, count the error), never \
+                     take down the node it is measuring"
+                ),
+            });
+        }
+    }
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
 /// Extracts the variant names of `enum <name>` from stripped source.
 pub fn enum_variants(stripped: &str, name: &str) -> Vec<String> {
     let header = format!("enum {name}");
@@ -480,7 +517,9 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     }
 
     // Rule 3b: every DriverEvent variant is emitted by some driver.
-    let event_path = root.join("crates/runtime/src/event.rs");
+    // The enum lives in the observability crate; the emitters are the
+    // drivers in crates/runtime.
+    let event_path = root.join("crates/obs/src/event.rs");
     let event_src = strip_code(&fs::read_to_string(&event_path).unwrap_or_default());
     let variants = enum_variants(&event_src, "DriverEvent");
     if variants.is_empty() {
@@ -513,6 +552,16 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
                 });
             }
         }
+    }
+
+    // Rule 4: the observability crate never panics outside tests.
+    let obs_dir = root.join("crates/obs/src");
+    let mut obs_files = Vec::new();
+    rust_files_under(&obs_dir, &mut obs_files)?;
+    obs_files.sort();
+    for path in obs_files {
+        let code = strip_cfg_test(&strip_code(&fs::read_to_string(&path)?));
+        findings.extend(check_obs_panics(&rel_label(root, &path), &code));
     }
 
     Ok(findings)
@@ -587,6 +636,17 @@ mod tests {
         let ok = "#[derive(Debug)]\nfn d(b: &[u8], a: [u8; 4]) { let v = vec![1, 2]; }";
         // `vec![` is macro-bang-bracket: '!' precedes '[', not an ident.
         assert!(check_decode_panics("wire.rs", &strip_code(ok)).is_empty());
+    }
+
+    #[test]
+    fn obs_panic_rule_fires_on_macros_but_not_indexing() {
+        let bad = "fn f(v: &[u64]) { let x = v.first().unwrap(); panic!(\"no\"); }";
+        let findings = check_obs_panics("obs.rs", &strip_code(bad));
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().all(|f| f.rule == "obs-panic"));
+        // Index expressions are allowed here, unlike in wire decode.
+        let ok = "fn f(v: &[u64], i: usize) -> u64 { if i < v.len() { v[i] } else { 0 } }";
+        assert!(check_obs_panics("obs.rs", &strip_code(ok)).is_empty());
     }
 
     #[test]

@@ -115,6 +115,12 @@ fn cmd_explore(args: &[String]) -> ExitCode {
             for (i, choice) in cx.trace.iter().enumerate() {
                 println!("    {:>3}. {choice}", i + 1);
             }
+            if !cx.flight.is_empty() {
+                println!("  flight recorder (last {} steps, oldest first):", cx.flight.len());
+                for line in &cx.flight {
+                    println!("    {line}");
+                }
+            }
         }
     }
     if failed {

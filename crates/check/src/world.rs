@@ -11,6 +11,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use shadow_client::{ClientConfig, ClientNode, ConnId, FileRef, Notification};
+use shadow_obs::FlightRecorder;
 use shadow_proto::{
     ContentDigest, DomainId, FileId, FileKey, Frame, ServerMessage, StableHasher, VersionNumber,
 };
@@ -223,6 +224,11 @@ pub struct World {
     acks_seen: BTreeMap<FileId, VersionNumber>,
     /// Per-key cached version last observed this cache lifetime.
     cache_seen: BTreeMap<FileKey, VersionNumber>,
+    /// Bounded log of recent choices, dumped into counterexample
+    /// reports. Deliberately excluded from [`state_digest`](Self::state_digest):
+    /// two states with identical protocol futures must deduplicate even
+    /// when they were reached along different histories.
+    flight: FlightRecorder,
 }
 
 impl World {
@@ -253,6 +259,7 @@ impl World {
             script_drops_cache: scenario.script.contains(&Op::DropCache),
             acks_seen: BTreeMap::new(),
             cache_seen: BTreeMap::new(),
+            flight: FlightRecorder::default(),
         };
         let io = world.server.connected(world.session, 0);
         world.queue_server_io(&io).expect("handshake acks are sound");
@@ -283,6 +290,12 @@ impl World {
     /// Whether any frame has been dropped on this branch.
     pub fn any_dropped(&self) -> bool {
         self.any_dropped
+    }
+
+    /// The flight recorder's view of this branch: the last choices
+    /// applied, oldest first, as `#seq @at_ms label` lines.
+    pub fn flight_lines(&self) -> Vec<String> {
+        self.flight.dump_lines()
     }
 
     /// Every choice legal in this state, in a fixed order.
@@ -323,6 +336,7 @@ impl World {
     /// during or immediately after the transition. Choices must come
     /// from [`enabled`](Self::enabled).
     pub fn apply(&mut self, choice: Choice) -> Result<(), Violation> {
+        self.flight.record(self.now_ms, choice.to_string());
         match choice {
             Choice::DeliverToServer(i) => {
                 let frame = self.c2s.remove(i);
@@ -655,6 +669,27 @@ mod tests {
         assert_eq!(w.check_quiescent(), None);
         // The submitted job ran to completion.
         assert!(w.server.node().pending_job_ids().is_empty());
+    }
+
+    #[test]
+    fn flight_recorder_logs_choices_but_not_the_digest() {
+        let s = &builtin_scenarios()[0];
+        let mut a = World::new(s, budgets(), FaultInjection::default());
+        let b = a.clone();
+        // The handshake in `new` already recorded deliveries.
+        let before = a.flight_lines().len();
+        assert!(before > 0, "handshake choices are recorded");
+        a.apply(Choice::NextOp).unwrap();
+        assert_eq!(a.flight_lines().len(), before + 1);
+        assert!(a.flight_lines().last().unwrap().contains("next op"));
+        // The recorder must not leak into state identity: injecting an
+        // extra log entry leaves the digest unchanged.
+        let mut c = b.clone();
+        c.apply(Choice::NextOp).unwrap();
+        let digest = c.state_digest();
+        c.flight.record(999, "synthetic entry");
+        assert_eq!(c.state_digest(), digest);
+        assert_eq!(a.state_digest(), digest);
     }
 
     #[test]

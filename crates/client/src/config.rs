@@ -93,6 +93,15 @@ impl ClientConfig {
         }
     }
 
+    /// Starts a validated fluent builder; invariants (non-empty host,
+    /// retention limits ≥ 1) are checked once at
+    /// [`build()`](ClientConfigBuilder::build).
+    pub fn builder(host: impl Into<String>, domain: u64) -> ClientConfigBuilder {
+        ClientConfigBuilder {
+            config: ClientConfig::new(host, domain),
+        }
+    }
+
     /// Switches to the conventional (full-transfer) baseline mode.
     #[must_use]
     pub fn conventional(mut self) -> Self {
@@ -105,6 +114,114 @@ impl ClientConfig {
     pub fn with_env(mut self, env: ShadowEnv) -> Self {
         self.env = env;
         self
+    }
+}
+
+/// A configuration value rejected by a builder's `build()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fluent builder for [`ClientConfig`], created by
+/// [`ClientConfig::builder`]. Unlike the `with_*` conveniences on the
+/// config itself, every invariant is deferred to [`build()`](Self::build)
+/// and reported as a [`ConfigError`] instead of a panic.
+#[derive(Debug, Clone)]
+pub struct ClientConfigBuilder {
+    config: ClientConfig,
+}
+
+impl ClientConfigBuilder {
+    /// Switches to the conventional (full-transfer) baseline mode.
+    #[must_use]
+    pub fn conventional(mut self) -> Self {
+        self.config.mode = TransferMode::Conventional;
+        self
+    }
+
+    /// Replaces the whole shadow environment.
+    #[must_use]
+    pub fn env(mut self, env: ShadowEnv) -> Self {
+        self.config.env = env;
+        self
+    }
+
+    /// Sets the user's editor command (§6.3.1 customization).
+    #[must_use]
+    pub fn editor(mut self, editor: impl Into<String>) -> Self {
+        self.config.env.editor = editor.into();
+        self
+    }
+
+    /// Sets how many older versions are retained per file.
+    #[must_use]
+    pub fn version_retention(mut self, versions: usize) -> Self {
+        self.config.env.version_retention = versions;
+        self
+    }
+
+    /// Sets the transfer encoding for update payloads.
+    #[must_use]
+    pub fn encoding(mut self, encoding: TransferEncoding) -> Self {
+        self.config.env.encoding = encoding;
+        self
+    }
+
+    /// Sets the delta-versus-full decision policy.
+    #[must_use]
+    pub fn delta_policy(mut self, policy: DeltaPolicy) -> Self {
+        self.config.env.delta_policy = policy;
+        self
+    }
+
+    /// Sets the diff algorithm used to produce deltas.
+    #[must_use]
+    pub fn diff_algorithm(mut self, algorithm: DiffAlgorithm) -> Self {
+        self.config.env.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the default supercomputer host for bare `submit`s.
+    #[must_use]
+    pub fn default_server(mut self, host: impl Into<String>) -> Self {
+        self.config.env.default_server = Some(HostName::new(host.into()));
+        self
+    }
+
+    /// Sets how many completed job outputs are retained per connection
+    /// as reverse-shadow bases.
+    #[must_use]
+    pub fn output_retention(mut self, outputs: usize) -> Self {
+        self.config.output_retention = outputs;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<ClientConfig, ConfigError> {
+        let c = self.config;
+        if c.host.as_str().is_empty() {
+            return Err(ConfigError("host name must not be empty".into()));
+        }
+        if c.env.version_retention < 1 {
+            return Err(ConfigError(
+                "version retention must be >= 1: the client must always \
+                 keep its own latest version"
+                    .into(),
+            ));
+        }
+        if c.output_retention < 1 {
+            return Err(ConfigError(
+                "output retention must be >= 1 for reverse shadow bases".into(),
+            ));
+        }
+        Ok(c)
     }
 }
 
@@ -126,6 +243,37 @@ mod tests {
     fn conventional_builder() {
         let c = ClientConfig::new("ws", 1).conventional();
         assert_eq!(c.mode, TransferMode::Conventional);
+    }
+
+    #[test]
+    fn builder_builds_and_validates() {
+        let c = ClientConfig::builder("ws", 2)
+            .editor("emacs")
+            .version_retention(9)
+            .encoding(TransferEncoding::Lzss)
+            .delta_policy(DeltaPolicy::Always)
+            .default_server("superc")
+            .output_retention(2)
+            .build()
+            .unwrap();
+        assert_eq!(c.env.editor, "emacs");
+        assert_eq!(c.env.version_retention, 9);
+        assert_eq!(c.env.encoding, TransferEncoding::Lzss);
+        assert_eq!(c.env.delta_policy, DeltaPolicy::Always);
+        assert_eq!(c.env.default_server, Some(HostName::new("superc")));
+        assert_eq!(c.output_retention, 2);
+        // Builder defaults equal the plain constructor.
+        assert_eq!(ClientConfig::builder("ws", 1).build().unwrap(), ClientConfig::new("ws", 1));
+    }
+
+    #[test]
+    fn builder_rejects_bad_values() {
+        let e = ClientConfig::builder("ws", 1).version_retention(0).build();
+        assert!(e.unwrap_err().to_string().contains("retention"));
+        let e = ClientConfig::builder("ws", 1).output_retention(0).build();
+        assert!(e.is_err());
+        let e = ClientConfig::builder("", 1).build();
+        assert!(e.unwrap_err().to_string().contains("host"));
     }
 
     #[test]

@@ -39,7 +39,9 @@ mod editor;
 mod jobs;
 mod node;
 
-pub use config::{ClientConfig, DeltaPolicy, ShadowEnv, TransferMode};
+pub use config::{
+    ClientConfig, ClientConfigBuilder, ConfigError, DeltaPolicy, ShadowEnv, TransferMode,
+};
 pub use editor::{EditOutcome, Editor, EditorCommand, FnEditor, ScriptedEditor, ShadowEditor};
 pub use jobs::{JobTracker, TrackedJob};
 pub use node::{

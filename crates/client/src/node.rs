@@ -189,6 +189,21 @@ pub struct ClientMetrics {
     pub output_deltas_applied: u64,
 }
 
+impl shadow_obs::Snapshot for ClientMetrics {
+    fn section_name(&self) -> &'static str {
+        "client"
+    }
+
+    fn snapshot(&self) -> shadow_obs::Section {
+        shadow_obs::Section::new("client")
+            .with("deltas_sent", self.deltas_sent)
+            .with("fulls_sent", self.fulls_sent)
+            .with("update_payload_bytes", self.update_payload_bytes)
+            .with("notifies_sent", self.notifies_sent)
+            .with("output_deltas_applied", self.output_deltas_applied)
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct Conn {
     ready: bool,

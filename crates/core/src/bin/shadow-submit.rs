@@ -176,10 +176,12 @@ fn run(opts: &Options) -> Result<ExitCode, Box<dyn std::error::Error>> {
         "shadow-submit: {job} finished (exit {}, ran {} ms, waited {} ms)",
         stats.exit_code, stats.running_ms, stats.waiting_ms
     );
-    let m = client.metrics();
+    let m = client.report();
     eprintln!(
         "shadow-submit: traffic: {} delta(s), {} full transfer(s), {} payload bytes",
-        m.deltas_sent, m.fulls_sent, m.update_payload_bytes
+        m.counter("client", "deltas_sent"),
+        m.counter("client", "fulls_sent"),
+        m.counter("client", "update_payload_bytes")
     );
 
     match &opts.output {

@@ -67,6 +67,16 @@ pub struct CycleResult {
     pub first_bytes: u64,
     /// Client→server payload bytes during the resubmission.
     pub resubmit_bytes: u64,
+    /// Client frames sent across the whole cycle (both submissions).
+    pub frames: u64,
+    /// Full-content updates the client sent across the cycle.
+    pub fulls_sent: u64,
+    /// Delta updates the client sent across the cycle.
+    pub deltas_sent: u64,
+    /// Server shadow-cache hit rate at the end of the cycle.
+    pub cache_hit_rate: f64,
+    /// Sim-clock time when the cycle finished, milliseconds.
+    pub makespan_ms: u64,
 }
 
 /// Runs one edit-submit-fetch cycle: initial submission, then an editing
@@ -126,16 +136,24 @@ pub fn run_cycle(setup: &CycleSetup, fraction: f64) -> CycleResult {
     let resubmit_secs = (second_done - restart).as_secs_f64();
     let resubmit_bytes = sim.link_stats(client, server).0.payload_bytes - first_bytes;
 
+    let client_report = sim.client_report(client);
+    let server_report = sim.server_report(server);
     CycleResult {
         first_secs,
         resubmit_secs,
         first_bytes,
         resubmit_bytes,
+        frames: client_report.counter("driver", "frames_sent"),
+        fulls_sent: client_report.counter("client", "fulls_sent"),
+        deltas_sent: client_report.counter("client", "deltas_sent"),
+        cache_hit_rate: server_report.value("cache", "hit_rate"),
+        makespan_ms: sim.now().as_millis(),
     }
 }
 
 /// One point of Figure 1/2: a file size and modification percentage with
-/// the measured S-time and the baseline F-time.
+/// the measured S-time and the baseline F-time, plus the wire-level
+/// accounting that backs the claim (bytes, frames, cache behaviour).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FigurePoint {
     /// File size in bytes.
@@ -146,12 +164,37 @@ pub struct FigurePoint {
     pub s_time: f64,
     /// Conventional resubmission time, seconds (the horizontal line).
     pub f_time: f64,
+    /// Payload bytes of the conventional resubmission (full transfer).
+    pub full_bytes: u64,
+    /// Payload bytes of the shadow resubmission (delta transfer).
+    pub delta_bytes: u64,
+    /// Server shadow-cache hit rate at the end of the shadow cycle.
+    pub cache_hit_rate: f64,
+    /// Client frames sent during the shadow cycle.
+    pub frames: u64,
+    /// Sim-clock makespan of the shadow cycle, milliseconds.
+    pub makespan_ms: u64,
 }
 
 impl FigurePoint {
     /// F-time / S-time — the paper's speedup factor (Figure 3 footnote).
     pub fn speedup(&self) -> f64 {
         self.f_time / self.s_time
+    }
+
+    /// The point as one machine-readable `BENCH_*.json` row.
+    pub fn to_json(&self) -> shadow_obs::Json {
+        shadow_obs::Json::object()
+            .with("size", self.size)
+            .with("fraction", self.fraction)
+            .with("s_time_secs", self.s_time)
+            .with("f_time_secs", self.f_time)
+            .with("speedup", self.speedup())
+            .with("full_bytes", self.full_bytes)
+            .with("delta_bytes", self.delta_bytes)
+            .with("cache_hit_rate", self.cache_hit_rate)
+            .with("frames", self.frames)
+            .with("makespan_ms", self.makespan_ms)
     }
 }
 
@@ -168,7 +211,8 @@ pub fn figure_rows(
     for &size in sizes {
         let mut conventional = CycleSetup::new(link.clone(), size).conventional();
         conventional.cpu = cpu;
-        let f_time = run_cycle(&conventional, 0.05).resubmit_secs;
+        let baseline = run_cycle(&conventional, 0.05);
+        let f_time = baseline.resubmit_secs;
         for &fraction in fractions {
             let mut shadow = CycleSetup::new(link.clone(), size);
             shadow.cpu = cpu;
@@ -178,6 +222,11 @@ pub fn figure_rows(
                 fraction,
                 s_time: r.resubmit_secs,
                 f_time,
+                full_bytes: baseline.resubmit_bytes,
+                delta_bytes: r.resubmit_bytes,
+                cache_hit_rate: r.cache_hit_rate,
+                frames: r.frames,
+                makespan_ms: r.makespan_ms,
             });
         }
     }
@@ -319,6 +368,11 @@ mod tests {
             fraction: 0.05,
             s_time: 30.0,
             f_time: 120.0,
+            full_bytes: 100_000,
+            delta_bytes: 5_000,
+            cache_hit_rate: 0.5,
+            frames: 12,
+            makespan_ms: 150_000,
         }];
         let fig = render_figure("Figure 1", &points);
         assert!(fig.contains("Figure 1"));

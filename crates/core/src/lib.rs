@@ -83,9 +83,10 @@ pub use shadow_runtime::{
 
 pub use shadow_cache::{CacheStats, EvictionPolicy, ShadowStore};
 pub use shadow_client::{
-    ClientAction, ClientConfig, ClientError, ClientEvent, ClientMetrics, ClientNode, ConnId,
-    DeltaPolicy, EditOutcome, Editor, EditorCommand, FileRef, FnEditor, JobTracker, Notification,
-    ScriptedEditor, ShadowEditor, ShadowEnv, TrackedJob, TransferMode,
+    ClientAction, ClientConfig, ClientConfigBuilder, ClientError, ClientEvent, ClientMetrics,
+    ClientNode, ConfigError as ClientConfigError, ConnId, DeltaPolicy, EditOutcome, Editor,
+    EditorCommand, FileRef, FnEditor, JobTracker, Notification, ScriptedEditor, ShadowEditor,
+    ShadowEnv, TrackedJob, TransferMode,
 };
 pub use shadow_compress::{Codec, Lzss, Rle};
 pub use shadow_diff::{
@@ -99,8 +100,13 @@ pub use shadow_proto::{
     TransferEncoding, UpdatePayload, VersionNumber, WireDecode, WireEncode, WireError,
     PROTOCOL_VERSION,
 };
+pub use shadow_obs::{
+    FlightEntry, FlightRecorder, Histogram, Json, MetricValue, MetricsRegistry, NodeReport,
+    Section, Snapshot, TraceSink,
+};
 pub use shadow_server::{
-    exec, FlowControl, ServerAction, ServerConfig, ServerEvent, ServerNode, SessionId,
+    exec, ConfigError as ServerConfigError, FlowControl, ServerAction, ServerConfig,
+    ServerConfigBuilder, ServerEvent, ServerNode, SessionId,
 };
 pub use shadow_version::{VersionStore, VersionStoreStats};
 pub use shadow_vfs::{CanonicalName, VPath, Vfs, VfsError};
@@ -108,3 +114,32 @@ pub use shadow_workload::{
     delta_cost, edit_sequence, generate_file, EditModel, FileSpec, Locality, PAPER_PERCENTS_FIG1,
     PAPER_PERCENTS_FIG3, PAPER_SIZES_FIG1, PAPER_SIZES_FIG3,
 };
+
+/// The types nearly every consumer of the service touches, importable
+/// in one line:
+///
+/// ```
+/// use shadow::prelude::*;
+/// ```
+///
+/// Covers file identity ([`FileRef`]), the validated config builders,
+/// the three deployment front ends ([`Simulation`], [`LiveSystem`],
+/// [`TcpClient`]), the drivers beneath them, and the unified
+/// [`NodeReport`] stats surface.
+pub mod prelude {
+    pub use crate::live::{LiveClient, LiveSystem};
+    pub use crate::sim::{ClientId, FinishedJob, ServerId, Simulation};
+    pub use crate::tcpd::{connect_tcp, TcpClient, TcpServerRuntime};
+    pub use shadow_client::{
+        ClientConfig, ClientConfigBuilder, DeltaPolicy, FileRef, ShadowEnv, TransferMode,
+    };
+    pub use shadow_netsim::{profiles, LinkProfile, SimTime};
+    pub use shadow_obs::{NodeReport, Section, Snapshot};
+    pub use shadow_proto::{
+        ContentDigest, DomainId, FileId, HostName, JobId, SubmitOptions, TransferEncoding,
+        VersionNumber,
+    };
+    pub use shadow_runtime::{ClientDriver, ServerDriver, ServerRuntime};
+    pub use shadow_cache::EvictionPolicy;
+    pub use shadow_server::{ExecProfile, FlowControl, ServerConfig, ServerConfigBuilder};
+}

@@ -365,8 +365,16 @@ impl<T: FrameTransport> LiveClient<T> {
     }
 
     /// The client's traffic counters.
+    #[deprecated(note = "use `report()` and read the \"client\" section")]
+    #[allow(deprecated)]
     pub fn metrics(&self) -> shadow_client::ClientMetrics {
         self.driver.metrics()
+    }
+
+    /// The client's full report: protocol metrics, version-store
+    /// occupancy, and driver wire counters as one aggregate.
+    pub fn report(&self) -> shadow_obs::NodeReport {
+        self.driver.report()
     }
 
     /// Direct access to the protocol node (persistence, diagnostics).
@@ -405,7 +413,7 @@ mod tests {
         assert_eq!(stats.exit_code, 0);
         drop(client);
         let server = system.shutdown();
-        assert_eq!(server.metrics().jobs_completed, 1);
+        assert_eq!(server.report().counter("server", "jobs_completed"), 1);
     }
 
     #[test]
@@ -433,12 +441,12 @@ mod tests {
             .submit(&job, std::slice::from_ref(&data), SubmitOptions::default())
             .unwrap();
         client.wait_job(Duration::from_secs(10)).unwrap();
-        assert_eq!(client.metrics().deltas_sent, 1);
+        assert_eq!(client.report().counter("client", "deltas_sent"), 1);
 
         drop(client);
         let server = system.shutdown();
-        assert_eq!(server.metrics().delta_updates, 1);
-        assert_eq!(server.metrics().jobs_completed, 2);
+        assert_eq!(server.report().counter("server", "delta_updates"), 1);
+        assert_eq!(server.report().counter("server", "jobs_completed"), 2);
     }
 
     #[test]
@@ -464,6 +472,6 @@ mod tests {
         drop(c1);
         drop(c2);
         let server = system.shutdown();
-        assert_eq!(server.metrics().jobs_completed, 2);
+        assert_eq!(server.report().counter("server", "jobs_completed"), 2);
     }
 }

@@ -605,23 +605,42 @@ impl Simulation {
     }
 
     /// A server's behaviour counters.
+    #[deprecated(note = "use `server_report()` and read the \"server\" section")]
+    #[allow(deprecated)]
     pub fn server_metrics(&self, server: ServerId) -> shadow_server::ServerMetrics {
         self.servers[server.0].driver.metrics()
     }
 
     /// A server's shadow-cache counters.
+    #[deprecated(note = "use `server_report()` and read the \"cache\" section")]
+    #[allow(deprecated)]
     pub fn cache_stats(&self, server: ServerId) -> shadow_cache::CacheStats {
         self.servers[server.0].driver.node().cache_stats()
     }
 
     /// A client's traffic counters.
+    #[deprecated(note = "use `client_report()` and read the \"client\" section")]
+    #[allow(deprecated)]
     pub fn client_metrics(&self, client: ClientId) -> shadow_client::ClientMetrics {
         self.clients[client.0].driver.metrics()
     }
 
     /// A client's version-store summary (retention diagnostics).
+    #[deprecated(note = "use `client_report()` and read the \"versions\" section")]
     pub fn client_version_stats(&self, client: ClientId) -> shadow_version::VersionStoreStats {
         self.clients[client.0].driver.node().version_stats()
+    }
+
+    /// A client's full report: protocol metrics, version-store
+    /// occupancy, and driver wire counters as one aggregate.
+    pub fn client_report(&self, client: ClientId) -> shadow_obs::NodeReport {
+        self.clients[client.0].driver.report()
+    }
+
+    /// A server's full report: behaviour counters, shadow-cache
+    /// statistics, and driver wire counters as one aggregate.
+    pub fn server_report(&self, server: ServerId) -> shadow_obs::NodeReport {
+        self.servers[server.0].driver.report()
     }
 
     /// Fault injection: the server loses its shadow disk (§5.1).
@@ -687,7 +706,7 @@ mod tests {
         sim.run_until_quiet();
         let jobs = sim.finished_jobs(client);
         assert_eq!(jobs[0].output, b"1\n2\n3\n");
-        assert!(sim.server_metrics(server).full_updates >= 2);
+        assert!(sim.server_report(server).counter("server", "full_updates") >= 2);
     }
 
     #[test]
@@ -707,8 +726,8 @@ mod tests {
         sim.submit(client, conn, "/job.cmd", &["/data.txt"], SubmitOptions::default())
             .unwrap();
         sim.run_until_quiet();
-        let before = sim.client_metrics(client);
-        assert_eq!(before.deltas_sent, 0);
+        let before = sim.client_report(client);
+        assert_eq!(before.counter("client", "deltas_sent"), 0);
 
         // Edit a single record and resubmit.
         sim.edit_file(client, "/data.txt", |c| {
@@ -719,11 +738,19 @@ mod tests {
         sim.submit(client, conn, "/job.cmd", &["/data.txt"], SubmitOptions::default())
             .unwrap();
         sim.run_until_quiet();
-        let after = sim.client_metrics(client);
-        assert_eq!(after.deltas_sent, 1, "the edit should travel as a delta");
-        assert_eq!(after.fulls_sent, before.fulls_sent, "no new full transfers");
+        let after = sim.client_report(client);
+        assert_eq!(
+            after.counter("client", "deltas_sent"),
+            1,
+            "the edit should travel as a delta"
+        );
+        assert_eq!(
+            after.counter("client", "fulls_sent"),
+            before.counter("client", "fulls_sent"),
+            "no new full transfers"
+        );
         assert_eq!(sim.finished_jobs(client).len(), 2);
-        assert_eq!(sim.server_metrics(server).delta_updates, 1);
+        assert_eq!(sim.server_report(server).counter("server", "delta_updates"), 1);
     }
 
     #[test]
@@ -798,7 +825,7 @@ mod tests {
         assert_eq!(jobs.len(), 2);
         assert_eq!(jobs[1].output, b"important data v2\n");
         // The recovery transferred the file whole (no usable base).
-        assert!(sim.client_metrics(client).fulls_sent >= 3);
+        assert!(sim.client_report(client).counter("client", "fulls_sent") >= 3);
     }
 
     #[test]
@@ -866,7 +893,11 @@ mod tests {
         assert_eq!(sim.finished_jobs(c2).len(), 1);
         // ws2's submission found the shared file already cached: only one
         // full transfer of shared.dat ever happened (plus 2 job files).
-        let m = sim.server_metrics(server);
-        assert_eq!(m.full_updates, 3, "shared file cached once: {m:?}");
+        let m = sim.server_report(server);
+        assert_eq!(
+            m.counter("server", "full_updates"),
+            3,
+            "shared file cached once: {m:?}"
+        );
     }
 }

@@ -169,7 +169,7 @@ mod tests {
         assert_eq!(stats.exit_code, 0);
         drop(client);
         let node = handle.join().unwrap().unwrap();
-        assert_eq!(node.metrics().jobs_completed, 1);
+        assert_eq!(node.report().counter("server", "jobs_completed"), 1);
     }
 
     #[test]
@@ -197,9 +197,9 @@ mod tests {
         client.edit_finished(&data, edited);
         client.submit(&job, &[data], SubmitOptions::default()).unwrap();
         client.wait_job(Duration::from_secs(10)).unwrap();
-        assert_eq!(client.metrics().deltas_sent, 1);
+        assert_eq!(client.report().counter("client", "deltas_sent"), 1);
         drop(client);
         let node = handle.join().unwrap().unwrap();
-        assert_eq!(node.metrics().delta_updates, 1);
+        assert_eq!(node.report().counter("server", "delta_updates"), 1);
     }
 }

@@ -118,6 +118,19 @@ impl LinkStats {
     }
 }
 
+impl shadow_obs::Snapshot for LinkStats {
+    fn section_name(&self) -> &'static str {
+        "link"
+    }
+
+    fn snapshot(&self) -> shadow_obs::Section {
+        shadow_obs::Section::new("link")
+            .with("messages", self.messages)
+            .with("payload_bytes", self.payload_bytes)
+            .with("wire_bytes", self.wire_bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

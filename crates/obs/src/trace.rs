@@ -1,0 +1,438 @@
+//! A structured trace sink: decodes the frames crossing a driver
+//! boundary into per-job lifecycle stages.
+//!
+//! The sink subscribes through the existing [`EventHook`] tap, so it
+//! sees exactly the bytes the equivalence tests see, and it carries
+//! driver-clock timestamps only — no wall-clock reads. From a client
+//! driver's perspective the lifecycle of one paper-style cycle is:
+//!
+//! `edit → announce → pull → delta/full transfer → exec → output`
+//!
+//! where *edit* is a local action (recorded via
+//! [`TraceSink::note_edit`]), *announce* is `NotifyVersion`, *pull* is
+//! the server's `UpdateRequest`, *transfer* is the `Update` reply,
+//! *exec* spans `SubmitAck → JobComplete`, and *output* is the
+//! completion delivery itself.
+
+use std::sync::{Arc, Mutex};
+
+use shadow_proto::{
+    ClientMessage, FileId, Frame, JobId, OutputPayload, ServerMessage, UpdatePayload,
+};
+
+use crate::event::{DriverEvent, EventHook};
+use crate::json::Json;
+
+/// Which endpoint a [`TraceSink`] is attached to. Determines how sent
+/// vs. received frames decode (a client sends `ClientMessage`s and
+/// receives `ServerMessage`s; a server the reverse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Attached to a `ClientDriver`.
+    Client,
+    /// Attached to a `ServerDriver`.
+    Server,
+}
+
+/// A lifecycle stage observed on the wire (or noted locally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// A new version was created locally (noted by the application).
+    Edit,
+    /// The client announced a new version (`NotifyVersion`).
+    Announce,
+    /// The server pulled a file on demand (`UpdateRequest`).
+    Pull,
+    /// A full-content transfer (`Update` with a full payload).
+    TransferFull,
+    /// A delta transfer (`Update` with an ed-script payload).
+    TransferDelta,
+    /// A job submission (`Submit`).
+    Submit,
+    /// The server accepted a job (`SubmitAck`) — execution begins.
+    Exec,
+    /// Job output was delivered (`JobComplete`).
+    Output,
+    /// Session control or anything else (hello, acks, queries…).
+    Control,
+}
+
+impl Stage {
+    /// The stage's stable name (used in JSON export).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Edit => "edit",
+            Stage::Announce => "announce",
+            Stage::Pull => "pull",
+            Stage::TransferFull => "transfer_full",
+            Stage::TransferDelta => "transfer_delta",
+            Stage::Submit => "submit",
+            Stage::Exec => "exec",
+            Stage::Output => "output",
+            Stage::Control => "control",
+        }
+    }
+}
+
+/// One decoded trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Driver-clock time, milliseconds.
+    pub at_ms: u64,
+    /// The lifecycle stage.
+    pub stage: Stage,
+    /// The file involved, when the stage concerns one.
+    pub file: Option<FileId>,
+    /// The job involved, when the stage concerns one.
+    pub job: Option<JobId>,
+    /// Encoded frame bytes on the wire (0 for local notes).
+    pub wire_bytes: u64,
+    /// Payload bytes carried (delta/full/output data).
+    pub payload_bytes: u64,
+}
+
+/// The lifetime of one job as seen at this endpoint: from acceptance
+/// (`SubmitAck`) to output delivery (`JobComplete`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpan {
+    /// The job.
+    pub job: JobId,
+    /// When the server accepted it, driver-clock milliseconds.
+    pub accepted_at_ms: u64,
+    /// When its output arrived, if it has.
+    pub completed_at_ms: Option<u64>,
+    /// Output payload bytes delivered.
+    pub output_bytes: u64,
+}
+
+impl JobSpan {
+    /// Accept-to-complete duration, when the span is closed.
+    pub fn duration_ms(&self) -> Option<u64> {
+        self.completed_at_ms
+            .map(|end| end.saturating_sub(self.accepted_at_ms))
+    }
+}
+
+/// Decodes [`DriverEvent`]s into an ordered list of [`TraceRecord`]s
+/// and per-job [`JobSpan`]s.
+#[derive(Debug)]
+pub struct TraceSink {
+    endpoint: Endpoint,
+    records: Vec<TraceRecord>,
+    spans: Vec<JobSpan>,
+    /// Frames that failed to decode (counted, never panicked on).
+    pub decode_errors: u64,
+}
+
+impl TraceSink {
+    /// An empty sink for the given endpoint.
+    pub fn new(endpoint: Endpoint) -> Self {
+        TraceSink {
+            endpoint,
+            records: Vec::new(),
+            spans: Vec::new(),
+            decode_errors: 0,
+        }
+    }
+
+    /// Wraps a shared sink as an [`EventHook`] ready for
+    /// `set_event_hook` on a driver.
+    pub fn hook(sink: Arc<Mutex<TraceSink>>) -> EventHook {
+        Box::new(move |ev| {
+            if let Ok(mut s) = sink.lock() {
+                s.observe(&ev);
+            }
+        })
+    }
+
+    /// Notes a local edit (a new version created by the application) —
+    /// the one lifecycle stage that never crosses the wire.
+    pub fn note_edit(&mut self, at_ms: u64, file: FileId) {
+        self.push(TraceRecord {
+            at_ms,
+            stage: Stage::Edit,
+            file: Some(file),
+            job: None,
+            wire_bytes: 0,
+            payload_bytes: 0,
+        });
+    }
+
+    /// Feeds one driver event into the sink.
+    pub fn observe(&mut self, event: &DriverEvent<'_>) {
+        match event {
+            DriverEvent::FrameSent { frame, at_ms, .. } => {
+                self.observe_frame(frame, *at_ms, true);
+            }
+            DriverEvent::FrameReceived { frame, at_ms } => {
+                self.observe_frame(frame, *at_ms, false);
+            }
+            DriverEvent::TimerArmed { .. } | DriverEvent::TimerFired { .. } => {}
+        }
+    }
+
+    /// All records in observation order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Job spans, in acceptance order.
+    pub fn job_spans(&self) -> &[JobSpan] {
+        &self.spans
+    }
+
+    /// The trace as a JSON array of record objects.
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .records
+            .iter()
+            .map(|r| {
+                let mut row = Json::object()
+                    .with("at_ms", r.at_ms)
+                    .with("stage", r.stage.name())
+                    .with("wire_bytes", r.wire_bytes)
+                    .with("payload_bytes", r.payload_bytes);
+                if let Some(f) = r.file {
+                    row.set("file", f.as_u64());
+                }
+                if let Some(j) = r.job {
+                    row.set("job", j.as_u64());
+                }
+                row
+            })
+            .collect();
+        Json::Arr(rows)
+    }
+
+    fn push(&mut self, record: TraceRecord) {
+        if let Some(job) = record.job {
+            match record.stage {
+                Stage::Exec => self.spans.push(JobSpan {
+                    job,
+                    accepted_at_ms: record.at_ms,
+                    completed_at_ms: None,
+                    output_bytes: 0,
+                }),
+                Stage::Output => {
+                    if let Some(span) = self
+                        .spans
+                        .iter_mut()
+                        .find(|s| s.job == job && s.completed_at_ms.is_none())
+                    {
+                        span.completed_at_ms = Some(record.at_ms);
+                        span.output_bytes = record.payload_bytes;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.records.push(record);
+    }
+
+    fn observe_frame(&mut self, frame: &[u8], at_ms: u64, sent: bool) {
+        // From a client's seat, sent frames are client messages; from a
+        // server's seat the directions swap.
+        let as_client_msg = matches!(
+            (self.endpoint, sent),
+            (Endpoint::Client, true) | (Endpoint::Server, false)
+        );
+        let wire_bytes = frame.len() as u64;
+        let record = if as_client_msg {
+            match Frame::decode::<ClientMessage>(frame) {
+                Ok(Some((msg, _))) => classify_client(&msg, at_ms, wire_bytes),
+                _ => {
+                    self.decode_errors += 1;
+                    return;
+                }
+            }
+        } else {
+            match Frame::decode::<ServerMessage>(frame) {
+                Ok(Some((msg, _))) => classify_server(&msg, at_ms, wire_bytes),
+                _ => {
+                    self.decode_errors += 1;
+                    return;
+                }
+            }
+        };
+        self.push(record);
+    }
+}
+
+fn classify_client(msg: &ClientMessage, at_ms: u64, wire_bytes: u64) -> TraceRecord {
+    let mut r = TraceRecord {
+        at_ms,
+        stage: Stage::Control,
+        file: None,
+        job: None,
+        wire_bytes,
+        payload_bytes: 0,
+    };
+    match msg {
+        ClientMessage::NotifyVersion { file, .. } => {
+            r.stage = Stage::Announce;
+            r.file = Some(*file);
+        }
+        ClientMessage::Update { file, payload, .. } => {
+            r.file = Some(*file);
+            match payload {
+                UpdatePayload::Full { data, .. } => {
+                    r.stage = Stage::TransferFull;
+                    r.payload_bytes = data.len() as u64;
+                }
+                UpdatePayload::Delta { data, .. } => {
+                    r.stage = Stage::TransferDelta;
+                    r.payload_bytes = data.len() as u64;
+                }
+            }
+        }
+        ClientMessage::Submit { job_file, .. } => {
+            r.stage = Stage::Submit;
+            r.file = Some(*job_file);
+        }
+        _ => {}
+    }
+    r
+}
+
+fn classify_server(msg: &ServerMessage, at_ms: u64, wire_bytes: u64) -> TraceRecord {
+    let mut r = TraceRecord {
+        at_ms,
+        stage: Stage::Control,
+        file: None,
+        job: None,
+        wire_bytes,
+        payload_bytes: 0,
+    };
+    match msg {
+        ServerMessage::UpdateRequest { file, .. } => {
+            r.stage = Stage::Pull;
+            r.file = Some(*file);
+        }
+        ServerMessage::SubmitAck { job, .. } => {
+            r.stage = Stage::Exec;
+            r.job = Some(*job);
+        }
+        ServerMessage::JobComplete { job, output, .. } => {
+            r.stage = Stage::Output;
+            r.job = Some(*job);
+            r.payload_bytes = match output {
+                OutputPayload::Full { data, .. } => data.len() as u64,
+                OutputPayload::Delta { data, .. } => data.len() as u64,
+            };
+        }
+        _ => {}
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadow_proto::{
+        ContentDigest, DomainId, HostName, RequestId, TransferEncoding, VersionNumber,
+    };
+
+    fn sent(frame: &[u8], at_ms: u64) -> DriverEvent<'_> {
+        DriverEvent::FrameSent {
+            frame,
+            info: &crate::event::FrameInfo::Other,
+            at_ms,
+        }
+    }
+
+    fn received(frame: &[u8], at_ms: u64) -> DriverEvent<'_> {
+        DriverEvent::FrameReceived { frame, at_ms }
+    }
+
+    #[test]
+    fn client_lifecycle_decodes_into_stages() {
+        let mut sink = TraceSink::new(Endpoint::Client);
+        let file = FileId::new(7);
+        sink.note_edit(5, file);
+
+        let announce = Frame::encode(&ClientMessage::NotifyVersion {
+            file,
+            name: "prog.c".into(),
+            version: VersionNumber::new(2),
+            size: 10,
+            digest: ContentDigest::of(b"x"),
+        });
+        sink.observe(&sent(&announce, 10));
+
+        let pull = Frame::encode(&ServerMessage::UpdateRequest {
+            file,
+            have: Some(VersionNumber::new(1)),
+        });
+        sink.observe(&received(&pull, 20));
+
+        let xfer = Frame::encode(&ClientMessage::Update {
+            file,
+            version: VersionNumber::new(2),
+            payload: UpdatePayload::Delta {
+                base: VersionNumber::new(1),
+                encoding: TransferEncoding::Identity,
+                data: b"1c\nY\n.\n".to_vec().into(),
+                digest: ContentDigest::of(b"y"),
+            },
+        });
+        sink.observe(&sent(&xfer, 30));
+
+        let stages: Vec<Stage> = sink.records().iter().map(|r| r.stage).collect();
+        assert_eq!(
+            stages,
+            vec![Stage::Edit, Stage::Announce, Stage::Pull, Stage::TransferDelta]
+        );
+        assert!(sink.records().iter().all(|r| r.file == Some(file)));
+        assert_eq!(sink.decode_errors, 0);
+    }
+
+    #[test]
+    fn job_spans_open_on_ack_and_close_on_completion() {
+        let mut sink = TraceSink::new(Endpoint::Client);
+        let job = JobId::new(3);
+        let ack = Frame::encode(&ServerMessage::SubmitAck {
+            request: RequestId::new(1),
+            job,
+        });
+        sink.observe(&received(&ack, 100));
+        let done = Frame::encode(&ServerMessage::JobComplete {
+            job,
+            output: OutputPayload::Full {
+                encoding: TransferEncoding::Identity,
+                data: b"ok\n".to_vec().into(),
+            },
+            errors: Vec::new().into(),
+            stats: shadow_proto::JobStats::default(),
+        });
+        sink.observe(&received(&done, 260));
+
+        let spans = sink.job_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].job, job);
+        assert_eq!(spans[0].duration_ms(), Some(160));
+        assert_eq!(spans[0].output_bytes, 3);
+    }
+
+    #[test]
+    fn undecodable_frames_are_counted_not_fatal() {
+        let mut sink = TraceSink::new(Endpoint::Client);
+        sink.observe(&sent(&[0xff, 0xff, 0xff], 1));
+        assert_eq!(sink.decode_errors, 1);
+        assert!(sink.records().is_empty());
+    }
+
+    #[test]
+    fn hook_feeds_shared_sink() {
+        let sink = Arc::new(Mutex::new(TraceSink::new(Endpoint::Client)));
+        let mut hook = TraceSink::hook(Arc::clone(&sink));
+        let hello = Frame::encode(&ClientMessage::Hello {
+            domain: DomainId::new(1),
+            host: HostName::new("edit-host"),
+            protocol: shadow_proto::PROTOCOL_VERSION,
+        });
+        hook(sent(&hello, 0));
+        let guard = sink.lock().expect("sink lock");
+        assert_eq!(guard.records().len(), 1);
+        assert_eq!(guard.records()[0].stage, Stage::Control);
+    }
+}

@@ -103,13 +103,25 @@ impl ClientDriver {
     }
 
     /// The state machine's transfer metrics.
+    #[deprecated(note = "use `report()` and read the \"client\" section")]
     pub fn metrics(&self) -> ClientMetrics {
         self.node.metrics()
     }
 
     /// Driver-level wire counters.
+    #[deprecated(note = "use `report()` and read the \"driver\" section")]
     pub fn stats(&self) -> DriverStats {
         self.stats
+    }
+
+    /// Everything this endpoint can report about itself: protocol
+    /// metrics, version-store occupancy, and driver wire counters, as
+    /// one comparable, exportable aggregate.
+    pub fn report(&self) -> shadow_obs::NodeReport {
+        shadow_obs::NodeReport::new("client")
+            .with(&self.node.metrics())
+            .with(&self.node.version_stats())
+            .with(&self.stats)
     }
 
     /// Opens a session: emits the Hello.
@@ -171,7 +183,7 @@ impl ClientDriver {
         self.stats.frames_received += 1;
         self.stats.bytes_received += frame.len() as u64;
         if let Some(hook) = &mut self.hook {
-            hook(DriverEvent::FrameReceived { frame });
+            hook(DriverEvent::FrameReceived { frame, at_ms: now_ms });
         }
         let (message, _used) =
             Frame::decode::<ServerMessage>(frame)?.ok_or(FeedError::Incomplete)?;
@@ -204,6 +216,7 @@ impl ClientDriver {
                         hook(DriverEvent::FrameSent {
                             frame: &frame,
                             info: &info,
+                            at_ms: now_ms,
                         });
                     }
                     out.push(ClientOutbound { conn, frame, info });
@@ -265,17 +278,25 @@ impl ClientDriver {
 
     /// Drains all buffered notifications with their arrival times.
     pub fn take_notifications(&mut self) -> Vec<(u64, Notification)> {
-        self.notifications.drain(..).collect()
+        let drained: Vec<_> = self.notifications.drain(..).collect();
+        self.stats.notifications_drained += drained.len() as u64;
+        drained
     }
 
     /// Removes and returns the first buffered notification matching
-    /// `pred`, preserving the order of the rest.
+    /// `pred`, preserving the order of the rest. Counts toward
+    /// `notifications_drained` exactly like a bulk drain, so the two
+    /// drain paths agree on accounting.
     pub fn take_notification_matching(
         &mut self,
         mut pred: impl FnMut(&Notification) -> bool,
     ) -> Option<Notification> {
         let idx = self.notifications.iter().position(|(_, n)| pred(n))?;
-        self.notifications.remove(idx).map(|(_, n)| n)
+        let taken = self.notifications.remove(idx).map(|(_, n)| n);
+        if taken.is_some() {
+            self.stats.notifications_drained += 1;
+        }
+        taken
     }
 
     /// Drains all completed jobs.

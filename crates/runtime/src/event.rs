@@ -1,90 +1,14 @@
-//! Instrumentation events, shared counters, and driver-level types.
+//! Driver-level error and completion types.
+//!
+//! The instrumentation vocabulary ([`FrameInfo`], [`DriverEvent`],
+//! [`EventHook`], [`DriverStats`]) lives in `shadow-obs` so that
+//! observability consumers need not depend on the drivers; this module
+//! re-exports it for existing callers.
+
+pub use shadow_obs::{DriverEvent, DriverStats, EventHook, FrameInfo};
 
 use shadow_client::ConnId;
-use shadow_proto::{FileId, JobId, JobStats, WireError};
-
-/// What kind of payload a frame carries, as far as transfer accounting
-/// is concerned. The simulator also uses this to price CPU costs
-/// (diffing a whole file vs. fixed per-message handling).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FrameInfo {
-    /// A full-content file update.
-    UpdateFull {
-        /// The file being updated.
-        file: FileId,
-        /// Payload bytes carried.
-        data_len: usize,
-    },
-    /// A delta file update.
-    UpdateDelta {
-        /// The file being updated.
-        file: FileId,
-        /// Payload bytes carried.
-        data_len: usize,
-        /// Size of the client's full file (the diff reads all of it).
-        file_size: usize,
-    },
-    /// Anything else (control traffic, acks, output…).
-    Other,
-}
-
-/// A structured instrumentation event emitted by the drivers.
-///
-/// Taps observe exactly what crosses the driver boundary: encoded
-/// frames with their transfer classification, and timer activity. The
-/// sim-vs-live equivalence tests capture `FrameSent` events from both
-/// worlds and compare the byte sequences.
-#[derive(Debug)]
-pub enum DriverEvent<'a> {
-    /// An encoded frame is about to leave this endpoint.
-    FrameSent {
-        /// The full encoded frame (length prefix included).
-        frame: &'a [u8],
-        /// Transfer classification.
-        info: &'a FrameInfo,
-    },
-    /// A frame arrived and is about to be decoded and fed in.
-    FrameReceived {
-        /// The full encoded frame.
-        frame: &'a [u8],
-    },
-    /// The server state machine armed a timer.
-    TimerArmed {
-        /// Absolute deadline, driver-clock milliseconds.
-        deadline_ms: u64,
-    },
-    /// A due timer was delivered to the state machine.
-    TimerFired {
-        /// The deadline it was armed for.
-        deadline_ms: u64,
-    },
-}
-
-/// The callback type for [`DriverEvent`] taps.
-pub type EventHook = Box<dyn FnMut(DriverEvent<'_>) + Send>;
-
-/// Wire- and timer-level counters accumulated by a driver.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct DriverStats {
-    /// Frames encoded and handed to the transport.
-    pub frames_sent: u64,
-    /// Frames received and decoded.
-    pub frames_received: u64,
-    /// Total encoded bytes sent (length prefixes included).
-    pub bytes_sent: u64,
-    /// Total encoded bytes received.
-    pub bytes_received: u64,
-    /// File updates sent as deltas.
-    pub deltas_sent: u64,
-    /// File updates sent in full.
-    pub fulls_sent: u64,
-    /// Timers armed on behalf of the state machine.
-    pub timers_armed: u64,
-    /// Timers delivered back to the state machine.
-    pub timers_fired: u64,
-    /// Notifications surfaced to the application.
-    pub notifications: u64,
-}
+use shadow_proto::{JobId, JobStats, WireError};
 
 /// Why an inbound frame could not be fed to the state machine.
 #[derive(Debug, Clone, PartialEq, Eq)]

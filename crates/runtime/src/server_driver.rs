@@ -107,13 +107,23 @@ impl ServerDriver {
     }
 
     /// The state machine's protocol metrics.
+    #[deprecated(note = "use `report()` and read the \"server\" section")]
+    #[allow(deprecated)]
     pub fn metrics(&self) -> ServerMetrics {
         self.node.metrics()
     }
 
     /// Driver-level wire counters.
+    #[deprecated(note = "use `report()` and read the \"driver\" section")]
     pub fn stats(&self) -> DriverStats {
         self.stats
+    }
+
+    /// Everything this endpoint can report about itself: protocol
+    /// metrics, shadow-cache behaviour, and driver wire counters, as
+    /// one comparable, exportable aggregate.
+    pub fn report(&self) -> shadow_obs::NodeReport {
+        self.node.report().with(&self.stats)
     }
 
     /// A transport session opened.
@@ -145,7 +155,7 @@ impl ServerDriver {
         self.stats.frames_received += 1;
         self.stats.bytes_received += frame.len() as u64;
         if let Some(hook) = &mut self.hook {
-            hook(DriverEvent::FrameReceived { frame });
+            hook(DriverEvent::FrameReceived { frame, at_ms: now_ms });
         }
         let (message, _used) =
             Frame::decode::<ClientMessage>(frame)?.ok_or(FeedError::Incomplete)?;
@@ -228,6 +238,7 @@ impl ServerDriver {
                         hook(DriverEvent::FrameSent {
                             frame: &frame,
                             info: &info,
+                            at_ms: base_ms,
                         });
                     }
                     io.outbound.push(ServerOutbound { session, frame });

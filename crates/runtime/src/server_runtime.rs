@@ -1,10 +1,16 @@
 //! A transport-generic server poll loop.
 
+use shadow_obs::{MetricsRegistry, NodeReport};
 use shadow_server::{ServerNode, SessionId};
 
 use crate::clock::Clock;
 use crate::server_driver::{ServerDriver, ServerIo};
 use crate::transport::FrameTransport;
+
+/// Bucket bounds for the inbound frame-size histogram: tuned around the
+/// protocol's typical shapes (control frames ≈ tens of bytes, deltas ≈
+/// hundreds, full transfers ≈ kilobytes and up).
+const FRAME_SIZE_BUCKETS: [u64; 6] = [64, 256, 1024, 4096, 16384, 65536];
 
 /// One step of accepting new sessions.
 pub enum Accepted<T> {
@@ -63,6 +69,7 @@ pub struct ServerRuntime<A: SessionAcceptor, C: Clock> {
     sessions: Vec<Session<A::Transport>>,
     next_session: u64,
     closed: bool,
+    metrics: MetricsRegistry,
 }
 
 // Manual impl: acceptors, clocks, and transports need not be `Debug`.
@@ -80,6 +87,8 @@ impl<A: SessionAcceptor, C: Clock> std::fmt::Debug for ServerRuntime<A, C> {
 impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
     /// Builds a runtime around a server state machine.
     pub fn new(node: ServerNode, acceptor: A, clock: C) -> Self {
+        let mut metrics = MetricsRegistry::new();
+        metrics.histogram("frame_bytes", FRAME_SIZE_BUCKETS.to_vec());
         ServerRuntime {
             driver: ServerDriver::new(node),
             acceptor,
@@ -87,12 +96,27 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
             sessions: Vec::new(),
             next_session: 1,
             closed: false,
+            metrics,
         }
     }
 
     /// The underlying driver (read-only).
     pub fn driver(&self) -> &ServerDriver {
         &self.driver
+    }
+
+    /// The poll loop's own counters (rounds, sessions, frames, decode
+    /// failures, inbound frame-size histogram).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The driver's full [`NodeReport`] extended with a
+    /// `server_runtime` section from the poll loop's registry.
+    pub fn report(&self) -> NodeReport {
+        let mut report = self.driver.report();
+        report.add_section(self.metrics.to_section("server_runtime"));
+        report
     }
 
     /// The underlying driver (mutable, for installing hooks).
@@ -126,6 +150,7 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
     /// callers can sleep when the loop goes quiet.
     pub fn poll_once(&mut self) -> Result<bool, A::Error> {
         let mut busy = false;
+        self.metrics.inc("polls", 1);
 
         if !self.closed {
             loop {
@@ -138,6 +163,7 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
                             transport,
                             alive: true,
                         });
+                        self.metrics.inc("sessions_accepted", 1);
                         let now = self.clock.now_ms();
                         let io = self.driver.connected(id, now);
                         self.dispatch(io);
@@ -159,11 +185,16 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
                         busy = true;
                         let id = self.sessions[i].id;
                         let now = self.clock.now_ms();
+                        self.metrics.inc("frames_fed", 1);
+                        self.metrics.observe("frame_bytes", frame.len() as u64);
                         match self.driver.feed_frame(id, &frame, now, |_| 0) {
                             Ok(io) => self.dispatch(io),
                             // A frame that cannot be decoded means the
                             // peer is hopelessly confused; drop them.
-                            Err(_) => self.sessions[i].alive = false,
+                            Err(_) => {
+                                self.metrics.inc("decode_failures", 1);
+                                self.sessions[i].alive = false;
+                            }
                         }
                     }
                     Ok(None) => break,
@@ -184,10 +215,12 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
         while let Some(pos) = self.sessions.iter().position(|s| !s.alive) {
             let dead = self.sessions.remove(pos);
             let now = self.clock.now_ms();
+            self.metrics.inc("sessions_reaped", 1);
             let io = self.driver.disconnected(dead.id, now);
             self.dispatch(io);
             busy = true;
         }
+        self.metrics.set_gauge("sessions_live", self.sessions.len() as i64);
 
         Ok(busy)
     }

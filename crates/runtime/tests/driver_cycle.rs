@@ -98,12 +98,12 @@ fn handshake_then_job_completes() {
     assert_eq!(done.len(), 1);
     assert_eq!(done[0].output, b"runtime\n");
     assert_eq!(done[0].stats.exit_code, 0);
-    assert_eq!(h.server.metrics().jobs_completed, 1);
+    assert_eq!(h.server.report().counter("server", "jobs_completed"), 1);
 
     // The timer that ran the job went through the driver's queue.
-    let s = h.server.stats();
-    assert!(s.timers_armed >= 1);
-    assert_eq!(s.timers_armed, s.timers_fired);
+    let s = h.server.report();
+    assert!(s.counter("driver", "timers_armed") >= 1);
+    assert_eq!(s.counter("driver", "timers_armed"), s.counter("driver", "timers_fired"));
     assert!(h.server.timers_idle());
 }
 
@@ -125,14 +125,14 @@ fn resubmission_travels_as_delta_and_stats_count_frames() {
     h.submit(&job, std::slice::from_ref(&data));
 
     assert_eq!(h.client.take_finished().len(), 2);
-    let cs = h.client.stats();
-    assert_eq!(cs.deltas_sent, 1, "second upload is a delta: {cs:?}");
-    assert!(cs.fulls_sent >= 2, "initial uploads were full: {cs:?}");
+    let cs = h.client.report();
+    assert_eq!(cs.counter("client", "deltas_sent"), 1, "second upload is a delta: {cs:?}");
+    assert!(cs.counter("client", "fulls_sent") >= 2, "initial uploads were full: {cs:?}");
     // Both sides agree about how many frames crossed each way.
-    let ss = h.server.stats();
-    assert_eq!(cs.frames_sent, ss.frames_received);
-    assert_eq!(cs.bytes_sent, ss.bytes_received);
-    assert_eq!(ss.frames_sent, cs.frames_received);
+    let ss = h.server.report();
+    assert_eq!(cs.counter("driver", "frames_sent"), ss.counter("driver", "frames_received"));
+    assert_eq!(cs.counter("driver", "bytes_sent"), ss.counter("driver", "bytes_received"));
+    assert_eq!(ss.counter("driver", "frames_sent"), cs.counter("driver", "frames_received"));
 }
 
 #[test]
@@ -153,8 +153,52 @@ fn event_hook_sees_every_sent_frame() {
     h.submit(&job, &[]);
 
     let frames = seen.lock().unwrap();
-    let stats = h.client.stats();
+    let stats = h.client.report();
     // The hook was installed after the Hello, so it saw everything since.
-    assert_eq!(frames.len() as u64 + 1, stats.frames_sent);
+    assert_eq!(frames.len() as u64 + 1, stats.counter("driver", "frames_sent"));
     assert!(frames.iter().all(|f| !f.is_empty()));
+}
+
+#[test]
+fn notification_drain_accounting_agrees_across_both_paths() {
+    // Regression: `take_notification_matching` once skipped the
+    // `notifications_drained` bump that `take_notifications` performed,
+    // so `notifications_pending()` never returned to zero after a
+    // selective drain.
+    let mut h = Harness::new();
+    let job = FileRef::new(FileId::new(1), "ws:/n.job");
+    h.edit(&job, b"echo notify\n");
+    h.submit(&job, &[]);
+
+    let r = h.client.report();
+    let received = r.counter("driver", "notifications");
+    assert!(received >= 2, "handshake + job should notify, got {received}");
+    assert_eq!(r.counter("driver", "notifications_drained"), 0);
+
+    // A predicate that matches nothing is not a drain.
+    assert!(h
+        .client
+        .take_notification_matching(|n| matches!(n, Notification::JobRejected { .. }))
+        .is_none());
+    assert_eq!(h.client.report().counter("driver", "notifications_drained"), 0);
+
+    // A selective drain counts exactly one...
+    assert!(h
+        .client
+        .take_notification_matching(|n| matches!(n, Notification::SessionReady { .. }))
+        .is_some());
+    assert_eq!(h.client.report().counter("driver", "notifications_drained"), 1);
+
+    // ...and the bulk drain accounts for the rest, so the two paths agree
+    // and nothing is left pending.
+    let rest = h.client.take_notifications();
+    let r = h.client.report();
+    assert_eq!(
+        r.counter("driver", "notifications_drained"),
+        1 + rest.len() as u64
+    );
+    assert_eq!(
+        r.counter("driver", "notifications"),
+        r.counter("driver", "notifications_drained")
+    );
 }

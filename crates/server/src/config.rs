@@ -129,6 +129,112 @@ impl ServerConfig {
         self.exec = exec;
         self
     }
+
+    /// Starts a validated fluent builder; invariants (non-empty host,
+    /// at least one batch slot, sane adaptive thresholds) are checked
+    /// once at [`build()`](ServerConfigBuilder::build).
+    pub fn builder(host: impl Into<String>) -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::new(host),
+        }
+    }
+}
+
+/// A configuration value rejected by the builder's `build()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fluent builder for [`ServerConfig`], created by
+/// [`ServerConfig::builder`]. Unlike the `with_*` conveniences, every
+/// invariant is deferred to [`build()`](Self::build) and reported as a
+/// [`ConfigError`] instead of a panic.
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Sets the shadow-cache byte budget.
+    #[must_use]
+    pub fn cache_budget(mut self, bytes: usize) -> Self {
+        self.config.cache_budget = bytes;
+        self
+    }
+
+    /// Sets the cache eviction policy.
+    #[must_use]
+    pub fn eviction(mut self, policy: EvictionPolicy) -> Self {
+        self.config.eviction = policy;
+        self
+    }
+
+    /// Sets the update flow-control policy.
+    #[must_use]
+    pub fn flow(mut self, flow: FlowControl) -> Self {
+        self.config.flow = flow;
+        self
+    }
+
+    /// Sets the number of concurrent batch slots.
+    #[must_use]
+    pub fn max_running(mut self, slots: usize) -> Self {
+        self.config.max_running = slots;
+        self
+    }
+
+    /// Sets the execution cost model.
+    #[must_use]
+    pub fn exec(mut self, exec: ExecProfile) -> Self {
+        self.config.exec = exec;
+        self
+    }
+
+    /// Sets the byte budget for reverse-shadow output caching.
+    #[must_use]
+    pub fn output_shadow_budget(mut self, bytes: usize) -> Self {
+        self.config.output_shadow_budget = bytes;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<ServerConfig, ConfigError> {
+        let c = self.config;
+        if c.host.as_str().is_empty() {
+            return Err(ConfigError("host name must not be empty".into()));
+        }
+        if c.max_running < 1 {
+            return Err(ConfigError(
+                "at least one batch slot is required".into(),
+            ));
+        }
+        if c.cache_budget == 0 {
+            return Err(ConfigError(
+                "a zero cache budget cannot hold any shadow; use a small \
+                 budget to model a starved cache"
+                    .into(),
+            ));
+        }
+        if let FlowControl::DemandAdaptive {
+            cache_pressure_limit,
+            ..
+        } = c.flow
+        {
+            if !(0.0..=1.0).contains(&cache_pressure_limit) {
+                return Err(ConfigError(
+                    "adaptive cache pressure limit must lie in 0.0..=1.0".into(),
+                ));
+            }
+        }
+        Ok(c)
+    }
 }
 
 #[cfg(test)]
@@ -160,5 +266,36 @@ mod tests {
     #[should_panic(expected = "batch slot")]
     fn zero_slots_rejected() {
         let _ = ServerConfig::new("s").with_max_running(0);
+    }
+
+    #[test]
+    fn builder_builds_and_validates() {
+        let c = ServerConfig::builder("s")
+            .cache_budget(1000)
+            .eviction(EvictionPolicy::Fifo)
+            .flow(FlowControl::DemandLazy)
+            .max_running(4)
+            .output_shadow_budget(500)
+            .build()
+            .unwrap();
+        assert_eq!(c.cache_budget, 1000);
+        assert_eq!(c.eviction, EvictionPolicy::Fifo);
+        assert_eq!(c.flow, FlowControl::DemandLazy);
+        assert_eq!(c.max_running, 4);
+        assert_eq!(c.output_shadow_budget, 500);
+        // Builder defaults equal the plain constructor.
+        assert_eq!(ServerConfig::builder("s").build().unwrap(), ServerConfig::new("s"));
+    }
+
+    #[test]
+    fn builder_rejects_bad_values() {
+        assert!(ServerConfig::builder("s").max_running(0).build().is_err());
+        assert!(ServerConfig::builder("s").cache_budget(0).build().is_err());
+        assert!(ServerConfig::builder("").build().is_err());
+        let bad_flow = FlowControl::DemandAdaptive {
+            eager_queue_limit: 2,
+            cache_pressure_limit: 1.5,
+        };
+        assert!(ServerConfig::builder("s").flow(bad_flow).build().is_err());
     }
 }

@@ -58,7 +58,7 @@ mod node;
 mod output_shadow;
 
 pub use action::{ServerAction, ServerEvent, TimerToken};
-pub use config::{ExecProfile, FlowControl, ServerConfig};
+pub use config::{ConfigError, ExecProfile, FlowControl, ServerConfig, ServerConfigBuilder};
 pub use domain::{DomainDirectory, MappingEntry};
 pub use jobs::{Job, JobPhase};
 pub use node::{ServerMetrics, ServerNode, SessionId};

@@ -68,6 +68,23 @@ pub struct ServerMetrics {
     pub update_payload_bytes: u64,
 }
 
+impl shadow_obs::Snapshot for ServerMetrics {
+    fn section_name(&self) -> &'static str {
+        "server"
+    }
+
+    fn snapshot(&self) -> shadow_obs::Section {
+        shadow_obs::Section::new("server")
+            .with("update_requests", self.update_requests)
+            .with("full_updates", self.full_updates)
+            .with("delta_updates", self.delta_updates)
+            .with("update_failures", self.update_failures)
+            .with("jobs_completed", self.jobs_completed)
+            .with("output_deltas", self.output_deltas)
+            .with("update_payload_bytes", self.update_payload_bytes)
+    }
+}
+
 /// Deliberately injectable protocol bugs, used to prove the model
 /// checker in `shadow-check` is not vacuous: a checker that cannot find
 /// a *known* bug within its exploration budget is not checking anything.
@@ -144,13 +161,23 @@ impl ServerNode {
     }
 
     /// Behaviour counters.
+    #[deprecated(note = "use `report()` and read the \"server\" section")]
     pub fn metrics(&self) -> ServerMetrics {
         self.metrics
     }
 
     /// Shadow-cache counters (hits, misses, evictions…).
+    #[deprecated(note = "use `report()` and read the \"cache\" section")]
     pub fn cache_stats(&self) -> shadow_cache::CacheStats {
         self.cache.stats()
+    }
+
+    /// Everything this node can report about itself — behaviour
+    /// counters plus shadow-cache statistics — as one aggregate.
+    pub fn report(&self) -> shadow_obs::NodeReport {
+        shadow_obs::NodeReport::new("server")
+            .with(&self.metrics)
+            .with(&self.cache.stats())
     }
 
     /// The cached version of a file, if any (test/diagnostic hook).
@@ -1000,7 +1027,7 @@ mod tests {
         ));
         let key = FileKey::new(DomainId::new(1), FileId::new(7));
         assert_eq!(server.cached_version(key), Some(VersionNumber::FIRST));
-        assert_eq!(server.metrics().full_updates, 1);
+        assert_eq!(server.report().counter("server", "full_updates"), 1);
     }
 
     #[test]
@@ -1036,7 +1063,7 @@ mod tests {
         ));
         let key = FileKey::new(DomainId::new(1), FileId::new(7));
         assert_eq!(server.cached_version(key), Some(VersionNumber::new(2)));
-        assert_eq!(server.metrics().delta_updates, 1);
+        assert_eq!(server.report().counter("server", "delta_updates"), 1);
     }
 
     #[test]
@@ -1063,7 +1090,7 @@ mod tests {
             [ServerMessage::UpdateRequest { have, .. }] => assert_eq!(*have, None),
             ref other => panic!("expected full-transfer request, got {other:?}"),
         }
-        assert_eq!(server.metrics().update_failures, 1);
+        assert_eq!(server.report().counter("server", "update_failures"), 1);
     }
 
     #[test]
@@ -1136,7 +1163,7 @@ mod tests {
             }
             ref other => panic!("expected JobComplete, got {other:?}"),
         }
-        assert_eq!(server.metrics().jobs_completed, 1);
+        assert_eq!(server.report().counter("server", "jobs_completed"), 1);
     }
 
     #[test]
@@ -1336,7 +1363,7 @@ mod tests {
             }
             ref other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(server.metrics().output_deltas, 1);
+        assert_eq!(server.report().counter("server", "output_deltas"), 1);
     }
 
     #[test]
@@ -1409,7 +1436,7 @@ mod tests {
         hello(&mut server, 1, 1, "ws1");
         let actions = notify(&mut server, 1, 7, "/f", 1, b"x");
         assert!(sends(&actions).is_empty());
-        assert_eq!(server.metrics().update_requests, 0);
+        assert_eq!(server.report().counter("server", "update_requests"), 0);
     }
 
     #[test]

@@ -134,8 +134,10 @@ proptest! {
             }
         }
         // Post-condition: counters are consistent.
-        let m = server.metrics();
-        prop_assert!(m.full_updates + m.delta_updates >= m.update_failures.saturating_sub(m.update_failures));
+        let m = server.report();
+        let applied = m.counter("server", "full_updates") + m.counter("server", "delta_updates");
+        let failures = m.counter("server", "update_failures");
+        prop_assert!(applied >= failures.saturating_sub(failures));
     }
 
     #[test]

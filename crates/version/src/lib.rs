@@ -67,6 +67,19 @@ pub struct VersionStoreStats {
     pub bytes: usize,
 }
 
+impl shadow_obs::Snapshot for VersionStoreStats {
+    fn section_name(&self) -> &'static str {
+        "versions"
+    }
+
+    fn snapshot(&self) -> shadow_obs::Section {
+        shadow_obs::Section::new("versions")
+            .with("files", self.files)
+            .with("versions", self.versions)
+            .with("bytes", self.bytes)
+    }
+}
+
 /// The client's version store: per-file chains with acknowledgement-driven
 /// pruning.
 ///

@@ -4,10 +4,8 @@
 //!
 //! Run with: `cargo run --example edit_submit_cycle`
 
-use shadow::{
-    profiles, ClientConfig, CpuModel, EditModel, FileSpec, ServerConfig, SimError, Simulation,
-    SubmitOptions, TransferMode,
-};
+use shadow::prelude::*;
+use shadow::{CpuModel, EditModel, FileSpec, SimError};
 
 const FILE_SIZE: usize = 100_000;
 const SESSIONS: usize = 4;
@@ -21,11 +19,13 @@ fn run_mode(mode: TransferMode) -> Result<(), SimError> {
     println!("--- {label} over Cypress (9600 baud), {FILE_SIZE} byte data file ---");
 
     let mut sim = Simulation::new(1).with_cpu(CpuModel::default());
-    let server = sim.add_server("superc", ServerConfig::new("superc"));
+    let server = sim.add_server("superc", ServerConfig::builder("superc").build().expect("valid config"));
     let client_config = match mode {
-        TransferMode::Shadow => ClientConfig::new("ws", 1),
-        TransferMode::Conventional => ClientConfig::new("ws", 1).conventional(),
-    };
+        TransferMode::Shadow => ClientConfig::builder("ws", 1),
+        TransferMode::Conventional => ClientConfig::builder("ws", 1).conventional(),
+    }
+    .build()
+    .expect("valid config");
     let client = sim.add_client("ws", client_config);
     let conn = sim.connect(client, server, profiles::cypress())?;
 

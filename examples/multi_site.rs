@@ -12,18 +12,16 @@
 //!
 //! Run with: `cargo run --example multi_site`
 
-use shadow::{
-    profiles, ClientConfig, EditModel, FileSpec, HostName, Notification, ServerConfig, SimError,
-    Simulation, SubmitOptions,
-};
+use shadow::prelude::*;
+use shadow::{EditModel, FileSpec, Notification, SimError};
 
 fn main() -> Result<(), SimError> {
     let mut sim = Simulation::new(1);
-    let purdue = sim.add_server("purdue-cyber", ServerConfig::new("purdue-cyber"));
-    let uiuc = sim.add_server("uiuc-cray", ServerConfig::new("uiuc-cray"));
+    let purdue = sim.add_server("purdue-cyber", ServerConfig::builder("purdue-cyber").build().expect("valid config"));
+    let uiuc = sim.add_server("uiuc-cray", ServerConfig::builder("uiuc-cray").build().expect("valid config"));
 
-    let ws = sim.add_client("ws", ClientConfig::new("ws", 1));
-    let printer = sim.add_client("print-host", ClientConfig::new("print-host", 1));
+    let ws = sim.add_client("ws", ClientConfig::builder("ws", 1).build().expect("valid config"));
+    let printer = sim.add_client("print-host", ClientConfig::builder("print-host", 1).build().expect("valid config"));
 
     // Local site over Cypress; remote site over ARPANET; the print host
     // sits next to the remote site.
@@ -72,12 +70,17 @@ fn main() -> Result<(), SimError> {
     let model = EditModel::fraction(0.03, 77);
     sim.edit_file(ws, "/field.dat", move |c| model.apply(&c))?;
     sim.run_until_quiet();
-    let m = sim.client_metrics(ws);
+    let m = sim.client_report(ws);
     println!(
         "client traffic: {} notifies, {} deltas, {} fulls",
-        m.notifies_sent, m.deltas_sent, m.fulls_sent
+        m.counter("client", "notifies_sent"),
+        m.counter("client", "deltas_sent"),
+        m.counter("client", "fulls_sent")
     );
-    assert!(m.deltas_sent >= 2, "both sites pulled the edit as deltas");
+    assert!(
+        m.counter("client", "deltas_sent") >= 2,
+        "both sites pulled the edit as deltas"
+    );
 
     // Resubmit to the remote site: the shadow is already current, so the
     // submit itself is short and quick.

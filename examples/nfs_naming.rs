@@ -7,13 +7,12 @@
 //!
 //! Run with: `cargo run --example nfs_naming`
 
-use shadow::{
-    profiles, ClientConfig, ServerConfig, SimError, Simulation, SubmitOptions,
-};
+use shadow::prelude::*;
+use shadow::SimError;
 
 fn main() -> Result<(), SimError> {
     let mut sim = Simulation::new(1);
-    let server = sim.add_server("superc", ServerConfig::new("superc"));
+    let server = sim.add_server("superc", ServerConfig::builder("superc").build().expect("valid config"));
 
     // Build the NFS topology: fileserver c exports /usr.
     let vfs = sim.vfs_mut();
@@ -31,8 +30,8 @@ fn main() -> Result<(), SimError> {
     // Workstation a also reaches it through a personal symlink (an alias).
     vfs.symlink("a", "/mydata", "/projl/foo")?;
 
-    let ws_a = sim.add_client("a", ClientConfig::new("a", 1));
-    let ws_b = sim.add_client("b", ClientConfig::new("b", 1));
+    let ws_a = sim.add_client("a", ClientConfig::builder("a", 1).build().expect("valid config"));
+    let ws_b = sim.add_client("b", ClientConfig::builder("b", 1).build().expect("valid config"));
     let conn_a = sim.connect(ws_a, server, profiles::cypress())?;
     let conn_b = sim.connect(ws_b, server, profiles::cypress())?;
 
@@ -68,9 +67,9 @@ fn main() -> Result<(), SimError> {
         String::from_utf8_lossy(&sim.finished_jobs(ws_b)[0].output).trim_end()
     );
 
-    let m = sim.server_metrics(server);
-    println!("\nserver full transfers received: {} (2 job files + 1 shared data file)", m.full_updates);
-    assert_eq!(m.full_updates, 3, "the shared file was transferred once");
+    let fulls = sim.server_report(server).counter("server", "full_updates");
+    println!("\nserver full transfers received: {fulls} (2 job files + 1 shared data file)");
+    assert_eq!(fulls, 3, "the shared file was transferred once");
     println!("→ one cached shadow served both workstations' names.");
     Ok(())
 }

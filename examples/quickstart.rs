@@ -8,13 +8,15 @@
 
 use std::time::Duration;
 
-use shadow::{ClientConfig, FileRef, LiveError, LiveSystem, ServerConfig, SubmitOptions};
-use shadow_proto::FileId;
+use shadow::prelude::*;
+use shadow::LiveError;
 
 fn main() -> Result<(), LiveError> {
     println!("starting shadow server thread…");
-    let system = LiveSystem::start(ServerConfig::new("supercomputer"));
-    let mut client = system.connect_client(ClientConfig::new("workstation", 1));
+    let system = LiveSystem::start(ServerConfig::builder("supercomputer").build().expect("valid config"));
+    let mut client = system.connect_client(
+        ClientConfig::builder("workstation", 1).build().expect("valid config"),
+    );
     client.wait_ready(Duration::from_secs(5))?;
     println!("session established.\n");
 
@@ -40,10 +42,12 @@ fn main() -> Result<(), LiveError> {
     let (job_id, output, _, stats) = client.wait_job(Duration::from_secs(10))?;
     println!("{job_id} completed in {} ms of server time:", stats.running_ms);
     println!("{}", String::from_utf8_lossy(&output));
-    let m = client.metrics();
+    let m = client.report();
     println!(
         "traffic so far: {} full transfer(s), {} delta(s), {} payload bytes\n",
-        m.fulls_sent, m.deltas_sent, m.update_payload_bytes
+        m.counter("client", "fulls_sent"),
+        m.counter("client", "deltas_sent"),
+        m.counter("client", "update_payload_bytes")
     );
 
     // Editing session #2: fix one record, resubmit the same job.
@@ -56,19 +60,22 @@ fn main() -> Result<(), LiveError> {
     let (job_id, output, _, _) = client.wait_job(Duration::from_secs(10))?;
     println!("{job_id} completed:");
     println!("{}", String::from_utf8_lossy(&output));
-    let m = client.metrics();
+    let m = client.report();
     println!(
         "traffic total: {} full transfer(s), {} delta(s), {} payload bytes",
-        m.fulls_sent, m.deltas_sent, m.update_payload_bytes
+        m.counter("client", "fulls_sent"),
+        m.counter("client", "deltas_sent"),
+        m.counter("client", "update_payload_bytes")
     );
     println!("→ the resubmission travelled as a tiny ed-script delta.");
 
     drop(client);
     let server = system.shutdown();
+    let report = server.report();
     println!(
         "\nserver saw: {} deltas applied, {} jobs completed",
-        server.metrics().delta_updates,
-        server.metrics().jobs_completed
+        report.counter("server", "delta_updates"),
+        report.counter("server", "jobs_completed")
     );
     Ok(())
 }

@@ -9,14 +9,13 @@
 //!
 //! Run with: `cargo run --example scripted_sessions`
 
-use shadow::{
-    profiles, ClientConfig, ScriptedEditor, ServerConfig, SimError, Simulation, SubmitOptions,
-};
+use shadow::prelude::*;
+use shadow::{ScriptedEditor, SimError};
 
 fn main() -> Result<(), SimError> {
     let mut sim = Simulation::new(1);
-    let server = sim.add_server("superc", ServerConfig::new("superc"));
-    let client = sim.add_client("ws", ClientConfig::new("ws", 1));
+    let server = sim.add_server("superc", ServerConfig::builder("superc").build().expect("valid config"));
+    let client = sim.add_client("ws", ClientConfig::builder("ws", 1).build().expect("valid config"));
     let conn = sim.connect(client, server, profiles::cypress())?;
 
     // Monday: write the parameter file and the job, submit.
@@ -63,20 +62,23 @@ fn main() -> Result<(), SimError> {
 
     let last = sim.finished_jobs(client).last().expect("jobs ran").clone();
     println!("\nfinal job output:\n{}", String::from_utf8_lossy(&last.output));
-    let vs = sim.client_version_stats(client);
+    let report = sim.client_report(client);
     println!(
         "version store now holds {} version(s), {} bytes — older versions were \
          pruned as the server acknowledged them.",
-        vs.versions, vs.bytes
+        report.counter("versions", "versions"),
+        report.counter("versions", "bytes")
     );
     Ok(())
 }
 
 fn report(sim: &Simulation, client: shadow::ClientId, server: shadow::ServerId, label: &str) {
-    let m = sim.client_metrics(client);
+    let m = sim.client_report(client);
     let link = sim.link_stats(client, server).0;
     println!(
         "{label:<42} uplink total {:>7} B   ({} full, {} delta)",
-        link.payload_bytes, m.fulls_sent, m.deltas_sent
+        link.payload_bytes,
+        m.counter("client", "fulls_sent"),
+        m.counter("client", "deltas_sent")
     );
 }

@@ -28,3 +28,12 @@ verify-deep:
 # Regenerate the paper's figures/tables (slow; see EXPERIMENTS.md).
 experiments:
     cargo test -q --release -p shadow experiment
+
+# Small-parameter pass over every bench target; each writes its rows to
+# BENCH_<name>.json at the workspace root (see DESIGN.md §10).
+bench-quick:
+    SHADOW_BENCH_QUICK=1 cargo bench
+
+# The full-size benchmark suite (slow; same JSON exports).
+bench:
+    cargo bench

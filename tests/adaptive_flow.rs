@@ -3,18 +3,20 @@
 //! promise that the server can pick "the best time to retrieve the needed
 //! files" without losing any.
 
-use shadow::{
-    profiles, ClientConfig, FileKey, FlowControl, ServerConfig, Simulation, SubmitOptions,
-};
+use shadow::prelude::*;
+use shadow::FileKey;
 
 fn adaptive_sim(limit: usize) -> (Simulation, shadow::ClientId, shadow::ServerId, shadow::ConnId) {
     let mut sim = Simulation::new(1);
     let server = sim.add_server(
         "superc",
-        ServerConfig::new("superc").with_flow(FlowControl::DemandAdaptive {
-            eager_queue_limit: limit,
-            cache_pressure_limit: 0.9,
-        }),
+        ServerConfig::builder("superc")
+            .flow(FlowControl::DemandAdaptive {
+                eager_queue_limit: limit,
+                cache_pressure_limit: 0.9,
+            })
+            .build()
+            .unwrap(),
     );
     let client = sim.add_client("ws", ClientConfig::new("ws", 1));
     let conn = sim.connect(client, server, profiles::lan()).unwrap();
@@ -46,11 +48,11 @@ fn postponed_pulls_land_after_load_clears() {
     // the strong guarantee is after quiescence.)
     sim.run_until_quiet();
     assert!(
-        sim.cache_stats(server).insertions > 0,
+        sim.server_report(server).counter("cache", "insertions") > 0,
         "postponed updates were eventually pulled"
     );
-    let metrics = sim.server_metrics(server);
-    assert!(metrics.update_requests >= 1);
+    let metrics = sim.server_report(server);
+    assert!(metrics.counter("server", "update_requests") >= 1);
     let _ = key;
 }
 
@@ -60,7 +62,7 @@ fn adaptive_behaves_eagerly_when_idle() {
     sim.edit_file(client, "/f.dat", |_| b"v1\n".to_vec()).unwrap();
     // Without any submit the server has no interest yet — no pull.
     sim.run_until_quiet();
-    assert_eq!(sim.server_metrics(server).update_requests, 0);
+    assert_eq!(sim.server_report(server).counter("server", "update_requests"), 0);
     let _ = server;
 }
 

@@ -13,11 +13,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use proptest::prelude::*;
-use shadow::{
-    profiles, ClientConfig, DriverEvent, FileRef, LiveSystem, ServerConfig, Simulation,
-    SubmitOptions,
-};
-use shadow_proto::{ContentDigest, FileId};
+use shadow::prelude::*;
+use shadow::DriverEvent;
 
 /// One step of the script: mutate `/data` this way, then submit.
 #[derive(Debug, Clone, Copy)]
@@ -58,7 +55,16 @@ fn tap() -> (Arc<Mutex<Vec<Vec<u8>>>>, shadow::EventHook) {
     (seen, hook)
 }
 
-fn run_sim(script: &[EditOp]) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+/// What one deployment produced: the wire bytes, the job outputs, and
+/// the observability reports of both endpoints.
+struct WorldResult {
+    frames: Vec<Vec<u8>>,
+    outputs: Vec<Vec<u8>>,
+    client_report: NodeReport,
+    server_report: NodeReport,
+}
+
+fn run_sim(script: &[EditOp]) -> WorldResult {
     let mut sim = Simulation::new(1);
     let server = sim.add_server("sc", ServerConfig::new("sc"));
     let client = sim.add_client("ws", ClientConfig::new("ws", 1));
@@ -90,11 +96,18 @@ fn run_sim(script: &[EditOp]) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
         .iter()
         .map(|j| j.output.clone())
         .collect();
+    let client_report = sim.client_report(client);
+    let server_report = sim.server_report(server);
     let frames = frames.lock().unwrap().clone();
-    (frames, outputs)
+    WorldResult {
+        frames,
+        outputs,
+        client_report,
+        server_report,
+    }
 }
 
-fn run_live(script: &[EditOp]) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+fn run_live(script: &[EditOp]) -> WorldResult {
     let system = LiveSystem::start(ServerConfig::new("sc"));
     let mut client = system.connect_client(ClientConfig::new("ws", 1));
     let (frames, hook) = tap();
@@ -119,10 +132,16 @@ fn run_live(script: &[EditOp]) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
         let (_, output, _, _) = client.wait_job(Duration::from_secs(10)).unwrap();
         outputs.push(output);
     }
+    let client_report = client.report();
     drop(client);
-    system.shutdown();
+    let server_report = system.shutdown().report();
     let frames = frames.lock().unwrap().clone();
-    (frames, outputs)
+    WorldResult {
+        frames,
+        outputs,
+        client_report,
+        server_report,
+    }
 }
 
 fn id_for(host: &str, path: &str) -> FileId {
@@ -140,17 +159,41 @@ proptest! {
             1..4,
         ),
     ) {
-        let (sim_frames, sim_outputs) = run_sim(&script);
-        let (live_frames, live_outputs) = run_live(&script);
+        let sim_world = run_sim(&script);
+        let live_world = run_live(&script);
         prop_assert_eq!(
-            sim_frames.len(),
-            live_frames.len(),
+            sim_world.frames.len(),
+            live_world.frames.len(),
             "frame count diverged for {:?}",
             script
         );
-        for (i, (s, l)) in sim_frames.iter().zip(&live_frames).enumerate() {
+        for (i, (s, l)) in sim_world.frames.iter().zip(&live_world.frames).enumerate() {
             prop_assert_eq!(s, l, "frame {} diverged for {:?}", i, script);
         }
-        prop_assert_eq!(sim_outputs, live_outputs);
+        prop_assert_eq!(&sim_world.outputs, &live_world.outputs);
+
+        // The unified NodeReport surface must tell the same story in both
+        // worlds: identical protocol behaviour section by section. (The
+        // "driver" section is deployment mechanics — notification drain
+        // order and server->client frame sizes legitimately differ — so
+        // only the protocol-level sections are compared.)
+        for section in ["client", "versions"] {
+            prop_assert_eq!(
+                sim_world.client_report.section(section),
+                live_world.client_report.section(section),
+                "client report section {:?} diverged for {:?}",
+                section,
+                script
+            );
+        }
+        for section in ["server", "cache"] {
+            prop_assert_eq!(
+                sim_world.server_report.section(section),
+                live_world.server_report.section(section),
+                "server report section {:?} diverged for {:?}",
+                section,
+                script
+            );
+        }
     }
 }

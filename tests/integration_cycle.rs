@@ -3,10 +3,8 @@
 //! checking both functional results and the traffic/time characteristics
 //! the paper claims.
 
-use shadow::{
-    profiles, ClientConfig, CpuModel, EditModel, FileSpec, JobStatus, Notification, ServerConfig,
-    Simulation, SubmitOptions,
-};
+use shadow::prelude::*;
+use shadow::{CpuModel, EditModel, FileSpec, JobStatus, Notification};
 
 fn setup_with_data(
     size: usize,
@@ -149,15 +147,21 @@ fn multi_file_job_with_mixed_freshness() {
     sim.run_until_quiet();
 
     // Edit only one of the two files; resubmit. Only that file travels.
-    let before = sim.server_metrics(server);
+    let before = sim.server_report(server);
     let model = EditModel::fraction(0.10, 3);
     sim.edit_file(client, "/data2", move |c| model.apply(&c)).unwrap();
     sim.submit(client, conn, "/both.job", &["/data", "/data2"], SubmitOptions::default())
         .unwrap();
     sim.run_until_quiet();
-    let after = sim.server_metrics(server);
-    assert_eq!(after.delta_updates - before.delta_updates, 1);
-    assert_eq!(after.full_updates, before.full_updates);
+    let after = sim.server_report(server);
+    assert_eq!(
+        after.counter("server", "delta_updates") - before.counter("server", "delta_updates"),
+        1
+    );
+    assert_eq!(
+        after.counter("server", "full_updates"),
+        before.counter("server", "full_updates")
+    );
     let jobs = sim.finished_jobs(client);
     assert_eq!(jobs.len(), 2);
     let out = String::from_utf8_lossy(&jobs[1].output);

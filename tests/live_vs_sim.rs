@@ -6,10 +6,7 @@
 
 use std::time::Duration;
 
-use shadow::{
-    profiles, ClientConfig, FileRef, LiveSystem, ServerConfig, Simulation, SubmitOptions,
-};
-use shadow_proto::FileId;
+use shadow::prelude::*;
 
 /// The scenario: submit, edit 3 times, resubmit each time.
 struct Outcome {
@@ -60,15 +57,15 @@ fn run_sim() -> Outcome {
             .unwrap();
         sim.run_until_quiet();
     }
-    let cm = sim.client_metrics(client);
-    let sm = sim.server_metrics(server);
+    let cm = sim.client_report(client);
+    let sm = sim.server_report(server);
     Outcome {
         outputs: sim.finished_jobs(client).iter().map(|j| j.output.clone()).collect(),
-        client_deltas: cm.deltas_sent,
-        client_fulls: cm.fulls_sent,
-        server_deltas: sm.delta_updates,
-        server_fulls: sm.full_updates,
-        jobs_completed: sm.jobs_completed,
+        client_deltas: cm.counter("client", "deltas_sent"),
+        client_fulls: cm.counter("client", "fulls_sent"),
+        server_deltas: sm.counter("server", "delta_updates"),
+        server_fulls: sm.counter("server", "full_updates"),
+        jobs_completed: sm.counter("server", "jobs_completed"),
     }
 }
 
@@ -93,17 +90,17 @@ fn run_live() -> Outcome {
         let (_, output, _, _) = client.wait_job(Duration::from_secs(10)).unwrap();
         outputs.push(output);
     }
-    let cm = client.metrics();
+    let cm = client.report();
     drop(client);
     let server = system.shutdown();
-    let sm = server.metrics();
+    let sm = server.report();
     Outcome {
         outputs,
-        client_deltas: cm.deltas_sent,
-        client_fulls: cm.fulls_sent,
-        server_deltas: sm.delta_updates,
-        server_fulls: sm.full_updates,
-        jobs_completed: sm.jobs_completed,
+        client_deltas: cm.counter("client", "deltas_sent"),
+        client_fulls: cm.counter("client", "fulls_sent"),
+        server_deltas: sm.counter("server", "delta_updates"),
+        server_fulls: sm.counter("server", "full_updates"),
+        jobs_completed: sm.counter("server", "jobs_completed"),
     }
 }
 

@@ -2,9 +2,8 @@
 //! symlinks, mounts and multiple hosts must all collapse to one cached
 //! shadow per physical file — and updates through any alias must cohere.
 
-use shadow::{
-    profiles, ClientConfig, DomainId, ServerConfig, Simulation, SubmitOptions, Vfs,
-};
+use shadow::prelude::*;
+use shadow::Vfs;
 
 /// Builds the paper's topology: fileserver `c` exports /usr, `a` mounts it
 /// at /projl, `b` at /others.
@@ -70,7 +69,7 @@ fn one_shadow_for_all_aliases() {
         b"line 1\nline 2\nline 3\n"
     );
     // 2 job files + exactly 1 copy of the shared file.
-    assert_eq!(sim.server_metrics(server).full_updates, 3);
+    assert_eq!(sim.server_report(server).counter("server", "full_updates"), 3);
 }
 
 #[test]
@@ -112,9 +111,17 @@ fn edit_through_one_mount_deltas_for_the_other() {
     sim.run_until_quiet();
     let out = String::from_utf8_lossy(&sim.finished_jobs(b)[0].output).to_string();
     assert!(out.starts_with("4 "), "job saw the edited file: {out}");
-    let m = sim.server_metrics(server);
-    assert_eq!(m.delta_updates, 1, "a's edit travelled once, as a delta");
-    assert_eq!(m.full_updates, 3, "still one full copy of the shared file");
+    let m = sim.server_report(server);
+    assert_eq!(
+        m.counter("server", "delta_updates"),
+        1,
+        "a's edit travelled once, as a delta"
+    );
+    assert_eq!(
+        m.counter("server", "full_updates"),
+        3,
+        "still one full copy of the shared file"
+    );
 }
 
 #[test]

@@ -3,9 +3,7 @@
 //! live session, else back to the submitter; a submitter that reconnects
 //! under the same host name still receives late output.
 
-use shadow::{
-    profiles, ClientConfig, HostName, ServerConfig, SimTime, Simulation, SubmitOptions,
-};
+use shadow::prelude::*;
 
 #[test]
 fn output_routes_to_named_host() {
@@ -101,5 +99,5 @@ fn output_to_disconnected_everything_is_dropped_not_fatal() {
     // Nobody to deliver to: the server completes the job and moves on.
     sim.run_until_quiet();
     assert!(sim.finished_jobs(client).is_empty());
-    assert_eq!(sim.server_metrics(server).jobs_completed, 1);
+    assert_eq!(sim.server_report(server).counter("server", "jobs_completed"), 1);
 }

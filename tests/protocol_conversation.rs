@@ -4,10 +4,8 @@
 //! client's latest version.
 
 use proptest::prelude::*;
-use shadow::{
-    ClientConfig, ClientEvent, ClientNode, ConnId, FileRef, ServerConfig, ServerEvent,
-    ServerNode, SessionId, SubmitOptions,
-};
+use shadow::prelude::*;
+use shadow::{ClientEvent, ClientNode, ConnId, ServerEvent, ServerNode, SessionId};
 use shadow_client::ClientAction;
 use shadow_server::ServerAction;
 use shadow_proto::{ClientMessage, FileId, ServerMessage};
@@ -128,7 +126,7 @@ fn minimal_conversation_completes_a_job() {
     }
     let exchanged = drain(&mut client, &mut server, conn, session, to_server);
     assert!(exchanged > 0);
-    assert_eq!(server.metrics().jobs_completed, 1);
+    assert_eq!(server.report().counter("server", "jobs_completed"), 1);
 }
 
 proptest! {
