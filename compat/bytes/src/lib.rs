@@ -216,6 +216,12 @@ impl From<BytesMut> for Vec<u8> {
     }
 }
 
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> BytesMut {
+        BytesMut(v)
+    }
+}
+
 /// Little-endian write access, as used by the wire encoder.
 pub trait BufMut {
     /// Appends one byte.

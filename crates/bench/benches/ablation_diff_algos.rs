@@ -10,7 +10,7 @@
 //! * Tichy block-move ([Tic84], byte-level).
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
-use shadow::{diff, DiffAlgorithm, Document, EditModel, FileSpec};
+use shadow::{diff, diff_docs, DiffAlgorithm, DiffScratch, DocBuf, Document, EditModel, FileSpec};
 use shadow::block_diff;
 
 fn bench_diff_algorithms(c: &mut Criterion) {
@@ -21,6 +21,8 @@ fn bench_diff_algorithms(c: &mut Criterion) {
             let edited = EditModel::fraction(fraction, 43).apply(&base);
             let old_doc = Document::from_bytes(base.clone());
             let new_doc = Document::from_bytes(edited.clone());
+            let old_buf = DocBuf::from_bytes(base.clone());
+            let new_buf = DocBuf::from_bytes(edited.clone());
             group.throughput(Throughput::Bytes(size as u64));
             let label = format!("{}b_{}pct", size, (fraction * 100.0) as u32);
 
@@ -33,6 +35,22 @@ fn bench_diff_algorithms(c: &mut Criterion) {
                 BenchmarkId::new("myers", &label),
                 &(&old_doc, &new_doc),
                 |b, (o, n)| b.iter(|| diff(DiffAlgorithm::Myers, o, n)),
+            );
+            // The same two LCS algorithms through the zero-copy pipeline
+            // with a reused scratch — the steady-state production path.
+            let mut hm_scratch = DiffScratch::new();
+            group.bench_with_input(
+                BenchmarkId::new("hunt_mcilroy_zerocopy", &label),
+                &(&old_buf, &new_buf),
+                |b, (o, n)| {
+                    b.iter(|| diff_docs(DiffAlgorithm::HuntMcIlroy, o, n, &mut hm_scratch))
+                },
+            );
+            let mut my_scratch = DiffScratch::new();
+            group.bench_with_input(
+                BenchmarkId::new("myers_zerocopy", &label),
+                &(&old_buf, &new_buf),
+                |b, (o, n)| b.iter(|| diff_docs(DiffAlgorithm::Myers, o, n, &mut my_scratch)),
             );
             group.bench_with_input(
                 BenchmarkId::new("tichy_blockmove", &label),
@@ -71,22 +89,30 @@ criterion_group!(benches, bench_diff_algorithms, bench_apply);
 fn main() {
     benches();
     // Export the deterministic wire-cost comparison (the figure the
-    // service actually pays per algorithm) machine-readably.
+    // service actually pays per algorithm) machine-readably. The
+    // zero-copy column must equal the legacy column byte for byte — the
+    // pipelines emit identical scripts; any divergence here is a bug.
     let mut rows = Vec::new();
+    let mut scratch = DiffScratch::new();
     for &size in &[10_000usize, 100_000] {
         for &fraction in &[0.01f64, 0.20] {
             let base = shadow::generate_file(&FileSpec::new(size, 42));
             let edited = EditModel::fraction(fraction, 43).apply(&base);
             let old_doc = Document::from_bytes(base.clone());
             let new_doc = Document::from_bytes(edited.clone());
+            let old_buf = DocBuf::from_bytes(base.clone());
+            let new_buf = DocBuf::from_bytes(edited.clone());
+            let hm = diff(DiffAlgorithm::HuntMcIlroy, &old_doc, &new_doc).wire_len();
+            let hm_zero =
+                diff_docs(DiffAlgorithm::HuntMcIlroy, &old_buf, &new_buf, &mut scratch)
+                    .wire_len();
+            assert_eq!(hm, hm_zero, "pipelines disagree on wire cost");
             rows.push(
                 shadow_obs::Json::object()
                     .with("file_bytes", size)
                     .with("fraction", fraction)
-                    .with(
-                        "hunt_mcilroy_bytes",
-                        diff(DiffAlgorithm::HuntMcIlroy, &old_doc, &new_doc).wire_len(),
-                    )
+                    .with("hunt_mcilroy_bytes", hm)
+                    .with("hunt_mcilroy_zerocopy_bytes", hm_zero)
                     .with(
                         "myers_bytes",
                         diff(DiffAlgorithm::Myers, &old_doc, &new_doc).wire_len(),

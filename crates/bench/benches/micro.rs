@@ -1,12 +1,47 @@
 //! Micro-benchmarks (Criterion, real CPU time): the hot paths a production
-//! deployment cares about — wire codec, compressors, content digest, and
-//! the end-to-end in-memory protocol round trip.
+//! deployment cares about — wire codec, compressors, content digest, the
+//! diff pipelines, and the end-to-end in-memory protocol round trip.
+//!
+//! The JSON export re-times the headline operations with a plain timer
+//! **and a counting global allocator**, so every row carries
+//! `allocs_per_op` next to `ns_per_op` — the zero-copy diff rows exist to
+//! be compared against the legacy rows on both axes.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{criterion_group, Criterion, Throughput};
 use shadow::{
-    Codec, ContentDigest, DomainId, FileId, FileSpec, Frame, HostName, Lzss, Rle,
-    ClientMessage, TransferEncoding, UpdatePayload, VersionNumber,
+    apply_delta, diff_docs, diff_legacy, Codec, ClientMessage, ContentDigest, DiffAlgorithm,
+    DiffScratch, DocBuf, Document, DomainId, EdScript, EditModel, FileId, FileSpec, Frame,
+    HostName, Lzss, Rle, TransferEncoding, UpdatePayload, VersionNumber,
 };
+
+/// Pass-through allocator that counts every allocation (and growth
+/// realloc), so the exported rows can report `allocs_per_op` — the number
+/// the zero-copy pipeline is designed to drive to zero in steady state.
+#[derive(Debug)]
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("wire_codec");
@@ -85,13 +120,28 @@ fn bench_end_to_end(c: &mut Criterion) {
 
 criterion_group!(benches, bench_codec, bench_compress, bench_digest, bench_end_to_end);
 
-/// Times `f` over `iters` calls, returning mean nanoseconds per call.
-fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+/// Times `f` over `iters` calls, returning mean nanoseconds per call and
+/// mean heap allocations per call. Every result must flow through
+/// [`black_box`] inside `f`, or the optimizer deletes the work and the
+/// row reports constant-fold time (as the digest row once famously did).
+fn measure(iters: u32, mut f: impl FnMut()) -> (f64, f64) {
+    let alloc_start = ALLOCS.load(Ordering::Relaxed);
     let start = std::time::Instant::now();
     for _ in 0..iters {
         f();
     }
-    start.elapsed().as_nanos() as f64 / f64::from(iters.max(1))
+    let ns = start.elapsed().as_nanos() as f64 / f64::from(iters.max(1));
+    let allocs = ALLOCS.load(Ordering::Relaxed) - alloc_start;
+    (ns, allocs as f64 / f64::from(iters.max(1)))
+}
+
+/// A 100 KB file with one small edit in the middle: the steady-state
+/// resubmission shape the zero-copy pipeline optimizes for.
+fn small_edit_pair() -> (Vec<u8>, Vec<u8>) {
+    let base = shadow::generate_file(&FileSpec::new(100_000, 7));
+    let edited = EditModel::fraction(0.001, 8).apply(&base);
+    assert_ne!(base, edited, "edit model produced no change");
+    (base, edited)
 }
 
 fn main() {
@@ -112,35 +162,112 @@ fn main() {
     };
     let frame = Frame::encode(&msg);
     let big = shadow::generate_file(&FileSpec::new(500_000, 3));
-    let row = |name: &str, bytes: usize, ns: f64| {
+    let row = |name: &str, bytes: usize, (ns, allocs): (f64, f64)| {
         shadow_obs::Json::object()
             .with("op", name)
             .with("bytes", bytes)
             .with("ns_per_op", ns)
+            .with("allocs_per_op", allocs)
             .with("mb_per_sec", bytes as f64 * 1000.0 / ns.max(1.0))
     };
-    let rows = vec![
+    let mut rows = vec![
         row(
             "encode_update_100k",
             payload.len(),
-            time_ns(iters, || {
-                let _ = Frame::encode(&msg);
+            measure(iters, || {
+                black_box(Frame::encode(black_box(&msg)));
             }),
         ),
         row(
             "decode_update_100k",
             payload.len(),
-            time_ns(iters, || {
-                let _ = Frame::decode::<ClientMessage>(&frame);
+            measure(iters, || {
+                black_box(Frame::decode::<ClientMessage>(black_box(&frame)).unwrap());
             }),
         ),
         row(
             "fnv_digest_500k",
             big.len(),
-            time_ns(iters, || {
-                let _ = ContentDigest::of(&big);
+            measure(iters, || {
+                black_box(ContentDigest::of(black_box(&big)));
             }),
         ),
     ];
+
+    // The diff pipelines over the same workload: legacy (per-line
+    // allocating) vs zero-copy with a fresh scratch vs zero-copy reusing
+    // one scratch across calls (the steady-state resubmission path).
+    let (base, edited) = small_edit_pair();
+    let old_doc = Document::from_bytes(base.clone());
+    let new_doc = Document::from_bytes(edited.clone());
+    let old_buf = DocBuf::from_bytes(base.clone());
+    let new_buf = DocBuf::from_bytes(edited.clone());
+    rows.push(row(
+        "diff_legacy_small_edit_100k",
+        base.len(),
+        measure(iters, || {
+            black_box(diff_legacy(
+                DiffAlgorithm::HuntMcIlroy,
+                black_box(&old_doc),
+                black_box(&new_doc),
+            ));
+        }),
+    ));
+    rows.push(row(
+        "diff_zerocopy_small_edit_100k",
+        base.len(),
+        measure(iters, || {
+            let mut scratch = DiffScratch::new();
+            black_box(diff_docs(
+                DiffAlgorithm::HuntMcIlroy,
+                black_box(&old_buf),
+                black_box(&new_buf),
+                &mut scratch,
+            ));
+        }),
+    ));
+    let mut scratch = DiffScratch::new();
+    diff_docs(DiffAlgorithm::HuntMcIlroy, &old_buf, &new_buf, &mut scratch); // warm
+    rows.push(row(
+        "diff_zerocopy_reuse_100k",
+        base.len(),
+        measure(iters, || {
+            black_box(diff_docs(
+                DiffAlgorithm::HuntMcIlroy,
+                black_box(&old_buf),
+                black_box(&new_buf),
+                &mut scratch,
+            ));
+        }),
+    ));
+
+    // The two delta-apply engines over the same script.
+    let script_text = diff_docs(
+        DiffAlgorithm::HuntMcIlroy,
+        &old_buf,
+        &new_buf,
+        &mut scratch,
+    )
+    .to_text();
+    rows.push(row(
+        "apply_legacy_small_edit_100k",
+        base.len(),
+        // The full reconstruction exactly as the server performed it
+        // before the zero-copy pipeline: split the base into lines,
+        // parse the script, apply, reassemble bytes.
+        measure(iters, || {
+            let base_doc = Document::from_bytes(black_box(&base).clone());
+            let script = EdScript::parse(black_box(&script_text)).unwrap();
+            black_box(script.apply(&base_doc).unwrap().to_bytes());
+        }),
+    ));
+    rows.push(row(
+        "apply_delta_small_edit_100k",
+        base.len(),
+        measure(iters, || {
+            black_box(apply_delta(black_box(&base), black_box(&script_text)).unwrap());
+        }),
+    ));
+
     shadow_bench::export_rows("micro", rows);
 }

@@ -1,0 +1,83 @@
+//! Diff performance regression guard.
+//!
+//! Compares the diff/apply rows of a freshly exported `BENCH_micro.json`
+//! against the committed `BENCH_baseline_diff.json` and exits non-zero
+//! when any row's `ns_per_op` regresses more than 2x. The 2x threshold is
+//! deliberately loose: CI machines vary, but an accidental return to the
+//! per-line allocating pipeline costs well over an order of magnitude on
+//! the zero-copy rows, which this catches while tolerating noisy
+//! neighbours.
+//!
+//! Usage: `cargo run -p shadow-bench --bin diff_guard` after the `micro`
+//! bench has written `BENCH_micro.json` (see `just bench-diff`).
+
+use std::fs;
+use std::process::ExitCode;
+
+/// Maximum tolerated slowdown factor per row before the guard fails.
+const MAX_REGRESSION: f64 = 2.0;
+
+fn main() -> ExitCode {
+    let root = shadow_bench::bench_output_dir();
+    let current_path = root.join("BENCH_micro.json");
+    let baseline_path = root.join("BENCH_baseline_diff.json");
+    let current = match fs::read_to_string(&current_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "diff_guard: cannot read {} ({e}); run the micro bench first \
+                 (just bench-diff)",
+                current_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "diff_guard: cannot read {} ({e}); the baseline must be \
+                 committed at the workspace root",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let current_rows = shadow_bench::parse_ns_rows(&current);
+    let baseline_rows = shadow_bench::parse_ns_rows(&baseline);
+    if baseline_rows.is_empty() {
+        eprintln!("diff_guard: no ns_per_op rows in the baseline; nothing to guard");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    let mut checked = 0usize;
+    for (op, base_ns) in &baseline_rows {
+        let Some((_, cur_ns)) = current_rows.iter().find(|(o, _)| o == op) else {
+            eprintln!("diff_guard: FAIL {op}: row missing from BENCH_micro.json");
+            failed = true;
+            continue;
+        };
+        checked += 1;
+        let factor = cur_ns / base_ns.max(1.0);
+        if factor > MAX_REGRESSION {
+            eprintln!(
+                "diff_guard: FAIL {op}: {cur_ns:.0} ns vs baseline {base_ns:.0} ns \
+                 ({factor:.2}x > {MAX_REGRESSION}x)"
+            );
+            failed = true;
+        } else {
+            println!(
+                "diff_guard: ok   {op}: {cur_ns:.0} ns vs baseline {base_ns:.0} ns \
+                 ({factor:.2}x)"
+            );
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("diff_guard: {checked} rows within {MAX_REGRESSION}x of baseline");
+        ExitCode::SUCCESS
+    }
+}

@@ -76,3 +76,73 @@ pub fn export_json(name: &str, doc: &Json) {
 pub fn export_rows(name: &str, rows: Vec<Json>) {
     export_json(name, &bench_doc(name, rows));
 }
+
+/// Extracts `(op, ns_per_op)` pairs from a `BENCH_*.json` document as
+/// produced by [`export_rows`]. This is a scanner for our own export
+/// format, not a general JSON parser: it pairs each `"op"` string with
+/// the first `"ns_per_op"` number that follows it. Rows without both
+/// fields are skipped.
+pub fn parse_ns_rows(doc: &str) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    let mut rest = doc;
+    while let Some(at) = rest.find("\"op\":") {
+        rest = &rest[at + "\"op\":".len()..];
+        let Some(open) = rest.find('"') else { break };
+        rest = &rest[open + 1..];
+        let Some(close) = rest.find('"') else { break };
+        let op = rest[..close].to_string();
+        rest = &rest[close + 1..];
+        // The value runs to the next comma or closing brace; both are
+        // structural in our export (numbers are never quoted).
+        let Some(ns_at) = rest.find("\"ns_per_op\":") else {
+            continue;
+        };
+        // Only accept the ns field of *this* row: it must appear before
+        // the next row's "op" key.
+        if rest.find("\"op\":").is_some_and(|next_op| next_op < ns_at) {
+            continue;
+        }
+        let val = &rest[ns_at + "\"ns_per_op\":".len()..];
+        let end = val
+            .find([',', '}', '\n'])
+            .unwrap_or(val.len());
+        if let Ok(ns) = val[..end].trim().parse::<f64>() {
+            rows.push((op, ns));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_ns_rows_reads_own_export_format() {
+        let doc = bench_doc(
+            "micro",
+            vec![
+                Json::object()
+                    .with("op", "alpha")
+                    .with("bytes", 10usize)
+                    .with("ns_per_op", 12.5)
+                    .with("mb_per_sec", 1.0),
+                Json::object().with("op", "no_ns_field").with("bytes", 1usize),
+                Json::object().with("op", "beta").with("ns_per_op", 3000usize),
+            ],
+        )
+        .render_pretty();
+        let rows = parse_ns_rows(&doc);
+        assert_eq!(
+            rows,
+            vec![("alpha".to_string(), 12.5), ("beta".to_string(), 3000.0)]
+        );
+    }
+
+    #[test]
+    fn parse_ns_rows_tolerates_garbage() {
+        assert!(parse_ns_rows("").is_empty());
+        assert!(parse_ns_rows("{\"op\": \"x\"").is_empty());
+        assert!(parse_ns_rows("not json at all").is_empty());
+    }
+}

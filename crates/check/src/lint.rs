@@ -23,6 +23,13 @@
 //!    it runs inside drivers and event hooks, so outside `#[cfg(test)]`
 //!    it must not contain `unwrap`/`expect`/`panic!`-family macros —
 //!    a metrics bug must never take down a protocol node.
+//! 5. **No per-line heap allocation in diff hot modules.** The
+//!    zero-copy diff pipeline's whole point is that steady-state diffs
+//!    allocate nothing per line: the hot modules of `crates/diff`
+//!    (`docbuf.rs`, `scratch.rs`, `zerocopy.rs`, `hunt_mcilroy.rs`,
+//!    `myers.rs`) must not call `Line::new(` or `.to_vec()` outside
+//!    `#[cfg(test)]`. The compatibility shim (`crates/diff/src/shim.rs`)
+//!    is the one allowlisted home for the allocating conversions.
 
 use std::fmt;
 use std::fs;
@@ -36,6 +43,20 @@ const SANS_IO_CRATES: &[&str] = &[
 
 /// Files exempt from the wall-clock rule (path suffix match).
 const WALL_CLOCK_ALLOW: &[&str] = &["crates/runtime/src/clock.rs"];
+
+/// Hot modules of the zero-copy diff pipeline: no per-line heap
+/// allocation allowed (path suffix match).
+const DIFF_HOT_FILES: &[&str] = &[
+    "crates/diff/src/docbuf.rs",
+    "crates/diff/src/scratch.rs",
+    "crates/diff/src/zerocopy.rs",
+    "crates/diff/src/hunt_mcilroy.rs",
+    "crates/diff/src/myers.rs",
+];
+
+/// The compatibility shim is the one place the allocating conversions
+/// (`DocBuf` → `Document`, `DeltaScript` → `EdScript`) may live.
+const DIFF_HOT_ALLOW: &[&str] = &["crates/diff/src/shim.rs"];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -362,6 +383,31 @@ pub fn check_obs_panics(label: &str, code: &str) -> Vec<Finding> {
     findings
 }
 
+/// Rule 5: per-line heap allocation in a diff hot module (input already
+/// comment/string/test-stripped). `Line::new(` allocates one `Vec` per
+/// line and `.to_vec()` copies a borrowed slice; either in the hot path
+/// silently reintroduces the allocation profile the zero-copy pipeline
+/// exists to remove. The conversions belong in the allowlisted shim.
+pub fn check_diff_hot_alloc(label: &str, code: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for token in ["Line::new(", ".to_vec()"] {
+        for line in find_token(code, token) {
+            findings.push(Finding {
+                file: label.to_string(),
+                line,
+                rule: "diff-hot-alloc",
+                message: format!(
+                    "`{token}` in a diff hot module: the zero-copy pipeline \
+                     must not allocate per line; route allocating \
+                     conversions through crates/diff/src/shim.rs"
+                ),
+            });
+        }
+    }
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
 /// Extracts the variant names of `enum <name>` from stripped source.
 pub fn enum_variants(stripped: &str, name: &str) -> Vec<String> {
     let header = format!("enum {name}");
@@ -554,6 +600,19 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         }
     }
 
+    // Rule 5: diff hot modules never allocate per line.
+    for hot in DIFF_HOT_FILES {
+        if DIFF_HOT_ALLOW.iter().any(|a| hot.ends_with(a)) {
+            continue;
+        }
+        let path = root.join(hot);
+        if !path.exists() {
+            continue; // module not grown yet; nothing to check
+        }
+        let code = strip_cfg_test(&strip_code(&fs::read_to_string(&path)?));
+        findings.extend(check_diff_hot_alloc(&rel_label(root, &path), &code));
+    }
+
     // Rule 4: the observability crate never panics outside tests.
     let obs_dir = root.join("crates/obs/src");
     let mut obs_files = Vec::new();
@@ -636,6 +695,23 @@ mod tests {
         let ok = "#[derive(Debug)]\nfn d(b: &[u8], a: [u8; 4]) { let v = vec![1, 2]; }";
         // `vec![` is macro-bang-bracket: '!' precedes '[', not an ident.
         assert!(check_decode_panics("wire.rs", &strip_code(ok)).is_empty());
+    }
+
+    #[test]
+    fn diff_hot_alloc_rule_fires_on_per_line_allocation() {
+        let bad = "fn f(l: &[u8]) { let a = Line::new(l.to_vec()); }";
+        let findings = check_diff_hot_alloc("zerocopy.rs", &strip_code(bad));
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().all(|f| f.rule == "diff-hot-alloc"));
+        let ok = "fn f(doc: &DocBuf, i: usize) -> &[u8] { doc.line(i) }";
+        assert!(check_diff_hot_alloc("zerocopy.rs", &strip_code(ok)).is_empty());
+        // Test code is stripped before the rule runs, like the other rules.
+        let test_only =
+            "#[cfg(test)]\nmod tests {\n    fn t() { let v = b\"x\".to_vec(); }\n}\n";
+        assert!(
+            check_diff_hot_alloc("zerocopy.rs", &strip_cfg_test(&strip_code(test_only)))
+                .is_empty()
+        );
     }
 
     #[test]

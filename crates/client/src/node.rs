@@ -6,7 +6,6 @@ use std::fmt;
 
 use bytes::Bytes;
 use shadow_compress::{Codec, Lzss, Rle};
-use shadow_diff::{Document, EdScript};
 use shadow_proto::{
     ClientMessage, ContentDigest, FileId, HostName, JobId, JobStats, JobStatusEntry,
     OutputPayload, RequestId, ServerMessage, SubmitOptions, TransferEncoding, UpdatePayload,
@@ -678,16 +677,20 @@ impl ClientNode {
         actions
     }
 
-    fn encode_with(encoding: TransferEncoding, raw: &[u8]) -> (TransferEncoding, Vec<u8>) {
+    /// Applies the configured wire encoding. Takes ownership of `raw` so
+    /// the identity (and compression-didn't-help) paths forward the buffer
+    /// instead of copying it — delta text produced by the zero-copy
+    /// pipeline travels to the frame without an intermediate copy.
+    fn encode_with(encoding: TransferEncoding, raw: Vec<u8>) -> (TransferEncoding, Vec<u8>) {
         let packed = match encoding {
-            TransferEncoding::Identity => return (TransferEncoding::Identity, raw.to_vec()),
-            TransferEncoding::Rle => Rle.compress(raw),
-            TransferEncoding::Lzss => Lzss::default().compress(raw),
+            TransferEncoding::Identity => return (TransferEncoding::Identity, raw),
+            TransferEncoding::Rle => Rle.compress(&raw),
+            TransferEncoding::Lzss => Lzss::default().compress(&raw),
         };
         if packed.len() < raw.len() {
             (encoding, packed)
         } else {
-            (TransferEncoding::Identity, raw.to_vec())
+            (TransferEncoding::Identity, raw)
         }
     }
 
@@ -701,22 +704,24 @@ impl ClientNode {
         let Some((latest, content)) = self.versions.latest(file) else {
             return; // we know nothing about this file; nothing to send
         };
-        let content = content.to_vec();
-        let digest = ContentDigest::of(&content);
+        // Digest and length come straight off the version store's buffer;
+        // the full content is only copied on the full-transfer path.
+        let digest = ContentDigest::of(content);
+        let content_len = content.len();
         let delta = match (self.config.mode, have) {
             (TransferMode::Shadow, Some(base)) if base < latest => {
-                self.versions.delta_from(file, base)
+                self.versions.delta_text_from(file, base)
             }
             _ => None,
         };
         let use_delta = match (&delta, self.config.env.delta_policy) {
-            (Some((_, script)), DeltaPolicy::Adaptive) => script.wire_len() < content.len(),
+            (Some((_, text, _)), DeltaPolicy::Adaptive) => text.len() < content_len,
             (Some(_), DeltaPolicy::Always) => true,
             (None, _) => false,
         };
         let payload = if use_delta {
-            let (base, script) = delta.expect("checked");
-            let (encoding, data) = Self::encode_with(self.config.env.encoding, &script.to_text());
+            let (base, text, _) = delta.expect("checked");
+            let (encoding, data) = Self::encode_with(self.config.env.encoding, text);
             self.metrics.deltas_sent += 1;
             self.metrics.update_payload_bytes += data.len() as u64;
             UpdatePayload::Delta {
@@ -726,7 +731,7 @@ impl ClientNode {
                 digest,
             }
         } else {
-            let (encoding, data) = Self::encode_with(self.config.env.encoding, &content);
+            let (encoding, data) = Self::encode_with(self.config.env.encoding, content.to_vec());
             self.metrics.fulls_sent += 1;
             self.metrics.update_payload_bytes += data.len() as u64;
             UpdatePayload::Full {
@@ -766,38 +771,30 @@ impl ClientNode {
                 data,
                 digest,
             } => {
-                let base = self
-                    .outputs
-                    .get(&conn)
-                    .and_then(|q| q.iter().find(|(j, _)| *j == base_job))
-                    .map(|(_, o)| o.clone());
-                match base {
-                    Some(base) => {
-                        let text = match encoding {
-                            TransferEncoding::Identity => Ok(data.to_vec()),
-                            TransferEncoding::Rle => Rle.decompress(&data).map_err(|_| ()),
-                            TransferEncoding::Lzss => {
-                                Lzss::default().decompress(&data).map_err(|_| ())
-                            }
-                        };
-                        text.and_then(|t| EdScript::parse(&t).map_err(|_| ()))
-                            .and_then(|script| {
-                                script
-                                    .apply(&Document::from_bytes(base))
-                                    .map_err(|_| ())
-                            })
-                            .map(|doc| doc.to_bytes())
-                            .and_then(|bytes| {
-                                if ContentDigest::of(&bytes) == digest {
-                                    self.metrics.output_deltas_applied += 1;
-                                    Ok(bytes)
-                                } else {
-                                    Err(())
-                                }
-                            })
+                let text = match encoding {
+                    TransferEncoding::Identity => Ok(data.to_vec()),
+                    TransferEncoding::Rle => Rle.decompress(&data).map_err(|_| ()),
+                    TransferEncoding::Lzss => Lzss::default().decompress(&data).map_err(|_| ()),
+                };
+                // Reconstruct in one pass directly over the retained base
+                // bytes — no base clone, no intermediate line vectors.
+                let applied = text.and_then(|t| {
+                    let base = self
+                        .outputs
+                        .get(&conn)
+                        .and_then(|q| q.iter().find(|(j, _)| *j == base_job))
+                        .map(|(_, o)| o.as_slice())
+                        .ok_or(())?;
+                    shadow_diff::apply_delta(base, &t).map_err(|_| ())
+                });
+                applied.and_then(|bytes| {
+                    if ContentDigest::of(&bytes) == digest {
+                        self.metrics.output_deltas_applied += 1;
+                        Ok(bytes)
+                    } else {
+                        Err(())
                     }
-                    None => Err(()),
-                }
+                })
             }
         };
         match reconstructed {
@@ -832,6 +829,7 @@ impl ClientNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use shadow_diff::Document;
 
     fn ready_client() -> (ClientNode, ConnId) {
         let mut client = ClientNode::new(ClientConfig::new("ws1", 1));

@@ -90,8 +90,9 @@ pub use shadow_client::{
 };
 pub use shadow_compress::{Codec, Lzss, Rle};
 pub use shadow_diff::{
-    block_diff, diff, ApplyError, BlockOp, BlockScript, DiffAlgorithm, DiffStats, Document,
-    EdCommand, EdScript, Line,
+    apply_delta, block_diff, diff, diff_docs, diff_legacy, ApplyError, BlockOp, BlockScript,
+    DeltaError, DeltaScript, DiffAlgorithm, DiffScratch, DiffStats, DocBuf, Document, EdCommand,
+    EdScript, Line,
 };
 pub use shadow_netsim::{pipe, profiles, LinkProfile, LinkStats, SimNet, SimTime};
 pub use shadow_proto::{

@@ -1,6 +1,5 @@
 //! Algorithm selection and the shared matches→script pipeline.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use crate::document::Document;
@@ -56,36 +55,15 @@ pub struct Match {
 /// assert_eq!(script.apply(&old).unwrap(), new);
 /// ```
 pub fn diff(algorithm: DiffAlgorithm, old: &Document, new: &Document) -> EdScript {
-    let (old_syms, new_syms) = intern(old, new);
-    let (prefix, suffix) = common_affixes(&old_syms, &new_syms);
-    let old_mid = &old_syms[prefix..old_syms.len() - suffix];
-    let new_mid = &new_syms[prefix..new_syms.len() - suffix];
-
-    let mid_matches = match algorithm {
-        DiffAlgorithm::HuntMcIlroy => crate::hunt_mcilroy::lcs_matches(old_mid, new_mid),
-        DiffAlgorithm::Myers => crate::myers::lcs_matches(old_mid, new_mid),
-    };
-
-    let mut matches = Vec::with_capacity(prefix + mid_matches.len() + suffix);
-    for i in 0..prefix {
-        matches.push(Match {
-            old_line: i,
-            new_line: i,
-        });
-    }
-    matches.extend(mid_matches.into_iter().map(|m| Match {
-        old_line: m.old_line + prefix,
-        new_line: m.new_line + prefix,
-    }));
-    for k in 0..suffix {
-        matches.push(Match {
-            old_line: old_syms.len() - suffix + k,
-            new_line: new_syms.len() - suffix + k,
-        });
-    }
-
-    debug_assert!(matches_are_valid(&matches, old, new));
-    matches_to_script(&matches, old, new)
+    // Thin compatibility shim: convert once, run the zero-copy pipeline,
+    // copy the result back into the allocating representation. Callers on
+    // the hot path should use `diff_docs` with a retained scratch instead;
+    // the original allocating pipeline survives as
+    // [`diff_legacy`](crate::diff_legacy) for equivalence testing.
+    let old_buf = crate::docbuf::DocBuf::from_document(old);
+    let new_buf = crate::docbuf::DocBuf::from_document(new);
+    let mut scratch = crate::scratch::DiffScratch::new();
+    crate::zerocopy::diff_docs(algorithm, &old_buf, &new_buf, &mut scratch).to_ed_script()
 }
 
 /// Converts a strictly increasing common subsequence into an [`EdScript`].
@@ -128,65 +106,6 @@ pub fn matches_to_script(matches: &[Match], old: &Document, new: &Document) -> E
     ascending.reverse();
     EdScript::with_commands(ascending, new.has_trailing_newline())
         .expect("hunk builder produces descending, non-overlapping commands")
-}
-
-/// Maps each distinct line to a dense symbol so the LCS cores compare `u32`s
-/// instead of byte strings.
-fn intern(old: &Document, new: &Document) -> (Vec<u32>, Vec<u32>) {
-    let mut table: HashMap<Vec<u8>, u32> = HashMap::new();
-    let mut intern_one = |bytes: &[u8]| -> u32 {
-        if let Some(&s) = table.get(bytes) {
-            s
-        } else {
-            let s = table.len() as u32;
-            table.insert(bytes.to_vec(), s);
-            s
-        }
-    };
-    let old_syms = old
-        .lines()
-        .iter()
-        .map(|l| intern_one(l.as_bytes()))
-        .collect();
-    let new_syms = new
-        .lines()
-        .iter()
-        .map(|l| intern_one(l.as_bytes()))
-        .collect();
-    (old_syms, new_syms)
-}
-
-/// Length of the common prefix and suffix (non-overlapping).
-fn common_affixes(a: &[u32], b: &[u32]) -> (usize, usize) {
-    let max = a.len().min(b.len());
-    let mut prefix = 0;
-    while prefix < max && a[prefix] == b[prefix] {
-        prefix += 1;
-    }
-    let mut suffix = 0;
-    while suffix < max - prefix && a[a.len() - 1 - suffix] == b[b.len() - 1 - suffix] {
-        suffix += 1;
-    }
-    (prefix, suffix)
-}
-
-fn matches_are_valid(matches: &[Match], old: &Document, new: &Document) -> bool {
-    let mut prev: Option<&Match> = None;
-    for m in matches {
-        if m.old_line >= old.line_count() || m.new_line >= new.line_count() {
-            return false;
-        }
-        if old.lines()[m.old_line] != new.lines()[m.new_line] {
-            return false;
-        }
-        if let Some(p) = prev {
-            if m.old_line <= p.old_line || m.new_line <= p.new_line {
-                return false;
-            }
-        }
-        prev = Some(m);
-    }
-    true
 }
 
 #[cfg(test)]

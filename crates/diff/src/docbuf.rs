@@ -1,0 +1,223 @@
+//! Zero-copy document buffer: one contiguous byte buffer plus a line
+//! offset index.
+//!
+//! [`DocBuf`] is the allocation-free counterpart of [`Document`](crate::Document): instead
+//! of one `Vec<u8>` per line it owns a single shared byte buffer and an
+//! index of line start offsets, and hands out **borrowed** `&[u8]` line
+//! views. Cloning a `DocBuf` is O(1) (the buffer and index live behind an
+//! `Arc`), so a version chain can retain many versions and the diff
+//! pipeline can hold base and target simultaneously without copying
+//! either. The line index is computed once at construction; every
+//! subsequent diff against the document reuses it.
+//!
+//! Embedded-newline safety is structural: lines are produced exclusively
+//! by splitting the buffer on `\n`, so no `DocBuf` line can ever contain
+//! one — in any build profile — unlike a hand-assembled `Vec<Line>`.
+
+use std::fmt;
+use std::sync::Arc;
+
+#[cfg(test)]
+use crate::document::Document;
+
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct DocInner {
+    /// The raw byte form, exactly as read or produced.
+    bytes: Vec<u8>,
+    /// Byte offset where each line starts, plus a final sentinel at
+    /// `bytes.len()`. Empty buffers have a single sentinel entry.
+    line_starts: Vec<u32>,
+    /// Whether `bytes` ends with `\n`.
+    trailing_newline: bool,
+}
+
+/// A text document as one contiguous byte buffer with a line-offset index.
+///
+/// Construction splits on `\n` exactly like
+/// [`Document::from_bytes`](crate::Document::from_bytes)
+/// (trailing-newline state preserved; non-UTF-8 content welcome), but the
+/// lines are borrowed slices of the single buffer instead of per-line
+/// allocations. See the [module docs](self) for the memory model.
+///
+/// # Example
+///
+/// ```
+/// use shadow_diff::DocBuf;
+///
+/// let doc = DocBuf::from_bytes(b"alpha\nbeta\n".to_vec());
+/// assert_eq!(doc.line_count(), 2);
+/// assert_eq!(doc.line(1), b"beta");
+/// assert_eq!(doc.as_bytes(), b"alpha\nbeta\n");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct DocBuf {
+    inner: Arc<DocInner>,
+}
+
+impl DocBuf {
+    /// Creates an empty document (zero lines, no trailing newline).
+    pub fn new() -> Self {
+        DocBuf::from_bytes(Vec::new())
+    }
+
+    /// Builds the line index over `bytes`, taking ownership of the buffer.
+    ///
+    /// Semantics match [`Document::from_bytes`](crate::Document::from_bytes):
+    /// an empty buffer yields an
+    /// empty document, a buffer not ending in `\n` keeps its final partial
+    /// line, and [`as_bytes`](DocBuf::as_bytes) returns the input
+    /// byte-for-byte. Documents are limited to `u32::MAX` bytes (a frame
+    /// can never carry more); larger input panics.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        assert!(
+            u32::try_from(bytes.len()).is_ok(),
+            "DocBuf is limited to u32::MAX bytes"
+        );
+        let trailing_newline = bytes.last() == Some(&b'\n');
+        let mut line_starts = Vec::with_capacity(bytes.len() / 32 + 2);
+        if !bytes.is_empty() {
+            line_starts.push(0);
+            let scan_end = bytes.len() - usize::from(trailing_newline);
+            for (i, &b) in bytes.iter().enumerate().take(scan_end) {
+                if b == b'\n' {
+                    line_starts.push(i as u32 + 1);
+                }
+            }
+        }
+        line_starts.push(bytes.len() as u32);
+        DocBuf {
+            inner: Arc::new(DocInner {
+                bytes,
+                line_starts,
+                trailing_newline,
+            }),
+        }
+    }
+
+    /// Convenience constructor from a `&str` (handy in tests and examples).
+    pub fn from_text(text: &str) -> Self {
+        DocBuf::from_bytes(text.as_bytes().into())
+    }
+
+    /// Converts an allocating [`Document`](crate::Document) (reassembles
+    /// its byte form once).
+    pub fn from_document(doc: &crate::Document) -> Self {
+        DocBuf::from_bytes(doc.to_bytes())
+    }
+
+    /// The raw byte form, borrowed — no reassembly, no copy.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.inner.bytes
+    }
+
+    /// Total size of the byte form, including newlines.
+    pub fn byte_len(&self) -> usize {
+        self.inner.bytes.len()
+    }
+
+    /// Number of lines.
+    pub fn line_count(&self) -> usize {
+        self.inner.line_starts.len() - 1
+    }
+
+    /// Whether the document has no lines at all.
+    pub fn is_empty(&self) -> bool {
+        self.line_count() == 0
+    }
+
+    /// Whether the byte form ends with a trailing newline.
+    pub fn has_trailing_newline(&self) -> bool {
+        self.inner.trailing_newline
+    }
+
+    /// Line `index` (0-based) as a borrowed slice, without its newline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= line_count()`.
+    pub fn line(&self, index: usize) -> &[u8] {
+        let starts = &self.inner.line_starts;
+        let start = starts[index] as usize;
+        let mut end = starts[index + 1] as usize;
+        // All lines but possibly the last are terminated by '\n'.
+        if end > start && self.inner.bytes[end - 1] == b'\n' {
+            end -= 1;
+        }
+        &self.inner.bytes[start..end]
+    }
+
+}
+
+impl Default for DocBuf {
+    fn default() -> Self {
+        DocBuf::new()
+    }
+}
+
+impl fmt::Debug for DocBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DocBuf")
+            .field("bytes", &self.byte_len())
+            .field("lines", &self.line_count())
+            .field("trailing_newline", &self.has_trailing_newline())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_round_trip() {
+        let doc = DocBuf::from_bytes(Vec::new());
+        assert!(doc.is_empty());
+        assert_eq!(doc.line_count(), 0);
+        assert_eq!(doc.as_bytes(), b"");
+        assert!(!doc.has_trailing_newline());
+    }
+
+    #[test]
+    fn matches_document_semantics() {
+        for text in [
+            &b""[..],
+            b"x",
+            b"x\n",
+            b"a\nbb\nccc",
+            b"a\nbb\nccc\n",
+            b"\n",
+            b"a\n\n\nb\n",
+            &[0xff, 0xfe, b'\n', 0x00][..],
+        ] {
+            let doc = Document::from_bytes(text.to_vec());
+            let buf = DocBuf::from_bytes(text.to_vec());
+            assert_eq!(buf.line_count(), doc.line_count(), "text {text:?}");
+            assert_eq!(
+                buf.has_trailing_newline(),
+                doc.has_trailing_newline(),
+                "text {text:?}"
+            );
+            assert_eq!(buf.byte_len(), doc.byte_len(), "text {text:?}");
+            for i in 0..doc.line_count() {
+                assert_eq!(buf.line(i), doc.lines()[i].as_bytes(), "text {text:?} line {i}");
+            }
+            assert_eq!(buf.to_document(), doc, "text {text:?}");
+            assert_eq!(buf.as_bytes(), text, "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn clone_shares_the_buffer() {
+        let a = DocBuf::from_text("one\ntwo\n");
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_bytes(), b.as_bytes()));
+    }
+
+    #[test]
+    fn last_line_without_trailing_newline() {
+        let buf = DocBuf::from_bytes(b"a\nbb\nccc".to_vec());
+        assert_eq!(buf.line_count(), 3);
+        assert_eq!(buf.line(2), b"ccc");
+        assert!(!buf.has_trailing_newline());
+    }
+}

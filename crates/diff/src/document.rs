@@ -14,14 +14,26 @@ impl Line {
     ///
     /// # Panics
     ///
-    /// Panics (in debug builds) if `bytes` contains an embedded newline;
-    /// such input would corrupt the line structure of a document.
+    /// Panics — in **all** build profiles — if `bytes` contains an embedded
+    /// newline. Such input would silently corrupt the line structure of a
+    /// document (a release build used to accept it and desynchronize every
+    /// line index downstream); use [`Line::try_new`] for fallible input.
     pub fn new(bytes: Vec<u8>) -> Self {
-        debug_assert!(
+        assert!(
             !bytes.contains(&b'\n'),
             "a Line must not contain an embedded newline"
         );
         Line(bytes)
+    }
+
+    /// Creates a line from raw bytes, rejecting embedded newlines instead
+    /// of panicking. Returns the offending input on failure.
+    pub fn try_new(bytes: Vec<u8>) -> Result<Self, Vec<u8>> {
+        if bytes.contains(&b'\n') {
+            Err(bytes)
+        } else {
+            Ok(Line(bytes))
+        }
     }
 
     /// The line's bytes, excluding any newline.
@@ -261,6 +273,23 @@ mod tests {
     fn non_utf8_content_preserved() {
         let doc = Document::from_bytes(vec![0xff, 0xfe, b'\n', 0x00]);
         assert_eq!(doc.to_bytes(), vec![0xff, 0xfe, b'\n', 0x00]);
+    }
+
+    #[test]
+    #[should_panic(expected = "embedded newline")]
+    fn embedded_newline_rejected_in_every_profile() {
+        // `assert!`, not `debug_assert!`: the same code path runs in
+        // release builds, so this panic is profile-independent.
+        let _ = Line::new(b"a\nb".to_vec());
+    }
+
+    #[test]
+    fn try_new_rejects_embedded_newline() {
+        assert_eq!(Line::try_new(b"a\nb".to_vec()), Err(b"a\nb".to_vec()));
+        assert_eq!(
+            Line::try_new(b"clean".to_vec()).unwrap().as_bytes(),
+            b"clean"
+        );
     }
 
     #[test]

@@ -367,7 +367,7 @@ impl EdScript {
     }
 }
 
-fn decimal_len(mut n: usize) -> usize {
+pub(crate) fn decimal_len(mut n: usize) -> usize {
     let mut d = 1;
     while n >= 10 {
         n /= 10;
@@ -376,7 +376,7 @@ fn decimal_len(mut n: usize) -> usize {
     d
 }
 
-fn addr_len(from: usize, to: usize) -> usize {
+pub(crate) fn addr_len(from: usize, to: usize) -> usize {
     if from == to {
         decimal_len(from)
     } else {

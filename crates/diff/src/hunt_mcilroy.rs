@@ -9,6 +9,7 @@
 //! program and data text. Memory is `O(R + N)`.
 
 use crate::algorithm::Match;
+use crate::scratch::{Candidate as ScratchCandidate, DiffScratch};
 
 /// One k-candidate in McIlroy's formulation: a matching pair that extends a
 /// common subsequence of length `k`, linked to the best candidate of length
@@ -110,6 +111,107 @@ pub fn lcs_matches(a: &[u32], b: &[u32]) -> Vec<Match> {
     out
 }
 
+/// Scratch-backed variant of [`lcs_matches`]: reads the symbol windows
+/// from `scratch.old_syms` / `scratch.new_syms` and leaves the matches in
+/// `scratch.matches`, reusing the occurrence lists (CSR layout), the
+/// threshold/link vectors, and the candidate arena across calls — zero
+/// heap allocation once the buffers are warm.
+///
+/// Same algorithm, same output, as the allocating entry point: results
+/// depend only on the equality structure of the symbol sequences.
+pub(crate) fn lcs_matches_scratch(scratch: &mut DiffScratch) {
+    let DiffScratch {
+        old_syms,
+        new_syms,
+        occ_starts,
+        occ_fill,
+        occ_items,
+        thresh,
+        link,
+        arena,
+        matches,
+        ..
+    } = scratch;
+    matches.clear();
+    let a: &[u32] = old_syms;
+    let b: &[u32] = new_syms;
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+
+    // Symbols are dense (the interner hands them out contiguously), so a
+    // counting sort of `b`'s positions into a CSR layout replaces the
+    // legacy `Vec<Vec<usize>>` occurrence lists.
+    let max_sym = a
+        .iter()
+        .chain(b.iter())
+        .copied()
+        .max()
+        .map(|m| m as usize + 1)
+        .unwrap_or(0);
+    occ_starts.clear();
+    occ_starts.resize(max_sym + 1, 0);
+    for &sym in b {
+        occ_starts[sym as usize + 1] += 1;
+    }
+    for i in 1..occ_starts.len() {
+        occ_starts[i] += occ_starts[i - 1];
+    }
+    occ_fill.clear();
+    occ_fill.extend_from_slice(occ_starts);
+    occ_items.clear();
+    occ_items.resize(b.len(), 0);
+    for (j, &sym) in b.iter().enumerate() {
+        occ_items[occ_fill[sym as usize] as usize] = j as u32;
+        occ_fill[sym as usize] += 1;
+    }
+
+    thresh.clear();
+    link.clear();
+    arena.clear();
+
+    for (i, &sym) in a.iter().enumerate() {
+        let lo = occ_starts[sym as usize] as usize;
+        let hi = occ_starts[sym as usize + 1] as usize;
+        for &j in occ_items[lo..hi].iter().rev() {
+            let k = thresh.partition_point(|&t| t < j);
+            if k < thresh.len() && thresh[k] == j {
+                continue; // no improvement: same endpoint already achieved
+            }
+            let prev = if k == 0 { u32::MAX } else { link[k - 1] };
+            arena.push(ScratchCandidate {
+                old_line: i as u32,
+                new_line: j,
+                prev,
+            });
+            let cand = (arena.len() - 1) as u32;
+            if k == thresh.len() {
+                thresh.push(j);
+                link.push(cand);
+            } else {
+                thresh[k] = j;
+                link[k] = cand;
+            }
+        }
+    }
+
+    if let Some(&last) = link.last() {
+        let mut cur = last;
+        loop {
+            let c = arena[cur as usize];
+            matches.push(Match {
+                old_line: c.old_line as usize,
+                new_line: c.new_line as usize,
+            });
+            if c.prev == u32::MAX {
+                break;
+            }
+            cur = c.prev;
+        }
+    }
+    matches.reverse();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +285,26 @@ mod tests {
         let a = vec![7u32; 100];
         let b = vec![7u32; 60];
         assert_eq!(lcs_len(&a, &b), 60);
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_variant() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5C2A);
+        let mut scratch = DiffScratch::new();
+        for _ in 0..200 {
+            let alphabet = rng.gen_range(1..8u32);
+            let n = rng.gen_range(0..40);
+            let m = rng.gen_range(0..40);
+            let a: Vec<u32> = (0..n).map(|_| rng.gen_range(0..alphabet)).collect();
+            let b: Vec<u32> = (0..m).map(|_| rng.gen_range(0..alphabet)).collect();
+            scratch.old_syms.clear();
+            scratch.old_syms.extend_from_slice(&a);
+            scratch.new_syms.clear();
+            scratch.new_syms.extend_from_slice(&b);
+            lcs_matches_scratch(&mut scratch);
+            assert_eq!(scratch.matches, lcs_matches(&a, &b), "a={a:?} b={b:?}");
+        }
     }
 
     #[test]

@@ -22,6 +22,15 @@
 //! reconstruct the new version. Byte-level deltas are expressed as a
 //! [`BlockScript`].
 //!
+//! The hot path is the **zero-copy pipeline**: [`DocBuf`] documents
+//! (one contiguous buffer + line-offset index), [`diff_docs`] with a
+//! reusable [`DiffScratch`], a [`DeltaScript`] whose inserts borrow from
+//! the target buffer, and [`apply_delta`] reconstructing target bytes
+//! straight from `base + script text`. The allocating API ([`diff`],
+//! [`Document`], [`EdScript`]) remains as a compatibility shim, and
+//! [`diff_legacy`] preserves the original pipeline as an equivalence
+//! oracle — both emit byte-identical scripts.
+//!
 //! # Example
 //!
 //! ```
@@ -41,9 +50,13 @@
 #![warn(missing_docs)]
 
 mod algorithm;
+mod docbuf;
 mod document;
 mod edscript;
+mod scratch;
+mod shim;
 mod stats;
+mod zerocopy;
 
 pub mod blockmove;
 pub mod hunt_mcilroy;
@@ -51,6 +64,10 @@ pub mod myers;
 
 pub use algorithm::{diff, matches_to_script, DiffAlgorithm, Match};
 pub use blockmove::{block_diff, BlockOp, BlockScript};
+pub use docbuf::DocBuf;
 pub use document::{Document, Line};
 pub use edscript::{ApplyError, EdCommand, EdScript, ParseError};
+pub use scratch::DiffScratch;
+pub use shim::diff_legacy;
 pub use stats::DiffStats;
+pub use zerocopy::{apply_delta, diff_docs, DeltaError, DeltaScript};

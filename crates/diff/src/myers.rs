@@ -11,6 +11,7 @@
 //! `O(N + M)` regardless of the edit distance.
 
 use crate::algorithm::Match;
+use crate::scratch::DiffScratch;
 
 /// Sentinel priming out-of-range forward diagonals: always loses a `max`.
 const FWD_SENTINEL: i64 = -1;
@@ -43,6 +44,35 @@ pub fn lcs_matches(a: &[u32], b: &[u32]) -> Vec<Match> {
     out
 }
 
+/// Scratch-backed variant of [`lcs_matches`]: reads the symbol windows
+/// from `scratch.old_syms` / `scratch.new_syms`, reuses the frontier
+/// vectors `vf` / `vb` across calls, and leaves the matches in
+/// `scratch.matches` — zero heap allocation once the buffers are warm.
+pub(crate) fn lcs_matches_scratch(scratch: &mut DiffScratch) {
+    let DiffScratch {
+        old_syms,
+        new_syms,
+        vf,
+        vb,
+        matches,
+        ..
+    } = scratch;
+    matches.clear();
+    let a: &[u32] = old_syms;
+    let b: &[u32] = new_syms;
+    let n = a.len() as i64;
+    let m = b.len() as i64;
+    let need = (n + m + 3) as usize;
+    if vf.len() < need {
+        vf.resize(need, 0);
+        vb.resize(need, 0);
+    }
+    solve(a, b, 0, n, 0, m, vf, vb, matches);
+    debug_assert!(matches
+        .windows(2)
+        .all(|w| w[0].old_line < w[1].old_line && w[0].new_line < w[1].new_line));
+}
+
 /// Recursively diffs the box `a[off1..lim1] × b[off2..lim2]`, appending the
 /// matched pairs in order.
 #[allow(clippy::too_many_arguments)]
@@ -66,17 +96,15 @@ fn solve(
         off1 += 1;
         off2 += 1;
     }
-    // Trim the common suffix; emitted after the interior recursion.
-    let mut suffix = Vec::new();
+    // Trim the common suffix; the trimmed pairs sit on one diagonal, so a
+    // count suffices to emit them after the interior recursion — no
+    // per-level buffer.
+    let mut suffix_len: i64 = 0;
     while off1 < lim1 && off2 < lim2 && a[(lim1 - 1) as usize] == b[(lim2 - 1) as usize] {
         lim1 -= 1;
         lim2 -= 1;
-        suffix.push(Match {
-            old_line: lim1 as usize,
-            new_line: lim2 as usize,
-        });
+        suffix_len += 1;
     }
-    suffix.reverse();
 
     // Base cases: one side exhausted means pure insert/delete — no matches.
     if off1 < lim1 && off2 < lim2 {
@@ -89,7 +117,12 @@ fn solve(
         // which still yields a correct (just non-minimal) script.
     }
 
-    out.extend(suffix);
+    for t in 0..suffix_len {
+        out.push(Match {
+            old_line: (lim1 + t) as usize,
+            new_line: (lim2 + t) as usize,
+        });
+    }
 }
 
 /// Finds a point `(x, y)` on an optimal edit path through the box, strictly
@@ -275,6 +308,26 @@ mod tests {
     fn heavy_repetition() {
         assert_valid(&[7; 50], &[7; 30]);
         assert_valid(&[1, 7, 1, 7, 1], &[7, 1, 7, 1, 7]);
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_variant() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x3E25);
+        let mut scratch = DiffScratch::new();
+        for _ in 0..200 {
+            let alphabet = rng.gen_range(1..6u32);
+            let n = rng.gen_range(0..32);
+            let m = rng.gen_range(0..32);
+            let a: Vec<u32> = (0..n).map(|_| rng.gen_range(0..alphabet)).collect();
+            let b: Vec<u32> = (0..m).map(|_| rng.gen_range(0..alphabet)).collect();
+            scratch.old_syms.clear();
+            scratch.old_syms.extend_from_slice(&a);
+            scratch.new_syms.clear();
+            scratch.new_syms.extend_from_slice(&b);
+            lcs_matches_scratch(&mut scratch);
+            assert_eq!(scratch.matches, lcs_matches(&a, &b), "a={a:?} b={b:?}");
+        }
     }
 
     #[test]

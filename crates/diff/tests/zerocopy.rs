@@ -1,0 +1,130 @@
+//! Equivalence properties: the zero-copy pipeline and the legacy
+//! allocating pipeline are interchangeable — byte-identical ed-scripts,
+//! identical applied results — over random byte documents, including the
+//! degenerate shapes (empty files, missing trailing newline, all lines
+//! equal).
+
+use proptest::prelude::*;
+use shadow_diff::{
+    apply_delta, diff_docs, diff_legacy, DiffAlgorithm, DiffScratch, DocBuf, Document, EdScript,
+};
+
+const ALGOS: [DiffAlgorithm; 2] = [DiffAlgorithm::HuntMcIlroy, DiffAlgorithm::Myers];
+
+/// Raw document bytes drawn from a small line alphabet (to force repeated
+/// lines, the hard case for LCS) plus arbitrary bytes occasionally, with
+/// the trailing newline toggled independently.
+fn arb_doc_bytes() -> impl Strategy<Value = Vec<u8>> {
+    let line = prop_oneof![
+        4 => prop::sample::select(vec!["alpha", "beta", "gamma", "x", ""]).prop_map(str::to_string),
+        1 => "[a-z .]{0,12}".prop_map(|s| s),
+        1 => Just(".".to_string()),
+        1 => Just("..".to_string()),
+    ];
+    (prop::collection::vec(line, 0..40), any::<bool>()).prop_map(|(lines, trailing)| {
+        let mut text = lines.join("\n");
+        if trailing && !text.is_empty() {
+            text.push('\n');
+        }
+        text.into_bytes()
+    })
+}
+
+/// All-lines-equal documents: the interner collapses everything to one
+/// symbol and Hunt–McIlroy sees maximal occurrence lists.
+fn arb_uniform_doc_bytes() -> impl Strategy<Value = Vec<u8>> {
+    (0usize..30, any::<bool>()).prop_map(|(n, trailing)| {
+        let mut text = vec!["same"; n].join("\n");
+        if trailing && !text.is_empty() {
+            text.push('\n');
+        }
+        text.into_bytes()
+    })
+}
+
+fn assert_pipelines_agree(old_bytes: &[u8], new_bytes: &[u8]) -> Result<(), TestCaseError> {
+    let old_doc = Document::from_bytes(old_bytes.to_vec());
+    let new_doc = Document::from_bytes(new_bytes.to_vec());
+    let old_buf = DocBuf::from_bytes(old_bytes.to_vec());
+    let new_buf = DocBuf::from_bytes(new_bytes.to_vec());
+    let mut scratch = DiffScratch::new();
+
+    for algo in ALGOS {
+        let legacy = diff_legacy(algo, &old_doc, &new_doc);
+        let legacy_text = legacy.to_text();
+        let delta = diff_docs(algo, &old_buf, &new_buf, &mut scratch);
+        let delta_text = delta.to_text();
+
+        // Byte-identical ed-scripts…
+        prop_assert_eq!(
+            &delta_text,
+            &legacy_text,
+            "script text diverged (algo={})",
+            algo
+        );
+        prop_assert_eq!(delta.wire_len(), legacy.wire_len());
+        prop_assert_eq!(delta.stats(), legacy.stats());
+        prop_assert_eq!(&delta.to_ed_script(), &legacy);
+
+        // …and identical applied results, through both apply engines.
+        let legacy_applied = legacy.apply(&old_doc).unwrap().to_bytes();
+        prop_assert_eq!(&legacy_applied, &new_bytes.to_vec());
+        let zero_applied = apply_delta(old_bytes, &delta_text).unwrap();
+        prop_assert_eq!(&zero_applied, &new_bytes.to_vec());
+
+        // The textual forms stay parseable by the legacy parser.
+        prop_assert_eq!(&EdScript::parse(&delta_text).unwrap(), &legacy);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pipelines_agree_on_random_documents(
+        old in arb_doc_bytes(),
+        new in arb_doc_bytes(),
+    ) {
+        assert_pipelines_agree(&old, &new)?;
+    }
+
+    #[test]
+    fn pipelines_agree_on_uniform_documents(
+        old in arb_uniform_doc_bytes(),
+        new in arb_uniform_doc_bytes(),
+    ) {
+        assert_pipelines_agree(&old, &new)?;
+    }
+
+    #[test]
+    fn pipelines_agree_against_empty(
+        doc in arb_doc_bytes(),
+        empty_side in any::<bool>(),
+    ) {
+        if empty_side {
+            assert_pipelines_agree(&[], &doc)?;
+        } else {
+            assert_pipelines_agree(&doc, &[])?;
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_never_changes_output(
+        pairs in prop::collection::vec((arb_doc_bytes(), arb_doc_bytes()), 1..6),
+    ) {
+        // One scratch across a whole sequence of diffs of varying sizes
+        // must behave exactly like a fresh scratch per diff.
+        let mut shared = DiffScratch::new();
+        for (old, new) in &pairs {
+            let old_buf = DocBuf::from_bytes(old.clone());
+            let new_buf = DocBuf::from_bytes(new.clone());
+            for algo in ALGOS {
+                let mut fresh = DiffScratch::new();
+                let a = diff_docs(algo, &old_buf, &new_buf, &mut shared).to_text();
+                let b = diff_docs(algo, &old_buf, &new_buf, &mut fresh).to_text();
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

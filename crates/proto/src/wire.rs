@@ -64,13 +64,29 @@ pub struct Frame;
 impl Frame {
     /// Encodes a message as one complete frame.
     pub fn encode<M: WireEncode>(msg: &M) -> Vec<u8> {
-        let mut body = BytesMut::with_capacity(64);
-        msg.encode_body(&mut body);
-        debug_assert!(body.len() <= MAX_FRAME_LEN, "oversized frame produced");
-        let mut out = Vec::with_capacity(4 + body.len());
-        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        out.extend_from_slice(&body);
+        let mut out = Vec::with_capacity(64);
+        Frame::encode_into(msg, &mut out);
         out
+    }
+
+    /// Encodes a message as one complete frame appended to `out`.
+    ///
+    /// The body is serialized directly into `out` after a four-byte
+    /// length placeholder that is patched afterwards — no intermediate
+    /// body buffer, no copy. Batching transports can encode many frames
+    /// into one send buffer this way.
+    pub fn encode_into<M: WireEncode>(msg: &M, out: &mut Vec<u8>) {
+        let start = out.len();
+        let mut buf = BytesMut::from(std::mem::take(out));
+        buf.put_u32_le(0); // length placeholder, patched below
+        msg.encode_body(&mut buf);
+        let mut bytes = Vec::from(buf);
+        let body_len = bytes.len() - start - 4;
+        debug_assert!(body_len <= MAX_FRAME_LEN, "oversized frame produced");
+        if let Some(header) = bytes.get_mut(start..).and_then(|s| s.first_chunk_mut::<4>()) {
+            *header = (body_len as u32).to_le_bytes();
+        }
+        *out = bytes;
     }
 
     /// Attempts to decode one frame from the front of `input`.
@@ -651,6 +667,28 @@ mod tests {
         let (decoded, used) = Frame::decode::<ServerMessage>(&bytes).unwrap().unwrap();
         assert_eq!(decoded, msg);
         assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn encode_into_appends_and_matches_encode() {
+        let a = ClientMessage::Bye;
+        let b = ClientMessage::Hello {
+            domain: DomainId::new(9),
+            host: HostName::new("ws9"),
+            protocol: crate::PROTOCOL_VERSION,
+        };
+        let mut batch = Vec::new();
+        Frame::encode_into(&a, &mut batch);
+        Frame::encode_into(&b, &mut batch);
+        let mut expected = Frame::encode(&a);
+        expected.extend_from_slice(&Frame::encode(&b));
+        assert_eq!(batch, expected);
+        // Both frames decode back out of the shared buffer.
+        let (first, used) = Frame::decode::<ClientMessage>(&batch).unwrap().unwrap();
+        assert_eq!(first, a);
+        let (second, used2) = Frame::decode::<ClientMessage>(&batch[used..]).unwrap().unwrap();
+        assert_eq!(second, b);
+        assert_eq!(used + used2, batch.len());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::fmt;
 use bytes::Bytes;
 use shadow_cache::ShadowStore;
 use shadow_compress::{Codec, Lzss, Rle};
-use shadow_diff::{diff, DiffAlgorithm, Document, EdScript};
+use shadow_diff::{apply_delta, diff_docs, DeltaError, DiffAlgorithm, DiffScratch, DocBuf};
 use shadow_proto::{
     ClientMessage, ContentDigest, DomainId, FileId, FileKey, HostName, JobId, JobStats,
     JobStatus, JobStatusEntry, OutputPayload, ServerMessage, SubmitOptions, TransferEncoding,
@@ -120,6 +120,10 @@ pub struct ServerNode {
     jobs: JobTable,
     next_job: u64,
     outputs: OutputShadowStore,
+    /// Reusable diff working memory for reverse-shadow output deltas;
+    /// steady-state re-runs of the same job diff with zero allocation.
+    /// (Cloning a server starts with a fresh scratch.)
+    diff_scratch: DiffScratch,
     metrics: ServerMetrics,
     #[cfg(any(test, feature = "check-faults"))]
     faults: FaultInjection,
@@ -143,6 +147,7 @@ impl ServerNode {
             jobs: JobTable::default(),
             next_job: 0,
             outputs,
+            diff_scratch: DiffScratch::new(),
             metrics: ServerMetrics::default(),
             #[cfg(any(test, feature = "check-faults"))]
             faults: FaultInjection::default(),
@@ -534,14 +539,14 @@ impl ServerNode {
                 self.metrics.delta_updates += 1;
                 match self.cache.get(&key) {
                     Some(entry) if trust_bookkeeping || entry.version == *base => {
-                        let base_doc = Document::from_bytes(entry.content.clone());
+                        // One pass over (base bytes, script text) straight
+                        // to the new content — no base clone, no line
+                        // vectors, no parsed-script allocation.
                         Self::decode_payload(*encoding, data).and_then(|script_text| {
-                            let script = EdScript::parse(&script_text)
-                                .map_err(|_| "edit script parse failed")?;
-                            let doc = script
-                                .apply(&base_doc)
-                                .map_err(|_| "edit script apply failed")?;
-                            Ok(doc.to_bytes())
+                            apply_delta(&entry.content, &script_text).map_err(|e| match e {
+                                DeltaError::Parse(_) => "edit script parse failed",
+                                DeltaError::Apply(_) => "edit script apply failed",
+                            })
                         })
                     }
                     Some(_) => Err("delta base version not cached"),
@@ -805,6 +810,11 @@ impl ServerNode {
         };
         self.metrics.jobs_completed += 1;
 
+        // Index the output once; the reverse-shadow diff, the cache
+        // record, the payload, and the digest all share this one buffer
+        // (DocBuf clones are O(1)).
+        let output_buf = DocBuf::from_bytes(outcome.output);
+
         let job = self.jobs.get(id).expect("job exists");
         let stats = JobStats {
             queued_ms: job
@@ -816,51 +826,52 @@ impl ServerNode {
                 .unwrap_or(now_ms)
                 .saturating_sub(job.submitted_at_ms),
             running_ms: now_ms.saturating_sub(job.started_at_ms.unwrap_or(now_ms)),
-            output_bytes: outcome.output.len() as u64,
+            output_bytes: output_buf.byte_len() as u64,
             exit_code: outcome.exit_code,
         };
 
-        // Reverse shadow processing (§8.3).
+        // Reverse shadow processing (§8.3): diff the pre-indexed cached
+        // base against the fresh output, reusing the server's scratch.
         let domain = job.domain;
         let job_file = job.job_file.0;
         let shadow_output = job.options.shadow_output && outcome.exit_code == 0;
         let output_payload = if shadow_output {
             match self.outputs.base_for(domain, job_file) {
                 Some((base_job, base_output)) => {
-                    let script = diff(
+                    let script = diff_docs(
                         DiffAlgorithm::HuntMcIlroy,
-                        &Document::from_bytes(base_output.to_vec()),
-                        &Document::from_bytes(outcome.output.clone()),
+                        base_output,
+                        &output_buf,
+                        &mut self.diff_scratch,
                     );
-                    if script.wire_len() < outcome.output.len() {
+                    if script.wire_len() < output_buf.byte_len() {
                         self.metrics.output_deltas += 1;
                         OutputPayload::Delta {
                             base_job,
                             encoding: TransferEncoding::Identity,
                             data: Bytes::from(script.to_text()),
-                            digest: ContentDigest::of(&outcome.output),
+                            digest: ContentDigest::of(output_buf.as_bytes()),
                         }
                     } else {
                         OutputPayload::Full {
                             encoding: TransferEncoding::Identity,
-                            data: Bytes::from(outcome.output.clone()),
+                            data: Bytes::from(output_buf.as_bytes().to_vec()),
                         }
                     }
                 }
                 None => OutputPayload::Full {
                     encoding: TransferEncoding::Identity,
-                    data: Bytes::from(outcome.output.clone()),
+                    data: Bytes::from(output_buf.as_bytes().to_vec()),
                 },
             }
         } else {
             OutputPayload::Full {
                 encoding: TransferEncoding::Identity,
-                data: Bytes::from(outcome.output.clone()),
+                data: Bytes::from(output_buf.as_bytes().to_vec()),
             }
         };
         if shadow_output {
-            self.outputs
-                .record(domain, job_file, id, outcome.output.clone());
+            self.outputs.record(domain, job_file, id, output_buf);
         }
 
         // Output routing (§8.3): deliver to the requested host when it has
@@ -896,6 +907,7 @@ impl ServerNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use shadow_diff::{diff, Document};
     use crate::action::ServerEvent;
 
     const NOW: u64 = 1_000;

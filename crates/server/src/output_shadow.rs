@@ -13,12 +13,16 @@
 
 use std::collections::HashMap;
 
+use shadow_diff::DocBuf;
 use shadow_proto::{DomainId, FileId, JobId};
 
 #[derive(Debug, Clone)]
 struct OutputEntry {
     job: JobId,
-    output: Vec<u8>,
+    /// Cached output as a [`DocBuf`]: the line index is built once at
+    /// record time, so every later reverse-shadow diff against this base
+    /// starts from pre-indexed lines, and handing the entry out is O(1).
+    output: DocBuf,
     acked: bool,
     inserted: u64,
 }
@@ -52,15 +56,15 @@ impl OutputShadowStore {
     /// Records the latest output for a job command file. Oversized outputs
     /// are simply not cached (best effort). Older entries are evicted FIFO
     /// to fit.
-    pub fn record(&mut self, domain: DomainId, job_file: FileId, job: JobId, output: Vec<u8>) {
+    pub fn record(&mut self, domain: DomainId, job_file: FileId, job: JobId, output: DocBuf) {
         self.clock += 1;
         if let Some(old) = self.entries.remove(&(domain, job_file)) {
-            self.used -= old.output.len();
+            self.used -= old.output.byte_len();
         }
-        if output.len() > self.budget {
+        if output.byte_len() > self.budget {
             return;
         }
-        while self.used + output.len() > self.budget {
+        while self.used + output.byte_len() > self.budget {
             let victim = self
                 .entries
                 .iter()
@@ -68,9 +72,9 @@ impl OutputShadowStore {
                 .map(|(k, _)| *k)
                 .expect("used > 0 implies entries exist");
             let e = self.entries.remove(&victim).expect("victim exists");
-            self.used -= e.output.len();
+            self.used -= e.output.byte_len();
         }
-        self.used += output.len();
+        self.used += output.byte_len();
         self.entries.insert(
             (domain, job_file),
             OutputEntry {
@@ -83,10 +87,12 @@ impl OutputShadowStore {
     }
 
     /// The acknowledged previous output usable as a delta base, if any.
-    pub fn base_for(&self, domain: DomainId, job_file: FileId) -> Option<(JobId, &[u8])> {
+    /// The returned [`DocBuf`] carries the line index built at record
+    /// time, ready for [`shadow_diff::diff_docs`].
+    pub fn base_for(&self, domain: DomainId, job_file: FileId) -> Option<(JobId, &DocBuf)> {
         let e = self.entries.get(&(domain, job_file))?;
         if e.acked {
-            Some((e.job, e.output.as_slice()))
+            Some((e.job, &e.output))
         } else {
             None
         }
@@ -124,7 +130,7 @@ impl OutputShadowStore {
                 (
                     *k,
                     e.job,
-                    shadow_proto::ContentDigest::of(&e.output).as_u64(),
+                    shadow_proto::ContentDigest::of(e.output.as_bytes()).as_u64(),
                     e.acked,
                 )
             })
@@ -148,20 +154,20 @@ mod tests {
     #[test]
     fn unacked_output_is_not_a_base() {
         let mut s = OutputShadowStore::new(1000);
-        s.record(d(), FileId::new(1), JobId::new(10), b"out".to_vec());
+        s.record(d(), FileId::new(1), JobId::new(10), DocBuf::from_bytes(b"out".to_vec()));
         assert!(s.base_for(d(), FileId::new(1)).is_none());
         s.mark_acked(JobId::new(10));
         let (job, out) = s.base_for(d(), FileId::new(1)).unwrap();
         assert_eq!(job, JobId::new(10));
-        assert_eq!(out, b"out");
+        assert_eq!(out.as_bytes(), b"out");
     }
 
     #[test]
     fn new_run_replaces_old_output() {
         let mut s = OutputShadowStore::new(1000);
-        s.record(d(), FileId::new(1), JobId::new(10), vec![0; 100]);
+        s.record(d(), FileId::new(1), JobId::new(10), DocBuf::from_bytes(vec![0; 100]));
         s.mark_acked(JobId::new(10));
-        s.record(d(), FileId::new(1), JobId::new(11), vec![1; 50]);
+        s.record(d(), FileId::new(1), JobId::new(11), DocBuf::from_bytes(vec![1; 50]));
         assert_eq!(s.used_bytes(), 50);
         // The replacement is not acked yet.
         assert!(s.base_for(d(), FileId::new(1)).is_none());
@@ -170,7 +176,7 @@ mod tests {
     #[test]
     fn oversized_output_not_cached() {
         let mut s = OutputShadowStore::new(10);
-        s.record(d(), FileId::new(1), JobId::new(1), vec![0; 100]);
+        s.record(d(), FileId::new(1), JobId::new(1), DocBuf::from_bytes(vec![0; 100]));
         assert!(s.is_empty());
         assert_eq!(s.used_bytes(), 0);
     }
@@ -178,8 +184,8 @@ mod tests {
     #[test]
     fn budget_enforced_by_fifo_eviction() {
         let mut s = OutputShadowStore::new(100);
-        s.record(d(), FileId::new(1), JobId::new(1), vec![0; 60]);
-        s.record(d(), FileId::new(2), JobId::new(2), vec![0; 60]);
+        s.record(d(), FileId::new(1), JobId::new(1), DocBuf::from_bytes(vec![0; 60]));
+        s.record(d(), FileId::new(2), JobId::new(2), DocBuf::from_bytes(vec![0; 60]));
         assert_eq!(s.len(), 1);
         assert!(s.used_bytes() <= 100);
         assert!(s.entries.contains_key(&(d(), FileId::new(2))));
@@ -188,8 +194,8 @@ mod tests {
     #[test]
     fn stale_ack_does_not_resurrect_replaced_output() {
         let mut s = OutputShadowStore::new(1000);
-        s.record(d(), FileId::new(1), JobId::new(10), b"old".to_vec());
-        s.record(d(), FileId::new(1), JobId::new(11), b"new".to_vec());
+        s.record(d(), FileId::new(1), JobId::new(10), DocBuf::from_bytes(b"old".to_vec()));
+        s.record(d(), FileId::new(1), JobId::new(11), DocBuf::from_bytes(b"new".to_vec()));
         s.mark_acked(JobId::new(10)); // ack for the replaced output
         assert!(s.base_for(d(), FileId::new(1)).is_none());
         s.mark_acked(JobId::new(11));

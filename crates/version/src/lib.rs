@@ -41,16 +41,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 
-use shadow_diff::{diff, DiffAlgorithm, Document, EdScript};
+use shadow_diff::{diff_docs, DiffAlgorithm, DiffScratch, DiffStats, DocBuf, EdScript};
 use shadow_proto::{ContentDigest, FileId, VersionNumber};
 
 /// Per-file version chain.
 #[derive(Debug, Clone, Default)]
 struct FileVersions {
-    /// Retained contents by version; always contains the latest.
-    versions: BTreeMap<VersionNumber, Vec<u8>>,
+    /// Retained contents by version; always contains the latest. Each
+    /// version is a [`DocBuf`]: the line index is built once at record
+    /// time and shared (O(1) clone) with every delta computed against it.
+    versions: BTreeMap<VersionNumber, DocBuf>,
     latest: Option<VersionNumber>,
     /// Highest version the server has acknowledged caching.
     acked: Option<VersionNumber>,
@@ -90,6 +93,10 @@ pub struct VersionStore {
     /// Number of versions *older than the latest* retained per file.
     retention_limit: usize,
     algorithm: DiffAlgorithm,
+    /// Reusable diff working memory: steady-state delta computation does
+    /// no heap allocation. `RefCell` because deltas are conceptually a
+    /// read (`&self`); cloning a store starts with a fresh scratch.
+    scratch: RefCell<DiffScratch>,
 }
 
 impl VersionStore {
@@ -101,6 +108,7 @@ impl VersionStore {
             files: HashMap::new(),
             retention_limit,
             algorithm: DiffAlgorithm::default(),
+            scratch: RefCell::new(DiffScratch::new()),
         }
     }
 
@@ -124,7 +132,7 @@ impl VersionStore {
     pub fn record_edit(&mut self, file: FileId, content: Vec<u8>) -> VersionNumber {
         let entry = self.files.entry(file).or_default();
         if let Some(latest) = entry.latest {
-            if entry.versions[&latest] == content {
+            if entry.versions[&latest].as_bytes() == content.as_slice() {
                 return latest;
             }
         }
@@ -132,7 +140,7 @@ impl VersionStore {
             .latest
             .map(VersionNumber::next)
             .unwrap_or(VersionNumber::FIRST);
-        entry.versions.insert(next, content);
+        entry.versions.insert(next, DocBuf::from_bytes(content));
         entry.latest = Some(next);
         Self::prune(entry, self.retention_limit);
         next
@@ -159,7 +167,7 @@ impl VersionStore {
                 return Err(latest);
             }
         }
-        entry.versions.insert(version, content);
+        entry.versions.insert(version, DocBuf::from_bytes(content));
         entry.latest = Some(version);
         Self::prune(entry, self.retention_limit);
         Ok(())
@@ -171,7 +179,7 @@ impl VersionStore {
         self.files
             .get(&file)
             .into_iter()
-            .flat_map(|f| f.versions.iter().map(|(v, c)| (*v, c.as_slice())))
+            .flat_map(|f| f.versions.iter().map(|(v, c)| (*v, c.as_bytes())))
     }
 
     /// The files tracked by this store.
@@ -183,7 +191,7 @@ impl VersionStore {
     pub fn latest(&self, file: FileId) -> Option<(VersionNumber, &[u8])> {
         let entry = self.files.get(&file)?;
         let latest = entry.latest?;
-        Some((latest, entry.versions[&latest].as_slice()))
+        Some((latest, entry.versions[&latest].as_bytes()))
     }
 
     /// The digest of the latest content.
@@ -197,7 +205,7 @@ impl VersionStore {
             .get(&file)?
             .versions
             .get(&version)
-            .map(Vec::as_slice)
+            .map(DocBuf::as_bytes)
     }
 
     /// Computes the delta from `base` to the latest version.
@@ -208,14 +216,42 @@ impl VersionStore {
     pub fn delta_from(&self, file: FileId, base: VersionNumber) -> Option<(VersionNumber, EdScript)> {
         let entry = self.files.get(&file)?;
         let latest = entry.latest?;
-        let base_content = entry.versions.get(&base)?;
-        let latest_content = &entry.versions[&latest];
-        let script = diff(
+        let base_doc = entry.versions.get(&base)?;
+        let latest_doc = &entry.versions[&latest];
+        let script = diff_docs(
             self.algorithm,
-            &Document::from_bytes(base_content.clone()),
-            &Document::from_bytes(latest_content.clone()),
-        );
+            base_doc,
+            latest_doc,
+            &mut self.scratch.borrow_mut(),
+        )
+        .to_ed_script();
         Some((base, script))
+    }
+
+    /// Computes the delta from `base` to the latest version, returning its
+    /// wire (textual) form and statistics directly.
+    ///
+    /// This is the zero-copy submission path: the script text is emitted
+    /// straight from the retained version buffers through the store's
+    /// reusable [`DiffScratch`] — no per-line allocation, no intermediate
+    /// [`EdScript`]. Returns `None` when the base (or the file) is not
+    /// retained, as for [`delta_from`](Self::delta_from).
+    pub fn delta_text_from(
+        &self,
+        file: FileId,
+        base: VersionNumber,
+    ) -> Option<(VersionNumber, Vec<u8>, DiffStats)> {
+        let entry = self.files.get(&file)?;
+        let latest = entry.latest?;
+        let base_doc = entry.versions.get(&base)?;
+        let latest_doc = &entry.versions[&latest];
+        let delta = diff_docs(
+            self.algorithm,
+            base_doc,
+            latest_doc,
+            &mut self.scratch.borrow_mut(),
+        );
+        Some((base, delta.to_text(), delta.stats()))
     }
 
     /// Notes that the server has durably cached `version`; versions older
@@ -262,7 +298,7 @@ impl VersionStore {
         };
         for f in self.files.values() {
             s.versions += f.versions.len();
-            s.bytes += f.versions.values().map(Vec::len).sum::<usize>();
+            s.bytes += f.versions.values().map(DocBuf::byte_len).sum::<usize>();
         }
         s
     }
@@ -280,7 +316,7 @@ impl VersionStore {
             let entry = &self.files[&file];
             (file, entry.latest, entry.acked).hash(&mut h);
             for (v, content) in &entry.versions {
-                (*v, ContentDigest::of(content).as_u64()).hash(&mut h);
+                (*v, ContentDigest::of(content.as_bytes()).as_u64()).hash(&mut h);
             }
         }
         h.finish()
@@ -316,6 +352,7 @@ impl VersionStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use shadow_diff::Document;
 
     fn f(n: u64) -> FileId {
         FileId::new(n)
@@ -491,6 +528,21 @@ mod tests {
         s.record_edit(f(1), vec![1; 20]);
         assert_eq!(s.stats().bytes, 30);
         assert_eq!(s.stats().versions, 2);
+    }
+
+    #[test]
+    fn delta_text_matches_script_text() {
+        let mut s = VersionStore::new(4);
+        let v1 = s.record_edit(f(1), b"one\ntwo\nthree\n".to_vec());
+        s.record_edit(f(1), b"one\n2\nthree\nfour\n".to_vec());
+        let (_, script) = s.delta_from(f(1), v1).unwrap();
+        let (base, text, stats) = s.delta_text_from(f(1), v1).unwrap();
+        assert_eq!(base, v1);
+        assert_eq!(text, script.to_text());
+        assert_eq!(stats, script.stats());
+        let rebuilt = shadow_diff::apply_delta(b"one\ntwo\nthree\n", &text).unwrap();
+        assert_eq!(rebuilt, b"one\n2\nthree\nfour\n");
+        assert!(s.delta_text_from(f(9), v1).is_none());
     }
 
     #[test]

@@ -37,3 +37,10 @@ bench-quick:
 # The full-size benchmark suite (slow; same JSON exports).
 bench:
     cargo bench
+
+# Diff pipeline micro rows + regression guard: re-exports BENCH_micro.json
+# (quick parameters) and fails when any diff/apply row is more than 2x
+# slower than the committed BENCH_baseline_diff.json.
+bench-diff:
+    SHADOW_BENCH_QUICK=1 cargo bench -p shadow-bench --bench micro
+    cargo run --release -p shadow-bench --bin diff_guard
