@@ -30,6 +30,14 @@
 //!    `myers.rs`) must not call `Line::new(` or `.to_vec()` outside
 //!    `#[cfg(test)]`. The compatibility shim (`crates/diff/src/shim.rs`)
 //!    is the one allowlisted home for the allocating conversions.
+//! 6. **No threading in the protocol state machines.** The sharded
+//!    server runtime works precisely because a `ServerNode` is a pure
+//!    state machine that can be moved onto any worker thread without
+//!    locks; `std::thread`, `Mutex`, and `mpsc` are therefore banned
+//!    from the pure crates (`proto`, `diff`, `compress`, `version`,
+//!    `cache`, `client`, `server`). Concurrency lives only in
+//!    `runtime` (the shard workers), `netsim`, and the deployment
+//!    adapters in `core`.
 
 use std::fmt;
 use std::fs;
@@ -57,6 +65,14 @@ const DIFF_HOT_FILES: &[&str] = &[
 /// The compatibility shim is the one place the allocating conversions
 /// (`DocBuf` → `Document`, `DeltaScript` → `EdScript`) may live.
 const DIFF_HOT_ALLOW: &[&str] = &["crates/diff/src/shim.rs"];
+
+/// Crates that must stay free of threading primitives: these are the
+/// pure state machines the sharded runtime moves freely across worker
+/// threads. `runtime` and `core` are deliberately absent — they own the
+/// threads and channels.
+const THREAD_FREE_CRATES: &[&str] = &[
+    "proto", "diff", "compress", "version", "cache", "client", "server",
+];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -408,6 +424,32 @@ pub fn check_diff_hot_alloc(label: &str, code: &str) -> Vec<Finding> {
     findings
 }
 
+/// Rule 6: threading primitives in a pure protocol crate (input already
+/// comment/string/test-stripped). A `ServerNode`/`ClientNode` that
+/// spawned threads or hid a `Mutex` could no longer be handed whole to
+/// a shard worker; domain-affine sharding depends on these crates
+/// staying single-threaded values.
+pub fn check_thread_purity(label: &str, code: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for token in ["std::thread", "Mutex", "mpsc"] {
+        for line in find_token(code, token) {
+            findings.push(Finding {
+                file: label.to_string(),
+                line,
+                rule: "thread-purity",
+                message: format!(
+                    "`{token}` in a pure protocol crate: state machines \
+                     must stay lock- and thread-free so the sharded \
+                     runtime can own one per worker; concurrency belongs \
+                     in crates/runtime or the deployment adapters"
+                ),
+            });
+        }
+    }
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
 /// Extracts the variant names of `enum <name>` from stripped source.
 pub fn enum_variants(stripped: &str, name: &str) -> Vec<String> {
     let header = format!("enum {name}");
@@ -613,6 +655,19 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         findings.extend(check_diff_hot_alloc(&rel_label(root, &path), &code));
     }
 
+    // Rule 6: the pure protocol crates stay thread-free.
+    for krate in THREAD_FREE_CRATES {
+        let src_dir = root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        rust_files_under(&src_dir, &mut files)?;
+        files.sort();
+        for path in files {
+            let label = rel_label(root, &path);
+            let code = strip_cfg_test(&strip_code(&fs::read_to_string(&path)?));
+            findings.extend(check_thread_purity(&label, &code));
+        }
+    }
+
     // Rule 4: the observability crate never panics outside tests.
     let obs_dir = root.join("crates/obs/src");
     let mut obs_files = Vec::new();
@@ -723,6 +778,25 @@ mod tests {
         // Index expressions are allowed here, unlike in wire decode.
         let ok = "fn f(v: &[u64], i: usize) -> u64 { if i < v.len() { v[i] } else { 0 } }";
         assert!(check_obs_panics("obs.rs", &strip_code(ok)).is_empty());
+    }
+
+    #[test]
+    fn thread_purity_rule_fires_on_threading_primitives() {
+        let bad = "use std::sync::Mutex;\nfn f() { std::thread::spawn(|| {}); }\n";
+        let findings = check_thread_purity("node.rs", &strip_code(bad));
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().all(|f| f.rule == "thread-purity"));
+        // Pure state-machine code — and mentions in comments/strings —
+        // are fine.
+        let ok = "// runs on whatever thread the runtime picks\nfn f(now_ms: u64) {}\n";
+        assert!(check_thread_purity("node.rs", &strip_code(ok)).is_empty());
+        // Test modules may use channels (e.g. scripted harnesses).
+        let test_only =
+            "#[cfg(test)]\nmod tests {\n    use std::sync::mpsc;\n    fn t() {}\n}\n";
+        assert!(
+            check_thread_purity("node.rs", &strip_cfg_test(&strip_code(test_only)))
+                .is_empty()
+        );
     }
 
     #[test]

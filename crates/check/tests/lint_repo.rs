@@ -4,7 +4,8 @@
 use std::path::PathBuf;
 
 use shadow_check::lint::{
-    check_decode_panics, check_wall_clock, lint_workspace, strip_cfg_test, strip_code,
+    check_decode_panics, check_thread_purity, check_wall_clock, lint_workspace, strip_cfg_test,
+    strip_code,
 };
 
 fn repo_root() -> PathBuf {
@@ -67,5 +68,30 @@ fn injected_decode_unwrap_and_indexing_fail() {
     let tainted = format!("{code}\nfn bad(b: &[u8]) -> u8 {{ b.first().copied().unwrap() }}\n");
     let findings = check_decode_panics("wire.rs", &tainted);
     assert_eq!(findings.len(), 1, "unwrap in the decode path must be flagged");
+    assert_eq!(findings[0].line, tainted.lines().count());
+}
+
+/// Introducing a threading primitive into a pure protocol crate is
+/// caught: the sharded runtime depends on `ServerNode` staying a plain
+/// movable value.
+#[test]
+fn injected_thread_primitive_fails() {
+    let clean = std::fs::read_to_string(repo_root().join("crates/server/src/node.rs")).unwrap();
+    let code = strip_cfg_test(&strip_code(&clean));
+    assert!(
+        check_thread_purity("crates/server/src/node.rs", &code).is_empty(),
+        "server/node.rs must be thread-free before injection"
+    );
+    let tainted = format!(
+        "{code}\nfn bad() {{ let _guard = std::sync::Mutex::new(0); \
+         std::thread::spawn(|| {{}}); }}\n"
+    );
+    let findings = check_thread_purity("crates/server/src/node.rs", &tainted);
+    assert_eq!(
+        findings.len(),
+        2,
+        "Mutex and std::thread must each be flagged"
+    );
+    assert!(findings.iter().all(|f| f.rule == "thread-purity"));
     assert_eq!(findings[0].line, tainted.lines().count());
 }

@@ -18,6 +18,10 @@
 //!   the wire.
 //! * [`TcpServerRuntime`] / [`connect_tcp`] — the same again over real
 //!   TCP sockets, the paper's prototype shape.
+//! * [`ShardedLiveSystem`] / [`ShardedTcpServerRuntime`] — the scale-out
+//!   variants of the two wall-clock deployments: N domain-affine worker
+//!   shards (each its own [`ServerNode`]) behind a routing acceptor that
+//!   peeks every new session's `Hello` for its naming domain.
 //! * Re-exports of the full public API of the component crates.
 //!
 //! # Module map
@@ -33,6 +37,10 @@
 //! | `sim`  | discrete-event scheduler + CPU/network cost model | `ClientDriver`, `ServerDriver` (timers become sim events) |
 //! | `live` | threads + in-process pipes | `ClientDriver`, `ServerRuntime` over a channel acceptor |
 //! | `tcpd` | daemon + sockets | `ClientDriver`, `ServerRuntime` over a TCP acceptor |
+//!
+//! The sharded variants reuse the same two acceptors, wrapped in
+//! `shadow-runtime`'s `ShardedServerRuntime` (one `ServerRuntime` per
+//! worker shard, sessions routed by `hash(domain) % N`).
 //!
 //! What remains in each adapter is only what genuinely differs: how
 //! frames move (simulated links, crossbeam pipes, TCP) and how time
@@ -71,14 +79,15 @@ mod sim;
 mod tcpd;
 
 pub use cpu::CpuModel;
-pub use live::{LiveClient, LiveError, LiveSystem};
-pub use tcpd::{connect_tcp, TcpClient, TcpServerRuntime};
+pub use live::{LiveClient, LiveError, LiveSystem, ShardedLiveSystem};
+pub use tcpd::{connect_tcp, ShardedTcpServerRuntime, TcpClient, TcpServerRuntime};
 pub use sim::{ClientId, FinishedJob, ServerId, SimError, Simulation};
 
 pub use shadow_runtime::{
-    Accepted, ClientDriver, ClientOutbound, Clock, CompletedJob, DriverEvent, DriverStats,
-    EventHook, FeedError, FrameInfo, FrameTransport, ServerDriver, ServerIo, ServerOutbound,
-    ServerRuntime, SessionAcceptor, TimerQueue, TransportClosed, VirtualClock, WallClock,
+    shard_for, Accepted, ClientDriver, ClientOutbound, Clock, CompletedJob, DriverEvent,
+    DriverStats, EventHook, FeedError, FrameInfo, FrameTransport, ServerDriver, ServerIo,
+    ServerOutbound, ServerRuntime, SessionAcceptor, ShardedServerRuntime, TimerQueue,
+    TransportClosed, VirtualClock, WallClock,
 };
 
 pub use shadow_cache::{CacheStats, EvictionPolicy, ShadowStore};
@@ -106,7 +115,7 @@ pub use shadow_obs::{
     Section, Snapshot, TraceSink,
 };
 pub use shadow_server::{
-    exec, ConfigError as ServerConfigError, FlowControl, ServerAction, ServerConfig,
+    exec, ConfigError as ServerConfigError, ExecProfile, FlowControl, ServerAction, ServerConfig,
     ServerConfigBuilder, ServerEvent, ServerNode, SessionId,
 };
 pub use shadow_version::{VersionStore, VersionStoreStats};
@@ -128,9 +137,9 @@ pub use shadow_workload::{
 /// [`TcpClient`]), the drivers beneath them, and the unified
 /// [`NodeReport`] stats surface.
 pub mod prelude {
-    pub use crate::live::{LiveClient, LiveSystem};
+    pub use crate::live::{LiveClient, LiveSystem, ShardedLiveSystem};
     pub use crate::sim::{ClientId, FinishedJob, ServerId, Simulation};
-    pub use crate::tcpd::{connect_tcp, TcpClient, TcpServerRuntime};
+    pub use crate::tcpd::{connect_tcp, ShardedTcpServerRuntime, TcpClient, TcpServerRuntime};
     pub use shadow_client::{
         ClientConfig, ClientConfigBuilder, DeltaPolicy, FileRef, ShadowEnv, TransferMode,
     };

@@ -22,9 +22,10 @@ use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use shadow_client::{ClientConfig, ClientError, ConnId, FileRef, Notification};
 use shadow_netsim::pipe::{duplex, PipeEnd};
 use shadow_proto::{JobId, JobStats, RequestId, SubmitOptions, WireError};
+use shadow_obs::NodeReport;
 use shadow_runtime::{
     Accepted, ClientDriver, ClientOutbound, Clock, EventHook, FeedError, FrameTransport,
-    ServerRuntime, SessionAcceptor, WallClock,
+    ServerRuntime, SessionAcceptor, ShardedServerRuntime, WallClock,
 };
 use shadow_server::{ServerConfig, ServerNode};
 
@@ -175,6 +176,127 @@ impl LiveSystem {
             .expect("not yet shut down")
             .join()
             .expect("server thread panicked")
+    }
+
+    /// Starts a **sharded** deployment: `shards` worker threads, each
+    /// owning its own `ServerNode`, behind a routing acceptor thread
+    /// that assigns every session to the shard owning its naming
+    /// domain. See [`ShardedLiveSystem`].
+    pub fn sharded(config: ServerConfig, shards: usize) -> ShardedLiveSystem {
+        ShardedLiveSystem::start(config, shards)
+    }
+}
+
+/// A running sharded shadow server — the scale-out sibling of
+/// [`LiveSystem`].
+///
+/// The acceptor thread runs a
+/// [`ShardedServerRuntime`](shadow_runtime::ShardedServerRuntime) over
+/// the same registrar channel a [`LiveSystem`] uses: each new client
+/// hands over its end of a duplex pipe, the router peeks the `Hello`
+/// frame for the client's domain id, and the session is moved — frames
+/// intact — to the worker shard that owns that domain. Clients are
+/// oblivious: [`LiveClient`] works identically against either system.
+///
+/// # Example
+///
+/// ```
+/// use shadow::{ClientConfig, LiveSystem, ServerConfig, SubmitOptions, FileRef};
+/// use shadow_proto::FileId;
+/// use std::time::Duration;
+///
+/// # fn main() -> Result<(), shadow::LiveError> {
+/// let system = LiveSystem::sharded(ServerConfig::new("superc"), 4);
+/// let mut client = system.connect_client(ClientConfig::new("ws1", 1));
+/// client.wait_ready(Duration::from_secs(2))?;
+///
+/// let job = FileRef::new(FileId::new(1), "ws1:/hello.job");
+/// client.edit_finished(&job, b"echo hello\n".to_vec());
+/// client.submit(&job, &[], SubmitOptions::default())?;
+/// let (_, output, _, _) = client.wait_job(Duration::from_secs(5))?;
+/// assert_eq!(output, b"hello\n");
+/// # drop(client);
+/// # system.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedLiveSystem {
+    handle: Option<JoinHandle<Vec<ServerNode>>>,
+    registrar: Sender<PipeEnd>,
+    reports: Sender<Sender<NodeReport>>,
+}
+
+impl ShardedLiveSystem {
+    /// Starts the router thread and its worker shards.
+    pub fn start(config: ServerConfig, shards: usize) -> Self {
+        let (registrar, reg_rx) = unbounded::<PipeEnd>();
+        let (reports, report_rx) = unbounded::<Sender<NodeReport>>();
+        let handle = std::thread::Builder::new()
+            .name("shadow-shard-router".to_string())
+            .spawn(move || {
+                let mut runtime = ShardedServerRuntime::new(
+                    &config,
+                    shards,
+                    ChannelAcceptor { rx: reg_rx },
+                    WallClock::new(),
+                );
+                loop {
+                    let Ok(busy) = runtime.poll_once();
+                    while let Ok(reply) = report_rx.try_recv() {
+                        let _ = reply.send(runtime.report());
+                    }
+                    // Exit once no new clients can arrive and every
+                    // accepted session has been routed; the shards then
+                    // drain their own sessions and timers.
+                    if runtime.router_idle() {
+                        return runtime.shutdown();
+                    }
+                    if !busy {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            })
+            .expect("spawn shard router thread");
+        ShardedLiveSystem {
+            handle: Some(handle),
+            registrar,
+            reports,
+        }
+    }
+
+    /// Connects a new client: sends the `Hello` immediately. Identical
+    /// to [`LiveSystem::connect_client`]; the sharding is invisible to
+    /// the client.
+    pub fn connect_client(&self, config: ClientConfig) -> LiveClient {
+        let (client_end, server_end) = duplex();
+        self.registrar
+            .send(server_end)
+            .expect("router thread is running");
+        LiveClient::over_transport(config, client_end)
+            .expect("hello on a fresh pipe cannot fail")
+    }
+
+    /// The aggregate server report: per-shard [`NodeReport`]s merged
+    /// value-wise plus `shards`/`shardN` breakdown sections (see
+    /// [`ShardedServerRuntime::report`]). `None` once the system has
+    /// begun shutting down.
+    pub fn report(&self) -> Option<NodeReport> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.reports.send(reply_tx).ok()?;
+        reply_rx.recv_timeout(Duration::from_secs(5)).ok()
+    }
+
+    /// Stops accepting clients, drains every shard (all clients must
+    /// eventually be dropped), and returns each shard's final protocol
+    /// state, in shard-index order.
+    pub fn shutdown(mut self) -> Vec<ServerNode> {
+        drop(self.registrar);
+        self.handle
+            .take()
+            .expect("not yet shut down")
+            .join()
+            .expect("shard router thread panicked")
     }
 }
 
@@ -473,5 +595,55 @@ mod tests {
         drop(c2);
         let server = system.shutdown();
         assert_eq!(server.report().counter("server", "jobs_completed"), 2);
+    }
+
+    #[test]
+    fn sharded_live_routes_domains_and_runs_jobs() {
+        let system = LiveSystem::sharded(ServerConfig::new("sc"), 4);
+        let mut clients: Vec<LiveClient> = (1..=4u64)
+            .map(|d| {
+                system.connect_client(ClientConfig::new(format!("ws{d}"), d))
+            })
+            .collect();
+        for (i, c) in clients.iter_mut().enumerate() {
+            c.wait_ready(Duration::from_secs(5)).unwrap();
+            let job = fref(1, "ws:/job");
+            c.edit_finished(&job, format!("echo shard {i}\n").into_bytes());
+            c.submit(&job, &[], SubmitOptions::default()).unwrap();
+        }
+        for (i, c) in clients.iter_mut().enumerate() {
+            let (_, output, _, _) = c.wait_job(Duration::from_secs(10)).unwrap();
+            assert_eq!(output, format!("shard {i}\n").into_bytes());
+        }
+
+        let report = system.report().expect("router still running");
+        assert_eq!(report.counter("shards", "routed"), 4);
+        assert_eq!(report.counter("shards", "refused"), 0);
+        assert_eq!(report.counter("server", "jobs_completed"), 4);
+
+        drop(clients);
+        let nodes = system.shutdown();
+        assert_eq!(nodes.len(), 4);
+        let total: u64 = nodes
+            .iter()
+            .map(|n| n.report().counter("server", "jobs_completed"))
+            .sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn sharded_live_with_one_shard_matches_single_server_behaviour() {
+        let system = LiveSystem::sharded(ServerConfig::new("sc"), 1);
+        let mut client = system.connect_client(ClientConfig::new("ws1", 7));
+        client.wait_ready(Duration::from_secs(5)).unwrap();
+        let job = fref(1, "ws1:/hello.job");
+        client.edit_finished(&job, b"echo one\n".to_vec());
+        client.submit(&job, &[], SubmitOptions::default()).unwrap();
+        let (_, output, _, _) = client.wait_job(Duration::from_secs(10)).unwrap();
+        assert_eq!(output, b"one\n");
+        drop(client);
+        let nodes = system.shutdown();
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].report().counter("server", "jobs_completed"), 1);
     }
 }

@@ -14,7 +14,9 @@ use std::time::{Duration, Instant};
 
 use shadow_client::ClientConfig;
 use shadow_netsim::tcp::{TcpFramed, TcpServer};
-use shadow_runtime::{Accepted, ServerRuntime, SessionAcceptor, WallClock};
+use shadow_runtime::{
+    Accepted, ServerRuntime, SessionAcceptor, ShardedServerRuntime, WallClock,
+};
 use shadow_server::{ServerConfig, ServerNode};
 
 use crate::live::LiveClient;
@@ -145,6 +147,118 @@ impl TcpServerRuntime {
     }
 }
 
+/// The sharded TCP daemon (`shadowd --shards N` shape): the same
+/// well-known port, but behind it N domain-affine worker shards fed by
+/// a routing acceptor that peeks each connection's `Hello`.
+///
+/// # Example
+///
+/// ```no_run
+/// use shadow::{ServerConfig, ShardedTcpServerRuntime};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let runtime =
+///     ShardedTcpServerRuntime::bind("0.0.0.0:4411", ServerConfig::new("superc"), 4)?;
+/// runtime.run_forever()
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedTcpServerRuntime {
+    inner: ShardedServerRuntime<TcpAcceptor>,
+    addr: SocketAddr,
+}
+
+impl ShardedTcpServerRuntime {
+    /// Binds the well-known port and spawns `shards` worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        shards: usize,
+    ) -> io::Result<Self> {
+        let listener = TcpServer::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(ShardedTcpServerRuntime {
+            inner: ShardedServerRuntime::new(
+                &config,
+                shards,
+                TcpAcceptor { listener },
+                WallClock::new(),
+            ),
+            addr,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        Ok(self.addr)
+    }
+
+    /// One routing round: accept new connections, peek pending `Hello`s,
+    /// hand routed sessions to their shards. Returns whether any routing
+    /// work was done (shard work does not count — shards run on their own
+    /// threads).
+    ///
+    /// # Errors
+    ///
+    /// Listener failures (per-connection errors just drop the session).
+    pub fn poll_once(&mut self) -> io::Result<bool> {
+        self.inner.poll_once()
+    }
+
+    /// The merged report across all shards plus the router's own
+    /// `shards` section (see
+    /// [`ShardedServerRuntime::report`](shadow_runtime::ShardedServerRuntime::report)).
+    pub fn report(&self) -> shadow_obs::NodeReport {
+        self.inner.report()
+    }
+
+    /// Serves forever (the daemon entry point).
+    ///
+    /// # Errors
+    ///
+    /// Listener failures.
+    pub fn run_forever(mut self) -> io::Result<()> {
+        loop {
+            if !self.poll_once()? {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// Serves until the router has been quiet for `idle` **and** every
+    /// shard is drained (no live sessions, no pending timers), then shuts
+    /// the shards down and returns their final nodes in shard-index order
+    /// (test entry point).
+    ///
+    /// # Errors
+    ///
+    /// Listener failures.
+    pub fn run_until_idle_for(mut self, idle: Duration) -> io::Result<Vec<ServerNode>> {
+        let mut last_busy = Instant::now();
+        loop {
+            if self.poll_once()? {
+                last_busy = Instant::now();
+            } else {
+                if last_busy.elapsed() >= idle
+                    && self.inner.pending_count() == 0
+                    && self.inner.shards_idle()
+                {
+                    return Ok(self.inner.shutdown());
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +315,38 @@ mod tests {
         drop(client);
         let node = handle.join().unwrap().unwrap();
         assert_eq!(node.report().counter("server", "delta_updates"), 1);
+    }
+
+    #[test]
+    fn sharded_tcp_end_to_end_jobs_across_domains() {
+        let runtime =
+            ShardedTcpServerRuntime::bind("127.0.0.1:0", ServerConfig::new("sc"), 2)
+                .unwrap();
+        let addr = runtime.local_addr().unwrap();
+        let handle =
+            std::thread::spawn(move || runtime.run_until_idle_for(Duration::from_millis(400)));
+
+        let mut clients: Vec<TcpClient> = (1..=3u64)
+            .map(|d| connect_tcp(ClientConfig::new(format!("ws{d}"), d), addr).unwrap())
+            .collect();
+        for (i, c) in clients.iter_mut().enumerate() {
+            c.wait_ready(Duration::from_secs(5)).unwrap();
+            let job = FileRef::new(FileId::new(1), "ws:/t.job");
+            c.edit_finished(&job, format!("echo tcp shard {i}\n").into_bytes());
+            c.submit(&job, &[], SubmitOptions::default()).unwrap();
+        }
+        for (i, c) in clients.iter_mut().enumerate() {
+            let (_, output, _, stats) = c.wait_job(Duration::from_secs(10)).unwrap();
+            assert_eq!(output, format!("tcp shard {i}\n").into_bytes());
+            assert_eq!(stats.exit_code, 0);
+        }
+        drop(clients);
+        let nodes = handle.join().unwrap().unwrap();
+        assert_eq!(nodes.len(), 2);
+        let total: u64 = nodes
+            .iter()
+            .map(|n| n.report().counter("server", "jobs_completed"))
+            .sum();
+        assert_eq!(total, 3);
     }
 }

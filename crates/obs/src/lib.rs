@@ -11,6 +11,8 @@
 //! * [`Snapshot`] / [`Section`] / [`NodeReport`] — the unified stats
 //!   surface: every counter struct contributes a named section, and
 //!   nodes report one comparable, exportable aggregate;
+//! * [`merge_reports`] / [`shard_section_name`] — folds per-shard
+//!   reports from the sharded server runtime into one aggregate tree;
 //! * [`MetricsRegistry`] — named counters, gauges, and fixed-bucket
 //!   [`Histogram`]s for runtime loops;
 //! * [`TraceSink`] — decodes tapped frames into per-job lifecycle
@@ -30,6 +32,7 @@
 mod event;
 mod flight;
 mod json;
+mod merge;
 mod metrics;
 mod report;
 mod trace;
@@ -37,6 +40,7 @@ mod trace;
 pub use event::{DriverEvent, DriverStats, EventHook, FrameInfo};
 pub use flight::{FlightEntry, FlightRecorder};
 pub use json::Json;
+pub use merge::{merge_reports, shard_section_name};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use report::{MetricValue, NodeReport, Section, Snapshot};
 pub use trace::{Endpoint, JobSpan, Stage, TraceRecord, TraceSink};

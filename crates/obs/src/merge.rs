@@ -1,0 +1,149 @@
+//! Merging many [`NodeReport`]s into one.
+//!
+//! The sharded server runtime runs N independent `ServerNode`s, one per
+//! worker shard, and each produces its own [`NodeReport`]. Operators
+//! (and the equivalence tests) still want *one* answer to "how did the
+//! server behave", so this module folds per-shard reports into a single
+//! aggregate: matching sections merge key-wise, numeric values add.
+//!
+//! Summation is the right fold for every value the protocol nodes
+//! report today — counters, byte totals, and occupancy gauges all
+//! describe disjoint populations (a session lives on exactly one
+//! shard, a domain's files are cached by exactly one shard), so the
+//! shard-local values partition the whole and their sum is exactly
+//! what an unsharded node would have reported.
+
+use crate::report::{MetricValue, NodeReport, Section};
+
+/// Stable section names for per-shard breakdowns, `shard0`…`shard31`.
+///
+/// [`Section`] keys and names are `&'static str` (reports are built on
+/// hot paths; no per-snapshot allocation), so per-shard section names
+/// come from a fixed table. Thirty-two covers every deployment shape
+/// the benches exercise; see [`shard_section_name`] for the overflow
+/// behaviour.
+const SHARD_SECTION_NAMES: [&str; 32] = [
+    "shard0", "shard1", "shard2", "shard3", "shard4", "shard5", "shard6", "shard7", "shard8",
+    "shard9", "shard10", "shard11", "shard12", "shard13", "shard14", "shard15", "shard16",
+    "shard17", "shard18", "shard19", "shard20", "shard21", "shard22", "shard23", "shard24",
+    "shard25", "shard26", "shard27", "shard28", "shard29", "shard30", "shard31",
+];
+
+/// The static section name for shard `index`, or `None` past the table
+/// (callers skip the per-shard breakdown for such shards; the merged
+/// totals still include them).
+pub fn shard_section_name(index: usize) -> Option<&'static str> {
+    SHARD_SECTION_NAMES.get(index).copied()
+}
+
+/// Adds two metric values. Same-typed values add in their own domain;
+/// mixed numeric types (which no current snapshot produces) widen to
+/// `f64` rather than dropping a sample.
+fn add_values(a: MetricValue, b: MetricValue) -> MetricValue {
+    match (a, b) {
+        (MetricValue::U64(x), MetricValue::U64(y)) => MetricValue::U64(x.saturating_add(y)),
+        (MetricValue::I64(x), MetricValue::I64(y)) => MetricValue::I64(x.saturating_add(y)),
+        (MetricValue::F64(x), MetricValue::F64(y)) => MetricValue::F64(x + y),
+        (x, y) => MetricValue::F64(x.as_f64() + y.as_f64()),
+    }
+}
+
+/// Merges one section into an accumulator section key-wise.
+fn merge_section_into(acc: &mut Section, next: &Section) {
+    for (key, value) in next.iter() {
+        match acc.get(key) {
+            Some(existing) => acc.put(key, add_values(existing, value)),
+            None => acc.put(key, value),
+        }
+    }
+}
+
+/// Folds many reports into one: the union of their sections, each key
+/// summed across the inputs. Section and key order follow first
+/// appearance, so merging N identical-shaped reports (the sharded
+/// runtime's case) preserves the familiar single-node layout.
+pub fn merge_reports(role: &'static str, reports: &[NodeReport]) -> NodeReport {
+    let mut merged = NodeReport::new(role);
+    for report in reports {
+        for section in report.sections() {
+            match merged.section(section.name) {
+                Some(existing) => {
+                    let mut acc = existing.clone();
+                    merge_section_into(&mut acc, section);
+                    merged.add_section(acc);
+                }
+                None => merged.add_section(section.clone()),
+            }
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(jobs: u64, live: i64, rate: f64) -> NodeReport {
+        let mut r = NodeReport::new("server");
+        r.add_section(
+            Section::new("server")
+                .with("jobs_completed", jobs)
+                .with("sessions_live", live)
+                .with("rate", rate),
+        );
+        r
+    }
+
+    #[test]
+    fn values_sum_per_key() {
+        let merged = merge_reports("server", &[report(2, 3, 0.5), report(5, 1, 1.25)]);
+        assert_eq!(merged.counter("server", "jobs_completed"), 7);
+        assert_eq!(
+            merged.get("server", "sessions_live"),
+            Some(MetricValue::I64(4))
+        );
+        assert_eq!(merged.value("server", "rate"), 1.75);
+    }
+
+    #[test]
+    fn disjoint_sections_union_in_order() {
+        let mut a = NodeReport::new("server");
+        a.add_section(Section::new("alpha").with("x", 1u64));
+        let mut b = NodeReport::new("server");
+        b.add_section(Section::new("beta").with("y", 2u64));
+        let merged = merge_reports("server", &[a, b]);
+        let names: Vec<&str> = merged.sections().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["alpha", "beta"]);
+        assert_eq!(merged.counter("alpha", "x"), 1);
+        assert_eq!(merged.counter("beta", "y"), 2);
+    }
+
+    #[test]
+    fn merging_one_report_is_identity() {
+        let r = report(4, 2, 0.25);
+        assert_eq!(merge_reports("server", std::slice::from_ref(&r)), r);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_report() {
+        let merged = merge_reports("server", &[]);
+        assert!(merged.sections().is_empty());
+    }
+
+    #[test]
+    fn shard_names_are_stable_and_bounded() {
+        assert_eq!(shard_section_name(0), Some("shard0"));
+        assert_eq!(shard_section_name(31), Some("shard31"));
+        assert_eq!(shard_section_name(32), None);
+    }
+
+    #[test]
+    fn mixed_types_widen_instead_of_dropping() {
+        let mut a = NodeReport::new("server");
+        a.add_section(Section::new("s").with("v", 2u64));
+        let mut b = NodeReport::new("server");
+        b.add_section(Section::new("s").with("v", 0.5));
+        let merged = merge_reports("server", &[a, b]);
+        assert_eq!(merged.value("s", "v"), 2.5);
+    }
+}

@@ -26,6 +26,12 @@
 //!   and **only** here;
 //! * [`ServerRuntime`] — the generic accept/read/feed/timer poll loop
 //!   shared by every wall-clock server deployment;
+//! * [`ShardedServerRuntime`] — N domain-affine worker shards (each a
+//!   [`ServerRuntime`] around its own `ServerNode`, fed by an mpsc
+//!   command inbox) behind a routing acceptor that peeks each new
+//!   session's `Hello` to learn its domain; `hash(domain) % N`
+//!   ([`shard_for`]) keeps every domain's sessions — and so all of its
+//!   protocol state — on one thread;
 //! * [`DriverEvent`] — a structured instrumentation tap (frames and
 //!   bytes on the wire, deltas vs. full transfers, timers) used by the
 //!   equivalence tests and by metrics collection.
@@ -38,6 +44,7 @@ mod clock;
 mod event;
 mod server_driver;
 mod server_runtime;
+mod shard;
 mod timer;
 mod transport;
 
@@ -46,5 +53,8 @@ pub use clock::{Clock, VirtualClock, WallClock};
 pub use event::{CompletedJob, DriverEvent, DriverStats, EventHook, FeedError, FrameInfo};
 pub use server_driver::{ServerDriver, ServerIo, ServerOutbound};
 pub use server_runtime::{Accepted, ServerRuntime, SessionAcceptor};
+pub use shard::{
+    shard_for, PeekedTransport, ShardCommand, ShardHandle, ShardInbox, ShardedServerRuntime,
+};
 pub use timer::TimerQueue;
 pub use transport::{FrameTransport, TransportClosed};

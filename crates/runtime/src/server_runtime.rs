@@ -1,5 +1,7 @@
 //! A transport-generic server poll loop.
 
+use std::collections::{HashMap, VecDeque};
+
 use shadow_obs::{MetricsRegistry, NodeReport};
 use shadow_server::{ServerNode, SessionId};
 
@@ -67,6 +69,12 @@ pub struct ServerRuntime<A: SessionAcceptor, C: Clock> {
     acceptor: A,
     clock: C,
     sessions: Vec<Session<A::Transport>>,
+    /// `SessionId -> sessions index`, so per-frame routing is O(1); the
+    /// reap path swap-removes and patches the one displaced entry.
+    index: HashMap<SessionId, usize>,
+    /// Sessions marked dead this round, awaiting reaping (each id is
+    /// queued exactly once, when `alive` flips).
+    dead: VecDeque<SessionId>,
     next_session: u64,
     closed: bool,
     metrics: MetricsRegistry,
@@ -94,6 +102,8 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
             acceptor,
             clock,
             sessions: Vec::new(),
+            index: HashMap::new(),
+            dead: VecDeque::new(),
             next_session: 1,
             closed: false,
             metrics,
@@ -122,6 +132,13 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
     /// The underlying driver (mutable, for installing hooks).
     pub fn driver_mut(&mut self) -> &mut ServerDriver {
         &mut self.driver
+    }
+
+    /// The session source (mutable). Acceptors that double as command
+    /// inboxes — the shard worker's — expose out-of-band requests the
+    /// owning loop must collect between polls.
+    pub fn acceptor_mut(&mut self) -> &mut A {
+        &mut self.acceptor
     }
 
     /// Unwraps the state machine (for post-shutdown inspection).
@@ -158,6 +175,7 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
                     Accepted::Session(transport) => {
                         let id = SessionId::new(self.next_session);
                         self.next_session += 1;
+                        self.index.insert(id, self.sessions.len());
                         self.sessions.push(Session {
                             id,
                             transport,
@@ -193,12 +211,12 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
                             // peer is hopelessly confused; drop them.
                             Err(_) => {
                                 self.metrics.inc("decode_failures", 1);
-                                self.sessions[i].alive = false;
+                                self.kill(i);
                             }
                         }
                     }
                     Ok(None) => break,
-                    Err(_) => self.sessions[i].alive = false,
+                    Err(_) => self.kill(i),
                 }
             }
         }
@@ -210,10 +228,16 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
         let io = self.driver.fire_due(now, 0);
         self.dispatch(io);
 
-        // Reap in a loop: disconnect handling can emit sends whose
-        // failure kills further sessions.
-        while let Some(pos) = self.sessions.iter().position(|s| !s.alive) {
-            let dead = self.sessions.remove(pos);
+        // Reap from the dead queue: disconnect handling can emit sends
+        // whose failure enqueues further sessions, so drain until empty.
+        while let Some(id) = self.dead.pop_front() {
+            let Some(pos) = self.index.remove(&id) else {
+                continue;
+            };
+            let dead = self.sessions.swap_remove(pos);
+            if let Some(moved) = self.sessions.get(pos) {
+                self.index.insert(moved.id, pos);
+            }
             let now = self.clock.now_ms();
             self.metrics.inc("sessions_reaped", 1);
             let io = self.driver.disconnected(dead.id, now);
@@ -221,8 +245,22 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
             busy = true;
         }
         self.metrics.set_gauge("sessions_live", self.sessions.len() as i64);
+        self.metrics.set_gauge(
+            "timers_pending",
+            i64::from(!self.driver.timers_idle()),
+        );
 
         Ok(busy)
+    }
+
+    /// Marks the session at `pos` dead (idempotent); it is reaped — and
+    /// its disconnect reported to the driver — at the end of the round.
+    fn kill(&mut self, pos: usize) {
+        let s = &mut self.sessions[pos];
+        if s.alive {
+            s.alive = false;
+            self.dead.push_back(s.id);
+        }
     }
 
     /// Routes driver output to the owning transports. Armed deadlines
@@ -230,14 +268,12 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
     /// [`ServerDriver::next_deadline`] each round instead.
     fn dispatch(&mut self, io: ServerIo) {
         for out in io.outbound {
-            if let Some(s) = self
-                .sessions
-                .iter_mut()
-                .find(|s| s.id == out.session && s.alive)
-            {
-                if s.transport.send_frame(out.frame).is_err() {
-                    s.alive = false;
-                }
+            let Some(&pos) = self.index.get(&out.session) else {
+                continue;
+            };
+            let s = &mut self.sessions[pos];
+            if s.alive && s.transport.send_frame(out.frame).is_err() {
+                self.kill(pos);
             }
         }
     }

@@ -9,7 +9,7 @@ build:
 
 # The full test suite (unit + integration + property tests).
 test:
-    cargo test -q
+    cargo test -q --workspace
 
 # Clippy with warnings promoted to errors.
 lint:
@@ -44,3 +44,9 @@ bench:
 bench-diff:
     SHADOW_BENCH_QUICK=1 cargo bench -p shadow-bench --bench micro
     cargo run --release -p shadow-bench --bin diff_guard
+
+# Sharded-runtime scaling sweep (sessions x shards over live pipes);
+# writes BENCH_contention.json. Quick parameters: pass no env for the
+# full 10k-session sweep.
+bench-contention:
+    SHADOW_BENCH_QUICK=1 cargo bench -p shadow-bench --bench contention

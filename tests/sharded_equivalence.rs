@@ -1,0 +1,180 @@
+//! Sharding must be a pure deployment choice: the same multi-domain
+//! workload run against a single [`ServerRuntime`]-backed system and
+//! against a [`ShardedLiveSystem`] with 4 shards must yield identical
+//! per-domain protocol outcomes — same job outputs, same client
+//! counters, and byte-identical `server`/`cache` report sections on
+//! the node that served each domain. (The timing-dependent `driver` /
+//! `server_runtime` sections are excluded: poll and timer counts are
+//! scheduling artifacts, not protocol state.)
+//!
+//! The drain test proves the graceful-shutdown contract: initiating
+//! shutdown while jobs are still executing loses nothing — every
+//! submitted job still completes and delivers its output before the
+//! shards exit.
+
+use std::time::Duration;
+
+use shadow::{
+    shard_for, ClientConfig, DomainId, FileRef, LiveClient, LiveSystem, Section, ServerConfig,
+    SubmitOptions,
+};
+use shadow_proto::FileId;
+
+const WAIT: Duration = Duration::from_secs(10);
+
+/// Per-domain outcome of the scripted workload.
+struct DomainOutcome {
+    outputs: Vec<Vec<u8>>,
+    client_section: Section,
+}
+
+/// The scripted workload for one domain: a full transfer, a job, an
+/// edit, and a delta resubmission — exercising cache, diff, and exec
+/// paths on whichever server node owns the domain.
+fn run_script(client: &mut LiveClient, tag: u64) -> DomainOutcome {
+    client.wait_ready(WAIT).expect("handshake");
+    let data = FileRef::new(FileId::new(2), format!("ws{tag}:/data"));
+    let job = FileRef::new(FileId::new(1), format!("ws{tag}:/run.job"));
+    let content: Vec<u8> = (0..400)
+        .flat_map(|i| format!("row {i} of domain {tag}\n").into_bytes())
+        .collect();
+    client.edit_finished(&data, content.clone());
+    client.edit_finished(&job, format!("wc ws{tag}:/data\n").into_bytes());
+
+    let mut outputs = Vec::new();
+    client
+        .submit(&job, std::slice::from_ref(&data), SubmitOptions::default())
+        .expect("submit");
+    outputs.push(client.wait_job(WAIT).expect("first job").1);
+
+    let mut edited = content;
+    edited.extend_from_slice(format!("appended in domain {tag}\n").as_bytes());
+    client.edit_finished(&data, edited);
+    client
+        .submit(&job, std::slice::from_ref(&data), SubmitOptions::default())
+        .expect("resubmit");
+    outputs.push(client.wait_job(WAIT).expect("second job").1);
+
+    let client_section = client
+        .report()
+        .section("client")
+        .expect("client section")
+        .clone();
+    DomainOutcome {
+        outputs,
+        client_section,
+    }
+}
+
+/// Four domain ids that land on four *distinct* shards of a 4-way
+/// split, so the equivalence claim covers every worker.
+fn domains_covering_four_shards() -> Vec<u64> {
+    let mut picks = Vec::new();
+    let mut seen = [false; 4];
+    let mut d = 1u64;
+    while picks.len() < 4 {
+        let s = shard_for(DomainId::new(d), 4);
+        if !seen[s] {
+            seen[s] = true;
+            picks.push(d);
+        }
+        d += 1;
+    }
+    picks
+}
+
+#[test]
+fn sharded_and_single_runtimes_agree_per_domain() {
+    let domains = domains_covering_four_shards();
+
+    // Baselines: each domain's script alone against an ordinary
+    // single-runtime system.
+    let mut baselines = Vec::new();
+    for &d in &domains {
+        let system = LiveSystem::start(ServerConfig::new("sc"));
+        let mut client = system.connect_client(ClientConfig::new(format!("ws{d}"), d));
+        let outcome = run_script(&mut client, d);
+        drop(client);
+        let node = system.shutdown();
+        baselines.push((outcome, node.report()));
+    }
+
+    // The same scripts through a 4-shard system, one domain at a time
+    // (sequential driving keeps per-node frame order identical).
+    let sharded = LiveSystem::sharded(ServerConfig::new("sc"), 4);
+    let mut sharded_outcomes = Vec::new();
+    for &d in &domains {
+        let mut client = sharded.connect_client(ClientConfig::new(format!("ws{d}"), d));
+        sharded_outcomes.push(run_script(&mut client, d));
+        drop(client);
+    }
+    let nodes = sharded.shutdown();
+    assert_eq!(nodes.len(), 4);
+
+    for (i, &d) in domains.iter().enumerate() {
+        let (base_outcome, base_report) = &baselines[i];
+        let shard_outcome = &sharded_outcomes[i];
+
+        // Client-observed outcomes: outputs and protocol counters
+        // (deltas vs fulls, versions advanced) identical.
+        assert_eq!(
+            base_outcome.outputs, shard_outcome.outputs,
+            "domain {d}: job outputs must not depend on sharding"
+        );
+        assert_eq!(
+            base_outcome.client_section, shard_outcome.client_section,
+            "domain {d}: client counters must not depend on sharding"
+        );
+
+        // Server-side: the shard that owns the domain must have the
+        // byte-identical protocol state the dedicated server had.
+        let shard_report = nodes[shard_for(DomainId::new(d), 4)].report();
+        for section in ["server", "cache"] {
+            assert_eq!(
+                base_report.section(section),
+                shard_report.section(section),
+                "domain {d}: `{section}` section must be identical on its shard"
+            );
+        }
+        // And the scenario really exercised the delta path.
+        assert_eq!(shard_report.counter("server", "delta_updates"), 1);
+        assert_eq!(shard_report.counter("server", "jobs_completed"), 2);
+    }
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs() {
+    // Two domains, two shards; jobs take ~500 ms (the default exec
+    // profile's per-job overhead), so shutdown begins well before they
+    // finish.
+    let system = LiveSystem::sharded(ServerConfig::new("sc"), 2);
+    let mut clients: Vec<LiveClient> = (1..=2u64)
+        .map(|d| system.connect_client(ClientConfig::new(format!("ws{d}"), d)))
+        .collect();
+    for (i, c) in clients.iter_mut().enumerate() {
+        c.wait_ready(WAIT).expect("handshake");
+        let job = FileRef::new(FileId::new(1), "ws:/slow.job");
+        c.edit_finished(&job, format!("echo drained {i}\n").into_bytes());
+        c.submit(&job, &[], SubmitOptions::default()).expect("submit");
+    }
+
+    // Initiate shutdown NOW, while both jobs are still running. The
+    // shards must keep serving their live sessions until the clients
+    // have their results and hang up.
+    let drainer = std::thread::spawn(move || system.shutdown());
+
+    for (i, c) in clients.iter_mut().enumerate() {
+        let (_, output, _, stats) = c.wait_job(WAIT).expect("job survives shutdown");
+        assert_eq!(output, format!("drained {i}\n").into_bytes());
+        assert_eq!(stats.exit_code, 0);
+    }
+    drop(clients);
+
+    let nodes = drainer.join().expect("drain thread");
+    assert_eq!(nodes.len(), 2);
+    let completed: u64 = nodes
+        .iter()
+        .map(|n| n.report().counter("server", "jobs_completed"))
+        .sum();
+    assert_eq!(completed, 2, "no submitted job may be lost to shutdown");
+}
