@@ -25,6 +25,12 @@
 //!   sans-io discipline: no wall-clock reads inside protocol crates, no
 //!   panicking constructs in wire-decode paths, and full message/event
 //!   variant coverage in the round-trip tests.
+//! * [`analyze`] upgrades those per-file checks to whole-workspace
+//!   call-graph reachability: no panic reachable from the wire decoder,
+//!   no allocation from the zero-copy diff hot path, no wall-clock read
+//!   from a pure crate's public API, no blocking call inside the shard
+//!   poll loops — each proven transitively, across file and crate
+//!   boundaries, with printed witness chains.
 //!
 //! The binary front-end (`cargo run -p shadow-check -- explore|lint`)
 //! drives both engines; CI runs them via `just check`.
@@ -49,12 +55,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod explore;
 pub mod lint;
 pub mod minimize;
 pub mod scenario;
 pub mod world;
 
+pub use analyze::{analyze, AnalysisFinding, AnalysisStats};
 pub use explore::{explore, minimize_trace, replay, Counterexample, Profile, Report};
 pub use lint::{lint_workspace, Finding};
 pub use minimize::ddmin;

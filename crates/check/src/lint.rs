@@ -99,6 +99,9 @@ impl fmt::Display for Finding {
 
 /// Replaces comments, string literals, and char literals with spaces,
 /// preserving line structure so findings keep their line numbers.
+/// String *delimiters* are kept (`"x y"` becomes `"   "`) so downstream
+/// token scans can still tell `.join(" ")` — a non-empty argument list —
+/// from a genuinely blocking `.join()`.
 pub fn strip_code(src: &str) -> String {
     let b: Vec<char> = src.chars().collect();
     let mut out: Vec<char> = Vec::with_capacity(b.len());
@@ -145,7 +148,8 @@ pub fn strip_code(src: &str) -> String {
                 }
                 if j < b.len() && b[j] == '"' {
                     out.push(' ');
-                    out.extend(std::iter::repeat_n(' ', hashes + 1));
+                    out.extend(std::iter::repeat_n(' ', hashes));
+                    out.push('"');
                     i = j + 1;
                     'raw: while i < b.len() {
                         if b[i] == '"' {
@@ -156,7 +160,8 @@ pub fn strip_code(src: &str) -> String {
                                 k += 1;
                             }
                             if h == hashes {
-                                out.extend(std::iter::repeat_n(' ', hashes + 1));
+                                out.push('"');
+                                out.extend(std::iter::repeat_n(' ', hashes));
                                 i = k;
                                 break 'raw;
                             }
@@ -170,7 +175,7 @@ pub fn strip_code(src: &str) -> String {
                 }
             }
             '"' => {
-                out.push(' ');
+                out.push('"');
                 i += 1;
                 while i < b.len() {
                     if b[i] == '\\' && i + 1 < b.len() {
@@ -178,7 +183,7 @@ pub fn strip_code(src: &str) -> String {
                         out.push(blank(b[i + 1]));
                         i += 2;
                     } else if b[i] == '"' {
-                        out.push(' ');
+                        out.push('"');
                         i += 1;
                         break;
                     } else {
@@ -228,20 +233,57 @@ pub fn strip_code(src: &str) -> String {
     out.into_iter().collect()
 }
 
+/// Matches a `#[cfg(test)]` attribute starting at `start` (which must
+/// be a `#`), tolerating whitespace between every token — rustfmt and
+/// humans both produce variants like `#[cfg( test )]` or `#[ cfg(test) ]`.
+/// Returns the index just past the closing `]`. Does not match compound
+/// predicates (`#[cfg(not(test))]`, `#[cfg(test, feature = ..)]`).
+fn match_cfg_test(chars: &[char], start: usize) -> Option<usize> {
+    fn eat(chars: &[char], i: &mut usize, tok: &str) -> bool {
+        while *i < chars.len() && chars[*i].is_whitespace() {
+            *i += 1;
+        }
+        let t: Vec<char> = tok.chars().collect();
+        if *i + t.len() <= chars.len() && chars[*i..*i + t.len()] == t[..] {
+            *i += t.len();
+            true
+        } else {
+            false
+        }
+    }
+    let mut i = start;
+    for tok in ["#", "[", "cfg", "(", "test", ")", "]"] {
+        if !eat(chars, &mut i, tok) {
+            return None;
+        }
+        // Identifier tokens must end at a word boundary: `test` must
+        // not match the prefix of `testing`.
+        if matches!(tok, "cfg" | "test")
+            && chars.get(i).is_some_and(|c| c.is_alphanumeric() || *c == '_')
+        {
+            return None;
+        }
+    }
+    Some(i)
+}
+
 /// Blanks every `#[cfg(test)]` item (attribute through the matching
 /// close brace, or the terminating `;`), preserving line structure.
 /// Input should already be comment/string-stripped.
 pub fn strip_cfg_test(stripped: &str) -> String {
     let mut out: Vec<char> = stripped.chars().collect();
-    let needle: Vec<char> = "#[cfg(test)]".chars().collect();
     let mut i = 0;
-    while i + needle.len() <= out.len() {
-        if out[i..i + needle.len()] != needle[..] {
+    while i < out.len() {
+        if out[i] != '#' {
             i += 1;
             continue;
         }
+        let Some(after) = match_cfg_test(&out, i) else {
+            i += 1;
+            continue;
+        };
         let start = i;
-        let mut j = i + needle.len();
+        let mut j = after;
         // Skip further attributes and the item header to the first `{`
         // or a `;` at zero brace depth (e.g. `#[cfg(test)] mod t;`).
         let mut end = None;
@@ -294,6 +336,27 @@ fn find_token(stripped: &str, token: &str) -> Vec<usize> {
         let at = from + pos;
         lines.push(line_of(stripped, at));
         from = at + token.len();
+    }
+    lines
+}
+
+/// Like [`find_token`], but the match must sit on identifier word
+/// boundaries: a type named `MutexLikeStats` or a field named
+/// `my_mpsc_queue` merely *contains* the token and is not a use of it.
+fn find_ident_token(stripped: &str, token: &str) -> Vec<usize> {
+    let bytes = stripped.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut lines = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = stripped[from..].find(token) {
+        let at = from + pos;
+        let end = at + token.len();
+        let before_ok = at == 0 || !is_word(bytes[at - 1]);
+        let after_ok = end >= bytes.len() || !is_word(bytes[end]);
+        if before_ok && after_ok {
+            lines.push(line_of(stripped, at));
+        }
+        from = end;
     }
     lines
 }
@@ -432,7 +495,7 @@ pub fn check_diff_hot_alloc(label: &str, code: &str) -> Vec<Finding> {
 pub fn check_thread_purity(label: &str, code: &str) -> Vec<Finding> {
     let mut findings = Vec::new();
     for token in ["std::thread", "Mutex", "mpsc"] {
-        for line in find_token(code, token) {
+        for line in find_ident_token(code, token) {
             findings.push(Finding {
                 file: label.to_string(),
                 line,
@@ -572,13 +635,21 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         });
     }
 
-    // Rule 3a: every protocol message variant is round-trip tested.
+    // Rule 3a: every wire-visible variant is round-trip tested — the
+    // top-level messages plus every payload enum a frame can carry.
     let message_src = strip_code(
         &fs::read_to_string(root.join("crates/proto/src/message.rs")).unwrap_or_default(),
     );
     let prop_path = root.join("crates/proto/tests/prop.rs");
     let prop_src = strip_code(&fs::read_to_string(&prop_path).unwrap_or_default());
-    for enum_name in ["ClientMessage", "ServerMessage"] {
+    for enum_name in [
+        "ClientMessage",
+        "ServerMessage",
+        "TransferEncoding",
+        "UpdatePayload",
+        "OutputPayload",
+        "JobStatus",
+    ] {
         let variants = enum_variants(&message_src, enum_name);
         if variants.is_empty() {
             findings.push(Finding {
@@ -636,6 +707,35 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
                     rule: "variant-coverage",
                     message: format!(
                         "DriverEvent::{v} is declared but no driver emits it"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Rule 3c: every shard control command is actually handled by the
+    // worker loop. A `ShardCommand` variant nothing in shard.rs matches
+    // on would sit in an inbox forever — the silent-shutdown bug class.
+    let shard_path = root.join("crates/runtime/src/shard.rs");
+    let shard_src = strip_code(&fs::read_to_string(&shard_path).unwrap_or_default());
+    let variants = enum_variants(&shard_src, "ShardCommand");
+    if variants.is_empty() {
+        findings.push(Finding {
+            file: rel_label(root, &shard_path),
+            line: 0,
+            rule: "variant-coverage",
+            message: "could not locate `enum ShardCommand`".to_string(),
+        });
+    } else {
+        for v in variants {
+            if !shard_src.contains(&format!("ShardCommand::{v}")) {
+                findings.push(Finding {
+                    file: rel_label(root, &shard_path),
+                    line: 0,
+                    rule: "variant-coverage",
+                    message: format!(
+                        "ShardCommand::{v} is declared but never matched in \
+                         the shard worker loop"
                     ),
                 });
             }
@@ -728,6 +828,26 @@ mod tests {
     }
 
     #[test]
+    fn cfg_test_spacing_variants_are_blanked() {
+        // Spaced attribute tokens, as rustfmt or a human might write.
+        let spaced = "fn live() {}\n#[cfg( test )]\nmod tests { fn t() { x.unwrap(); } }\n";
+        let out = strip_cfg_test(&strip_code(spaced));
+        assert!(out.contains("fn live"));
+        assert!(!out.contains("unwrap"));
+        // One-line out-of-line test module declaration.
+        let one_line = "#[cfg(test)] mod t;\nfn live() { now() }\n";
+        let out = strip_cfg_test(&strip_code(one_line));
+        assert!(!out.contains("mod t"));
+        assert!(out.contains("fn live"));
+        // Near-misses must be left alone: compound predicates and
+        // longer identifiers are not test-only code.
+        let near = "#[cfg(not(test))]\nfn prod() { x.unwrap(); }\n#[cfg(testing)]\nfn odd() {}\n";
+        let out = strip_cfg_test(&strip_code(near));
+        assert!(out.contains("unwrap"));
+        assert!(out.contains("fn odd"));
+    }
+
+    #[test]
     fn wall_clock_rule_fires_on_violations() {
         let bad = "fn f() { let t = std::time::Instant::now(); }";
         let findings = check_wall_clock("x.rs", &strip_code(bad));
@@ -797,6 +917,17 @@ mod tests {
             check_thread_purity("node.rs", &strip_cfg_test(&strip_code(test_only)))
                 .is_empty()
         );
+    }
+
+    #[test]
+    fn thread_purity_matches_whole_identifiers_only() {
+        // Identifiers merely *containing* a forbidden token are fine.
+        let ok = "struct MutexLikeStats { held_ns: u64 }\nfn f(my_mpsc_queue: &MutexLikeStats) {}\n";
+        assert!(check_thread_purity("node.rs", &strip_code(ok)).is_empty());
+        // The real tokens still fire, including in qualified paths.
+        let bad = "fn f() { let m: Mutex<u8> = x; let (tx, rx) = mpsc::channel(); }";
+        let findings = check_thread_purity("node.rs", &strip_code(bad));
+        assert_eq!(findings.len(), 2);
     }
 
     #[test]

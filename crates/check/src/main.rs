@@ -5,10 +5,11 @@
 //! shadow-check explore [--profile ci|deep|reorder|in-order] [--scenario NAME]
 //!                      [--depth N] [--max-states N] [--seed-bug]
 //! shadow-check lint [--root PATH]
+//! shadow-check analyze [--root PATH] [--json] [--baseline FILE]
 //! shadow-check scenarios
 //! ```
 //!
-//! Exit status: 0 clean, 1 violation or lint findings, 2 usage error.
+//! Exit status: 0 clean, 1 violation or findings, 2 usage error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,6 +23,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("explore") => cmd_explore(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("scenarios") => {
             for s in builtin_scenarios() {
                 println!("{:<14} {}", s.name, s.summary);
@@ -37,6 +39,7 @@ fn usage() -> ExitCode {
         "usage: shadow-check explore [--profile ci|deep|reorder|in-order] \
          [--scenario NAME] [--depth N] [--max-states N] [--seed-bug]\n\
          \x20      shadow-check lint [--root PATH]\n\
+         \x20      shadow-check analyze [--root PATH] [--json] [--baseline FILE]\n\
          \x20      shadow-check scenarios"
     );
     ExitCode::from(2)
@@ -127,6 +130,77 @@ fn cmd_explore(args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--json" => json = true,
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => {
+                eprintln!("unknown argument {arg:?}");
+                return usage();
+            }
+        }
+    }
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        shadow_check::lint::find_workspace_root(&cwd)
+    });
+    let Some(root) = root else {
+        eprintln!("cannot locate the workspace root (pass --root)");
+        return ExitCode::from(2);
+    };
+    // Default to the committed baseline at the workspace root, if any.
+    let baseline_path =
+        baseline_path.or_else(|| Some(root.join("analyze-baseline.txt")).filter(|p| p.exists()));
+    let baseline = match &baseline_path {
+        Some(p) => match shadow_check::analyze::report::Baseline::load(p) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => Default::default(),
+    };
+    let started = std::time::Instant::now();
+    match shadow_check::analyze(&root) {
+        Ok((findings, stats)) => {
+            let wall_ms = started.elapsed().as_millis() as u64;
+            let (kept, suppressed, stale) = baseline.apply(findings);
+            let out = if json {
+                shadow_check::analyze::report::render_json(
+                    &kept, &suppressed, &stale, &stats, wall_ms,
+                )
+            } else {
+                shadow_check::analyze::report::render_human(
+                    &kept, &suppressed, &stale, &stats, wall_ms,
+                )
+            };
+            print!("{out}");
+            if kept.is_empty() && stale.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("analysis failed to read sources: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 

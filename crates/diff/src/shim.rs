@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use crate::algorithm::{matches_to_script, DiffAlgorithm, Match};
 use crate::docbuf::DocBuf;
 use crate::document::{Document, Line};
-use crate::edscript::{EdCommand, EdScript};
+use crate::edscript::{EdCommand, EdScript, ParseError};
 use crate::zerocopy::{DeltaCommand, DeltaScript};
 
 /// The original allocating diff pipeline, retained verbatim as the
@@ -166,6 +166,60 @@ impl DeltaScript {
         (new_from..new_to)
             .map(|i| Line::new(self.target.line(i as usize).to_vec()))
             .collect()
+    }
+}
+
+// Cold-path error constructors for the zero-copy parser. Rendering the
+// human-readable `reason` allocates, and the alloc-reach rule in
+// `shadow-check analyze` bars every allocation reachable from
+// `apply_delta` outside this shim — so malformed-input reporting lives
+// here with the rest of the allocating code.
+
+/// `ParseError` for a line that is neither a marker nor a command.
+pub(crate) fn parse_unrecognized(line: usize, raw: &[u8]) -> ParseError {
+    ParseError {
+        line,
+        reason: format!("unrecognized command {:?}", String::from_utf8_lossy(raw)),
+    }
+}
+
+/// `ParseError` for a command with an unsupported opcode letter.
+pub(crate) fn parse_unknown_op(line: usize, op: u8) -> ParseError {
+    ParseError {
+        line,
+        reason: format!("unknown operation {:?}", op as char),
+    }
+}
+
+/// `ParseError` for a script missing its trailing `w`/`W` marker.
+pub(crate) fn parse_missing_marker() -> ParseError {
+    ParseError {
+        line: 0,
+        reason: "missing trailing w/W marker".to_string(),
+    }
+}
+
+/// `ParseError` for an insert block with no `.` terminator.
+pub(crate) fn parse_unterminated_insert() -> ParseError {
+    ParseError {
+        line: 0,
+        reason: "unterminated insert block".to_string(),
+    }
+}
+
+/// `ParseError` for an address range that is empty or inverted.
+pub(crate) fn parse_invalid_range(from: usize, to: usize) -> ParseError {
+    ParseError {
+        line: 0,
+        reason: format!("invalid range {from},{to}"),
+    }
+}
+
+/// `ParseError` for commands not in strictly descending order.
+pub(crate) fn parse_out_of_order(last: usize, prev: usize) -> ParseError {
+    ParseError {
+        line: 0,
+        reason: format!("commands out of order: line {last} not below {prev}"),
     }
 }
 

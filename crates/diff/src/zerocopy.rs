@@ -500,7 +500,9 @@ impl RawCommand {
 /// Semantically identical to `EdScript::parse` + [`apply`][a] +
 /// `Document::to_bytes`, but the base is consumed as whole byte ranges
 /// (no per-line vectors), insert text is copied straight out of the
-/// script, and the output buffer is the only allocation.
+/// script, and the allocation budget is the output buffer plus a small
+/// sized command table (error reporting on malformed input goes through
+/// the allocating [`shim`](crate::shim)).
 ///
 /// [a]: crate::EdScript::apply
 ///
@@ -648,7 +650,9 @@ fn copy_insert(script: &[u8], start: usize, end: usize, out: &mut Vec<u8>) {
 /// `EdScript::parse` (including its validation) without building `Line`
 /// vectors.
 fn parse_script(script: &[u8]) -> Result<(Vec<RawCommand>, bool), DeltaError> {
-    let mut commands: Vec<RawCommand> = Vec::new();
+    // Sized up front: the command table is part of the documented
+    // allocation budget (most deltas carry a handful of commands).
+    let mut commands: Vec<RawCommand> = Vec::with_capacity(8);
     let mut target_trailing_newline = None;
     let mut pos = 0usize;
     let mut lineno = 0usize;
@@ -664,10 +668,8 @@ fn parse_script(script: &[u8]) -> Result<(Vec<RawCommand>, bool), DeltaError> {
             target_trailing_newline = Some(raw == b"w");
             continue;
         }
-        let ((from, to), op) = split_command(raw).ok_or_else(|| ParseError {
-            line: lineno,
-            reason: format!("unrecognized command {:?}", String::from_utf8_lossy(raw)),
-        })?;
+        let ((from, to), op) =
+            split_command(raw).ok_or_else(|| crate::shim::parse_unrecognized(lineno, raw))?;
         match op {
             b'a' | b'c' => {
                 let (ins_start, ins_end, next) = read_insert_range(script, pos, &mut lineno)?;
@@ -689,20 +691,12 @@ fn parse_script(script: &[u8]) -> Result<(Vec<RawCommand>, bool), DeltaError> {
                     ins_end: 0,
                 });
             }
-            _ => {
-                return Err(ParseError {
-                    line: lineno,
-                    reason: format!("unknown operation {:?}", op as char),
-                }
-                .into())
-            }
+            _ => return Err(crate::shim::parse_unknown_op(lineno, op).into()),
         }
     }
 
-    let target_trailing_newline = target_trailing_newline.ok_or(ParseError {
-        line: 0,
-        reason: "missing trailing w/W marker".to_string(),
-    })?;
+    let target_trailing_newline =
+        target_trailing_newline.ok_or_else(crate::shim::parse_missing_marker)?;
     validate_commands(&commands)?;
     Ok((commands, target_trailing_newline))
 }
@@ -727,11 +721,7 @@ fn read_insert_range(
         }
         pos = next;
     }
-    Err(ParseError {
-        line: 0,
-        reason: "unterminated insert block".to_string(),
-    }
-    .into())
+    Err(crate::shim::parse_unterminated_insert().into())
 }
 
 /// Splits a command line like `3,7c` / `12a` into its address and opcode.
@@ -757,23 +747,11 @@ fn validate_commands(commands: &[RawCommand]) -> Result<(), DeltaError> {
     let mut prev_first: Option<usize> = None;
     for cmd in commands {
         if cmd.op != b'a' && (cmd.from == 0 || cmd.from > cmd.to) {
-            return Err(ParseError {
-                line: 0,
-                reason: format!("invalid range {},{}", cmd.from, cmd.to),
-            }
-            .into());
+            return Err(crate::shim::parse_invalid_range(cmd.from, cmd.to).into());
         }
         if let Some(prev) = prev_first {
             if cmd.last_line() >= prev {
-                return Err(ParseError {
-                    line: 0,
-                    reason: format!(
-                        "commands out of order: line {} not below {}",
-                        cmd.last_line(),
-                        prev
-                    ),
-                }
-                .into());
+                return Err(crate::shim::parse_out_of_order(cmd.last_line(), prev).into());
             }
         }
         prev_first = Some(cmd.first_line());

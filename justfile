@@ -1,7 +1,7 @@
 # Development shortcuts. `just check` is what CI runs.
 
 # Build everything, run the full test suite, and lint.
-check: build test lint verify
+check: build test lint verify analyze
 
 # Release build of the whole workspace.
 build:
@@ -24,6 +24,13 @@ verify:
 # The overnight sweep: wider reordering, bigger budgets and state caps.
 verify-deep:
     cargo run --release -p shadow-check -- explore --profile deep
+
+# Call-graph static analysis: transitive panic/alloc/clock/blocking
+# guarantees over the whole workspace (deny by default; see DESIGN.md
+# §13). Also exports per-rule counts + wall time to BENCH_analysis.json.
+analyze:
+    cargo run --release -p shadow-check -- analyze --root .
+    cargo run --release -p shadow-check -- analyze --root . --json > BENCH_analysis.json
 
 # Regenerate the paper's figures/tables (slow; see EXPERIMENTS.md).
 experiments:
