@@ -19,8 +19,8 @@
 use std::time::{Duration, Instant};
 
 use shadow::{
-    ClientConfig, ExecProfile, FileId, FileRef, LiveClient, LiveSystem, Notification,
-    ServerConfig, ShardedLiveSystem, SubmitOptions,
+    ClientConfig, Deployment, ExecProfile, FileId, FileRef, LiveClient, Notification,
+    PipeDeployment, ServerConfig, SubmitOptions,
 };
 use shadow_bench::{banner, export_rows, quick_mode};
 use shadow_obs::Json;
@@ -60,7 +60,10 @@ fn config() -> ServerConfig {
 /// round-robin until every job has finished. Returns makespan (first
 /// submit → last completion) and mean per-job latency.
 fn run(sessions: usize, shards: usize) -> Row {
-    let system: ShardedLiveSystem = LiveSystem::sharded(config(), shards);
+    let system: PipeDeployment = Deployment::new(config())
+        .shards(shards)
+        .pipes()
+        .expect("deploy");
 
     let mut clients: Vec<LiveClient> = (0..sessions)
         .map(|i| {

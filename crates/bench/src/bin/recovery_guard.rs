@@ -1,0 +1,85 @@
+//! Recovery performance regression guard.
+//!
+//! Compares the rows of a freshly exported `BENCH_recovery.json`
+//! against the committed `BENCH_baseline_recovery.json` and exits
+//! non-zero when any row's `ns_per_op` regresses more than 3x. The
+//! threshold is looser than the diff guard's: every row here touches
+//! the filesystem, so CI noise is larger — but the failure modes this
+//! exists for (an accidental per-record fsync on the append path, or
+//! replay losing its bounded-by-live-state property to compaction
+//! breakage) cost well over an order of magnitude.
+//!
+//! Usage: `cargo run -p shadow-bench --bin recovery_guard` after the
+//! `recovery` bench has written `BENCH_recovery.json` (see
+//! `just bench-recovery`).
+
+use std::fs;
+use std::process::ExitCode;
+
+/// Maximum tolerated slowdown factor per row before the guard fails.
+const MAX_REGRESSION: f64 = 3.0;
+
+fn main() -> ExitCode {
+    let root = shadow_bench::bench_output_dir();
+    let current_path = root.join("BENCH_recovery.json");
+    let baseline_path = root.join("BENCH_baseline_recovery.json");
+    let current = match fs::read_to_string(&current_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "recovery_guard: cannot read {} ({e}); run the recovery bench \
+                 first (just bench-recovery)",
+                current_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "recovery_guard: cannot read {} ({e}); the baseline must be \
+                 committed at the workspace root",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let current_rows = shadow_bench::parse_ns_rows(&current);
+    let baseline_rows = shadow_bench::parse_ns_rows(&baseline);
+    if baseline_rows.is_empty() {
+        eprintln!("recovery_guard: no ns_per_op rows in the baseline; nothing to guard");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    let mut checked = 0usize;
+    for (op, base_ns) in &baseline_rows {
+        let Some((_, cur_ns)) = current_rows.iter().find(|(o, _)| o == op) else {
+            eprintln!("recovery_guard: FAIL {op}: row missing from BENCH_recovery.json");
+            failed = true;
+            continue;
+        };
+        checked += 1;
+        let factor = cur_ns / base_ns.max(1.0);
+        if factor > MAX_REGRESSION {
+            eprintln!(
+                "recovery_guard: FAIL {op}: {cur_ns:.0} ns vs baseline {base_ns:.0} ns \
+                 ({factor:.2}x > {MAX_REGRESSION}x)"
+            );
+            failed = true;
+        } else {
+            println!(
+                "recovery_guard: ok   {op}: {cur_ns:.0} ns vs baseline {base_ns:.0} ns \
+                 ({factor:.2}x)"
+            );
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("recovery_guard: {checked} rows within {MAX_REGRESSION}x of baseline");
+        ExitCode::SUCCESS
+    }
+}

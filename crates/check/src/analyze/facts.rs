@@ -37,6 +37,10 @@ pub enum FactKind {
     /// deliberately excluded: every poll-loop transport wait is
     /// deadline-bounded by design.
     Blocking,
+    /// Touches the filesystem or OS I/O facilities: `std::fs` / `fs::`
+    /// and `std::io` / `io::` path segments. Fully-qualified `std::fs`
+    /// uses also carry a [`Blocking`](FactKind::Blocking) fact.
+    Fs,
 }
 
 impl FactKind {
@@ -50,6 +54,7 @@ impl FactKind {
             FactKind::ChannelSend => "channel-send",
             FactKind::Thread => "thread",
             FactKind::Blocking => "blocking",
+            FactKind::Fs => "fs",
         }
     }
 }
@@ -133,6 +138,8 @@ fn scan_body(src: &str, toks: &[Tok], open: usize, close: usize) -> Vec<Fact> {
                 let prev_dot = i > 0 && toks[i - 1].kind == TokKind::Punct('.');
                 let next_bang = is_p(i + 1, '!');
                 let next_call = is_p(i + 1, '(');
+                let next_pathsep =
+                    i < close && toks[i + 1].kind == TokKind::PathSep;
                 // Path context: the segments before this ident.
                 let qual_parent = if i >= 2
                     && toks[i - 1].kind == TokKind::PathSep
@@ -172,8 +179,25 @@ fn scan_body(src: &str, toks: &[Tok], open: usize, close: usize) -> Vec<Fact> {
                     push(FactKind::Thread, t.line, "std::thread");
                 } else if name == "mpsc" {
                     push(FactKind::Thread, t.line, "mpsc");
-                } else if name == "fs" && qual_parent == Some("std") {
-                    push(FactKind::Blocking, t.line, "std::fs");
+                } else if name == "fs"
+                    && (qual_parent == Some("std")
+                        || (qual_parent.is_none() && next_pathsep))
+                {
+                    // Leading-segment `fs::` (the idiomatic `use std::fs`
+                    // form) counts too; only the fully-qualified form is
+                    // certain enough to double as a blocking fact.
+                    if qual_parent == Some("std") {
+                        push(FactKind::Blocking, t.line, "std::fs");
+                        push(FactKind::Fs, t.line, "std::fs");
+                    } else {
+                        push(FactKind::Fs, t.line, "fs::");
+                    }
+                } else if name == "io"
+                    && (qual_parent == Some("std")
+                        || (qual_parent.is_none() && next_pathsep))
+                {
+                    let token = if qual_parent == Some("std") { "std::io" } else { "io::" };
+                    push(FactKind::Fs, t.line, token);
                 } else if prev_dot
                     && next_call
                     && is_p(i + 2, ')')
@@ -286,6 +310,26 @@ mod tests {
         // a slice `join` with a stripped separator is still visibly
         // non-empty and must not read as the blocking thread join.
         assert!(facts_of("let line = args.join(\" \");").is_empty());
+    }
+
+    #[test]
+    fn fs_and_io_facts() {
+        let f = facts_of(
+            "let a = std::fs::read(p); let b = fs::write(p, d); let e = io::Error::last_os_error();",
+        );
+        let toks: Vec<(FactKind, &str)> =
+            f.iter().map(|(k, t)| (*k, t.as_str())).collect();
+        assert_eq!(
+            toks,
+            vec![
+                (FactKind::Blocking, "std::fs"),
+                (FactKind::Fs, "std::fs"),
+                (FactKind::Fs, "fs::"),
+                (FactKind::Fs, "io::"),
+            ]
+        );
+        // Plain idents named `fs`/`io` in value position are not paths.
+        assert!(facts_of("let n = io.outbound.len(); queue(&io);").is_empty());
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! this module builds an actual model of the workspace — every `fn`,
 //! every resolvable call edge, every primitive effect — and asks
 //! *transitive* questions: can a panic be reached from the wire decoder,
-//! an allocation from the zero-copy diff loop, a wall-clock read from a
-//! pure crate's API, a blocking call from a shard poll function? The
+//! an allocation from the zero-copy diff loop, a wall-clock read or a
+//! filesystem touch from a pure crate's API, a blocking call from a
+//! shard poll function? The
 //! pipeline is `lexer` → `extract` → `facts` + `graph` → `rules`, all
 //! textual (no rustc, no syn), deliberately over-approximate, and fast
 //! enough to run on every CI push. `report` renders findings for humans

@@ -16,8 +16,14 @@ use shadow_obs::Json;
 use super::rules::AnalysisFinding;
 use super::AnalysisStats;
 
-/// The four rule names, in report order.
-pub const RULE_NAMES: &[&str] = &["panic-reach", "alloc-reach", "clock-reach", "shard-shape"];
+/// The rule names, in report order.
+pub const RULE_NAMES: &[&str] = &[
+    "panic-reach",
+    "alloc-reach",
+    "clock-reach",
+    "fs-reach",
+    "shard-shape",
+];
 
 /// A parsed baseline: the set of suppressed finding keys.
 #[derive(Debug, Default)]

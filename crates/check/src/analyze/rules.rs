@@ -13,6 +13,7 @@
 //! | `panic-reach` | `Frame::decode`, `*Message::decode_body`  | panic           |
 //! | `alloc-reach` | `diff_docs`, `apply_delta`                | alloc           |
 //! | `clock-reach` | every `pub fn` of a pure crate            | clock           |
+//! | `fs-reach`    | every `pub fn` of a pure crate            | fs              |
 //! | `shard-shape` | shard/server poll loops (+ per-fn scan)   | blocking        |
 
 use super::facts::{Fact, FactKind};
@@ -262,6 +263,31 @@ pub fn run_rules(ws: &Workspace, g: &CallGraph) -> Vec<AnalysisFinding> {
         }
     }
 
+    // Rule c2: no filesystem or OS I/O reachable from any pure-crate
+    // pub fn. The sans-io discipline keeps persistence at the edges:
+    // the server *emits* `Persist` records, only the runtime's sink
+    // (the durable store) may touch disk.
+    {
+        let entries: Vec<FnId> = (0..ws.fns.len())
+            .filter(|&id| {
+                let f = ws.item(id);
+                f.is_pub && f.body.is_some() && PURE_CRATES.contains(&f.krate.as_str())
+            })
+            .collect();
+        let r = reach(ws, g, |f| f.kind == FactKind::Fs, |_| false);
+        for &e in &entries {
+            if r.reachable[e] {
+                findings.push(finding_for(
+                    ws,
+                    &r,
+                    "fs-reach",
+                    e,
+                    "filesystem/io access reachable from a pure-crate public fn",
+                ));
+            }
+        }
+    }
+
     // Rule d2: no blocking call reachable from the per-round poll
     // functions of the (sharded) server runtime. The shard worker's
     // idle nap lives *outside* these entries by design.
@@ -436,6 +462,25 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].entry, "client::tick");
         // runtime's clock.rs is not a pure crate: no entry, no finding.
+    }
+
+    #[test]
+    fn fs_access_below_pure_pub_fn_is_found() {
+        let ws = ws_from(&[
+            (
+                "server",
+                "src/lib.rs",
+                "pub fn submit() { spill() }\nfn spill() { let d = fs::read(p); }",
+            ),
+            ("store", "src/segment.rs", "pub fn append() { let d = fs::read(p); }"),
+        ]);
+        let f = rule_findings(&ws, "fs-reach");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].entry, "server::submit");
+        assert_eq!(f[0].fact_fn, "server::spill");
+        assert_eq!(f[0].token, "fs::");
+        // The store crate is the sanctioned home of disk I/O: not a
+        // pure crate, so no entry and no finding.
     }
 
     #[test]

@@ -39,6 +39,7 @@ impl Profile {
                 drops: 1,
                 dups: 1,
                 reorder_window: 2,
+                crashes: 1,
             },
         }
     }
@@ -53,6 +54,7 @@ impl Profile {
                 drops: 2,
                 dups: 2,
                 reorder_window: 3,
+                crashes: 1,
             },
         }
     }
@@ -72,6 +74,7 @@ impl Profile {
                 drops: 0,
                 dups: 0,
                 reorder_window: 2,
+                crashes: 0,
             },
         }
     }
@@ -87,6 +90,7 @@ impl Profile {
                 drops: 0,
                 dups: 0,
                 reorder_window: 1,
+                crashes: 0,
             },
         }
     }

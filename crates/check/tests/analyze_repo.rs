@@ -150,6 +150,31 @@ fn planted_clock_read_below_pure_public_fn_fires() {
     assert_eq!(f[0].token, "Instant::now");
 }
 
+/// A filesystem call buried below a pure crate's public fn fires: the
+/// sans-io discipline says the server *emits* persistence records and
+/// only the runtime's sink touches disk.
+#[test]
+fn planted_fs_access_below_pure_public_fn_fires() {
+    let root = temp_workspace(
+        "analyze_fs",
+        &[
+            (
+                "crates/server/src/lib.rs",
+                "mod spill;\npub fn submit(p: &str) -> usize {\n    crate::spill::to_disk(p)\n}\n",
+            ),
+            (
+                "crates/server/src/spill.rs",
+                "pub(crate) fn to_disk(p: &str) -> usize {\n    fs::write(p, b\"x\").is_ok() as usize\n}\n",
+            ),
+        ],
+    );
+    let f = rule_findings(&root, "fs-reach");
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].entry, "server::submit");
+    assert_eq!(f[0].fact_fn, "server::spill::to_disk");
+    assert_eq!(f[0].token, "fs::");
+}
+
 /// A blocking receive below the server poll loop — behind one hop of
 /// indirection in another file — fires the shard-shape rule.
 #[test]

@@ -186,6 +186,9 @@ pub struct ClientMetrics {
     pub notifies_sent: u64,
     /// Output deltas successfully reconstructed.
     pub output_deltas_applied: u64,
+    /// Persisted shadow-environment entries skipped as corrupt or
+    /// out-of-order during restore.
+    pub restore_skipped: u64,
 }
 
 impl shadow_obs::Snapshot for ClientMetrics {
@@ -200,6 +203,7 @@ impl shadow_obs::Snapshot for ClientMetrics {
             .with("update_payload_bytes", self.update_payload_bytes)
             .with("notifies_sent", self.notifies_sent)
             .with("output_deltas_applied", self.output_deltas_applied)
+            .with("restore_skipped", self.restore_skipped)
     }
 }
 
@@ -367,6 +371,14 @@ impl ClientNode {
     ) -> Result<(), VersionNumber> {
         self.names.insert(file.id, file.name.clone());
         self.versions.restore(file.id, version, content)
+    }
+
+    /// Records that `n` persisted shadow-environment entries were
+    /// skipped as corrupt or out-of-order during restore, so degraded
+    /// restores are visible in the [report](Self::report) instead of
+    /// silent.
+    pub fn note_restore_skipped(&mut self, n: u64) {
+        self.metrics.restore_skipped += n;
     }
 
     /// The retained `(version, content)` pairs of a file, ascending (for

@@ -83,7 +83,14 @@ fn run(
 
     // Post-processor: version the result into the shadow environment.
     let mut node = ClientNode::new(ClientConfig::new(host, domain));
-    persist::load_state(state_dir, &mut node)?;
+    let loaded = persist::load_state(state_dir, &mut node)?;
+    if loaded.degraded() {
+        eprintln!(
+            "shadow-editor: warning: skipped {} corrupt state entr(y/ies) in {}",
+            loaded.skipped,
+            state_dir.display()
+        );
+    }
     let canonical = std::fs::canonicalize(file)?;
     let name = format!("{host}:{}", canonical.display());
     let digest = ContentDigest::of(format!("{host}\u{0}{}", canonical.display()).as_bytes());

@@ -138,9 +138,20 @@ fn run(opts: &Options) -> Result<ExitCode, Box<dyn std::error::Error>> {
         ClientConfig::new(opts.host.clone(), opts.domain),
         &opts.server,
     )?;
-    let restored = persist::load_state(&opts.state_dir, client.node_mut())?;
-    if restored > 0 {
-        eprintln!("shadow-submit: restored {restored} shadow version(s) from {}", opts.state_dir.display());
+    let loaded = persist::load_state(&opts.state_dir, client.node_mut())?;
+    if loaded.restored > 0 {
+        eprintln!(
+            "shadow-submit: restored {} shadow version(s) from {}",
+            loaded.restored,
+            opts.state_dir.display()
+        );
+    }
+    if loaded.degraded() {
+        eprintln!(
+            "shadow-submit: warning: skipped {} corrupt state entr(y/ies) in {}",
+            loaded.skipped,
+            opts.state_dir.display()
+        );
     }
     client.wait_ready(Duration::from_secs(10))?;
 

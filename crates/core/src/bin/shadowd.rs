@@ -7,12 +7,16 @@
 //! ```text
 //! shadowd [--listen ADDR:PORT] [--name HOST] [--cache-bytes N]
 //!         [--eviction lru|fifo|lfu|largest] [--flow eager|lazy|request]
-//!         [--slots N]
+//!         [--slots N] [--shards N] [--store DIR]
 //! ```
+//!
+//! With `--store DIR` the shadow store is durable: every cache and
+//! output mutation is journaled under `DIR` and replayed on the next
+//! start, so clients resume delta transfers across daemon restarts.
 
 use std::process::ExitCode;
 
-use shadow::{EvictionPolicy, FlowControl, ServerConfig, TcpServerRuntime};
+use shadow::{Deployment, EvictionPolicy, FlowControl, ServerConfig};
 
 struct Options {
     listen: String,
@@ -21,13 +25,15 @@ struct Options {
     eviction: EvictionPolicy,
     flow: FlowControl,
     slots: usize,
+    shards: usize,
+    store: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: shadowd [--listen ADDR:PORT] [--name HOST] [--cache-bytes N]\n\
          \x20              [--eviction lru|fifo|lfu|largest] [--flow eager|lazy|request]\n\
-         \x20              [--slots N]"
+         \x20              [--slots N] [--shards N] [--store DIR]"
     );
     std::process::exit(2)
 }
@@ -40,6 +46,8 @@ fn parse_args() -> Options {
         eviction: EvictionPolicy::Lru,
         flow: FlowControl::DemandEager,
         slots: 1,
+        shards: 1,
+        store: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -73,6 +81,8 @@ fn parse_args() -> Options {
                 }
             }
             "--slots" => opts.slots = value("--slots").parse().unwrap_or_else(|_| usage()),
+            "--shards" => opts.shards = value("--shards").parse().unwrap_or_else(|_| usage()),
+            "--store" => opts.store = Some(value("--store")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("shadowd: unknown argument {other:?}");
@@ -90,17 +100,34 @@ fn main() -> ExitCode {
         .with_eviction(opts.eviction)
         .with_flow(opts.flow)
         .with_max_running(opts.slots.max(1));
-    let runtime = match TcpServerRuntime::bind(&opts.listen, config) {
+    let mut deployment = Deployment::new(config).shards(opts.shards.max(1));
+    if let Some(dir) = &opts.store {
+        deployment = deployment.durable(dir);
+    }
+    let runtime = match deployment.tcp(&opts.listen) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("shadowd: cannot bind {}: {e}", opts.listen);
+            eprintln!("shadowd: cannot deploy on {}: {e}", opts.listen);
             return ExitCode::FAILURE;
         }
     };
+    let recovery = runtime.recovery();
+    if opts.store.is_some() {
+        eprintln!(
+            "shadowd: store replayed {} record(s) across {} domain(s){}",
+            recovery.replayed(),
+            recovery.domains,
+            if recovery.degraded() {
+                " (degraded: torn or corrupt segments were truncated)"
+            } else {
+                ""
+            }
+        );
+    }
     match runtime.local_addr() {
         Ok(addr) => eprintln!(
-            "shadowd: serving as {:?} on {addr} (cache {} bytes, {} slot(s))",
-            opts.name, opts.cache_bytes, opts.slots
+            "shadowd: serving as {:?} on {addr} (cache {} bytes, {} slot(s), {} shard(s))",
+            opts.name, opts.cache_bytes, opts.slots, opts.shards
         ),
         Err(e) => eprintln!("shadowd: {e}"),
     }

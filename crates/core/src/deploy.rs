@@ -1,0 +1,342 @@
+//! The unified deployment builder.
+//!
+//! Historically each deployment shape had its own entry point —
+//! `LiveSystem::start`, `LiveSystem::sharded`, `TcpServerRuntime::bind`,
+//! `ShardedTcpServerRuntime::bind` — and none of them could restore a
+//! durable shadow store. [`Deployment`] collapses all four into one
+//! fluent builder with durability as an orthogonal axis:
+//!
+//! ```no_run
+//! use shadow::{Deployment, ServerConfig};
+//!
+//! # fn main() -> Result<(), shadow::DeployError> {
+//! // In-process pipes, one server, diskless (was LiveSystem::start):
+//! let system = Deployment::new(ServerConfig::new("superc")).pipes()?;
+//!
+//! // Four shards over TCP, journaling to disk:
+//! let daemon = Deployment::new(ServerConfig::new("superc"))
+//!     .shards(4)
+//!     .durable("/var/lib/shadowd")
+//!     .tcp("0.0.0.0:4411")?;
+//! # drop(daemon);
+//! # system.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! With [`durable`](Deployment::durable), every shard opens its slice of
+//! the store ([`DurableStore::open_shard`]), replays its journal into its
+//! `ServerNode` *before* serving, and journals every subsequent shadow
+//! mutation — so a client that held `vN` before the restart still gets a
+//! delta, not a full transfer, afterwards.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::net::ToSocketAddrs;
+use std::path::PathBuf;
+
+use shadow_client::ClientConfig;
+use shadow_obs::NodeReport;
+use shadow_runtime::PersistSink;
+use shadow_server::{ServerConfig, ServerNode};
+use shadow_store::{DurableStore, RecoverySummary};
+
+use crate::live::{LiveClient, LiveSystem, ShardedLiveSystem};
+use crate::tcpd::{ShardedTcpServerRuntime, TcpServerRuntime};
+
+/// Errors building a deployment.
+#[derive(Debug)]
+pub enum DeployError {
+    /// The builder was configured inconsistently.
+    Invalid(&'static str),
+    /// Binding the listener or opening the durable store failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Invalid(why) => write!(f, "invalid deployment: {why}"),
+            DeployError::Io(e) => write!(f, "deployment i/o: {e}"),
+        }
+    }
+}
+
+impl Error for DeployError {}
+
+impl From<io::Error> for DeployError {
+    fn from(e: io::Error) -> Self {
+        DeployError::Io(e)
+    }
+}
+
+/// One pre-built shard: its (possibly journal-restored) node and the
+/// sink its storage intents go to.
+type ShardParts = (ServerNode, Option<Box<dyn PersistSink>>);
+
+/// The single entry point for standing up a wall-clock deployment.
+///
+/// Axes:
+/// * **shards** — 1 (default) runs the paper's single poll loop;
+///   N > 1 runs N domain-affine worker shards behind a routing acceptor.
+/// * **durable** — a root directory makes the shadow store survive
+///   restarts via per-domain write-ahead journals (`shadow-store`);
+///   without it the deployment is diskless, exactly as before.
+/// * **transport** — [`pipes`](Self::pipes) for in-process duplex pipes,
+///   [`tcp`](Self::tcp) for real sockets.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    config: ServerConfig,
+    shards: usize,
+    durable: Option<PathBuf>,
+    compact_every: Option<usize>,
+}
+
+impl Deployment {
+    /// Starts describing a deployment of one server configuration.
+    pub fn new(config: ServerConfig) -> Self {
+        Deployment {
+            config,
+            shards: 1,
+            durable: None,
+            compact_every: None,
+        }
+    }
+
+    /// Sets the worker-shard count (default 1 = the unsharded shape).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Makes the shadow store durable under `root`: journals are
+    /// replayed at build time and appended to while serving. Each shard
+    /// owns the subset of per-domain journals its
+    /// [`shard_for`](shadow_runtime::shard_for) affinity assigns it.
+    #[must_use]
+    pub fn durable(mut self, root: impl Into<PathBuf>) -> Self {
+        self.durable = Some(root.into());
+        self
+    }
+
+    /// Overrides the journal's snapshot-compaction interval (appends
+    /// per domain between snapshots). Only meaningful with
+    /// [`durable`](Self::durable).
+    #[must_use]
+    pub fn compact_every(mut self, every: usize) -> Self {
+        self.compact_every = Some(every);
+        self
+    }
+
+    /// Builds every shard's node and sink, replaying journals when the
+    /// deployment is durable.
+    fn parts(&self) -> Result<(Vec<ShardParts>, RecoverySummary), DeployError> {
+        if self.shards == 0 {
+            return Err(DeployError::Invalid("a deployment needs at least one shard"));
+        }
+        if self.compact_every.is_some() && self.durable.is_none() {
+            return Err(DeployError::Invalid(
+                "compact_every only applies to a durable deployment",
+            ));
+        }
+        if self.compact_every == Some(0) {
+            return Err(DeployError::Invalid("compact_every must be at least 1"));
+        }
+        let mut parts = Vec::with_capacity(self.shards);
+        let mut recovery = RecoverySummary::default();
+        for index in 0..self.shards {
+            let mut node = ServerNode::new(self.config.clone());
+            let sink = match &self.durable {
+                Some(root) => {
+                    let mut store = DurableStore::open_shard(root, index, self.shards)?;
+                    if let Some(every) = self.compact_every {
+                        store = store.with_compact_every(every);
+                    }
+                    merge_summary(&mut recovery, store.summary());
+                    node.restore(&store.recovered());
+                    Some(Box::new(store) as Box<dyn PersistSink>)
+                }
+                None => None,
+            };
+            parts.push((node, sink));
+        }
+        Ok((parts, recovery))
+    }
+
+    /// Deploys over in-process duplex pipes (threads in this process).
+    ///
+    /// # Errors
+    ///
+    /// Invalid builder combinations; store-opening failures when
+    /// durable.
+    pub fn pipes(self) -> Result<PipeDeployment, DeployError> {
+        let (mut parts, recovery) = self.parts()?;
+        let inner = if parts.len() == 1 {
+            let (node, sink) = parts.remove(0);
+            PipeInner::Single(LiveSystem::start_with(node, sink))
+        } else {
+            PipeInner::Sharded(ShardedLiveSystem::start_with_parts(parts))
+        };
+        Ok(PipeDeployment { inner, recovery })
+    }
+
+    /// Deploys over TCP: binds `addr` and serves real sockets.
+    ///
+    /// # Errors
+    ///
+    /// Invalid builder combinations; bind or store-opening failures.
+    pub fn tcp(self, addr: impl ToSocketAddrs) -> Result<TcpDeployment, DeployError> {
+        let (mut parts, recovery) = self.parts()?;
+        let inner = if parts.len() == 1 {
+            let (node, sink) = parts.remove(0);
+            TcpInner::Single(Box::new(TcpServerRuntime::bind_with(addr, node, sink)?))
+        } else {
+            TcpInner::Sharded(ShardedTcpServerRuntime::bind_with_parts(addr, parts)?)
+        };
+        Ok(TcpDeployment { inner, recovery })
+    }
+}
+
+#[derive(Debug)]
+enum PipeInner {
+    Single(LiveSystem),
+    Sharded(ShardedLiveSystem),
+}
+
+/// A running in-process deployment built by [`Deployment::pipes`]: the
+/// unified handle over what used to be `LiveSystem` /
+/// `ShardedLiveSystem`.
+#[derive(Debug)]
+pub struct PipeDeployment {
+    inner: PipeInner,
+    recovery: RecoverySummary,
+}
+
+impl PipeDeployment {
+    /// What journal replay recovered at build time (all zeros for a
+    /// diskless deployment), merged across shards.
+    pub fn recovery(&self) -> RecoverySummary {
+        self.recovery
+    }
+
+    /// Connects a new client: sends the `Hello` immediately.
+    pub fn connect_client(&self, config: ClientConfig) -> LiveClient {
+        match &self.inner {
+            PipeInner::Single(sys) => sys.connect_client(config),
+            PipeInner::Sharded(sys) => sys.connect_client(config),
+        }
+    }
+
+    /// The live server report (merged across shards when sharded).
+    /// `None` once the system has begun shutting down.
+    pub fn report(&self) -> Option<NodeReport> {
+        match &self.inner {
+            PipeInner::Single(sys) => sys.report(),
+            PipeInner::Sharded(sys) => sys.report(),
+        }
+    }
+
+    /// Stops accepting clients, drains the server(s), and returns the
+    /// final per-shard protocol state (one node when unsharded).
+    pub fn shutdown(self) -> Vec<ServerNode> {
+        match self.inner {
+            PipeInner::Single(sys) => vec![sys.shutdown()],
+            PipeInner::Sharded(sys) => sys.shutdown(),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum TcpInner {
+    Single(Box<TcpServerRuntime>),
+    Sharded(ShardedTcpServerRuntime),
+}
+
+/// A bound TCP deployment built by [`Deployment::tcp`]: the unified
+/// handle over what used to be `TcpServerRuntime` /
+/// `ShardedTcpServerRuntime`. Drive it from the owning thread with
+/// [`run_forever`](Self::run_forever) (daemon) or
+/// [`run_until_idle_for`](Self::run_until_idle_for) (tests).
+#[derive(Debug)]
+pub struct TcpDeployment {
+    inner: TcpInner,
+    recovery: RecoverySummary,
+}
+
+impl TcpDeployment {
+    /// What journal replay recovered at build time (all zeros for a
+    /// diskless deployment), merged across shards.
+    pub fn recovery(&self) -> RecoverySummary {
+        self.recovery
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        match &self.inner {
+            TcpInner::Single(rt) => rt.local_addr(),
+            TcpInner::Sharded(rt) => rt.local_addr(),
+        }
+    }
+
+    /// The server report (merged across shards when sharded).
+    pub fn report(&self) -> NodeReport {
+        match &self.inner {
+            TcpInner::Single(rt) => rt.report(),
+            TcpInner::Sharded(rt) => rt.report(),
+        }
+    }
+
+    /// One scheduling round. Returns whether any work was done.
+    ///
+    /// # Errors
+    ///
+    /// Listener failures (per-connection errors just drop the session).
+    pub fn poll_once(&mut self) -> io::Result<bool> {
+        match &mut self.inner {
+            TcpInner::Single(rt) => rt.poll_once(),
+            TcpInner::Sharded(rt) => rt.poll_once(),
+        }
+    }
+
+    /// Serves forever (the daemon entry point).
+    ///
+    /// # Errors
+    ///
+    /// Listener failures.
+    pub fn run_forever(self) -> io::Result<()> {
+        match self.inner {
+            TcpInner::Single(rt) => rt.run_forever(),
+            TcpInner::Sharded(rt) => rt.run_forever(),
+        }
+    }
+
+    /// Serves until no work has arrived for `idle` and everything has
+    /// drained, then returns the final per-shard protocol state (one
+    /// node when unsharded).
+    ///
+    /// # Errors
+    ///
+    /// Listener failures.
+    pub fn run_until_idle_for(self, idle: std::time::Duration) -> io::Result<Vec<ServerNode>> {
+        match self.inner {
+            TcpInner::Single(rt) => rt.run_until_idle_for(idle).map(|n| vec![n]),
+            TcpInner::Sharded(rt) => rt.run_until_idle_for(idle),
+        }
+    }
+}
+
+fn merge_summary(into: &mut RecoverySummary, from: RecoverySummary) {
+    into.domains += from.domains;
+    into.snapshot_records += from.snapshot_records;
+    into.journal_records += from.journal_records;
+    into.stale_skipped += from.stale_skipped;
+    into.torn_tails += from.torn_tails;
+    into.corrupt_segments += from.corrupt_segments;
+    into.dropped_records += from.dropped_records;
+}

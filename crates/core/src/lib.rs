@@ -13,15 +13,16 @@
 //!   [`ClientNode`]s and [`ServerNode`]s over the discrete-event network
 //!   simulator, with a calibrated [`CpuModel`]; regenerates every figure
 //!   and table of the paper's evaluation (see [`experiment`]).
-//! * [`LiveSystem`] — the same state machines over real threads and
-//!   in-process pipes: an actual concurrent deployment, byte-identical on
-//!   the wire.
-//! * [`TcpServerRuntime`] / [`connect_tcp`] — the same again over real
-//!   TCP sockets, the paper's prototype shape.
-//! * [`ShardedLiveSystem`] / [`ShardedTcpServerRuntime`] — the scale-out
-//!   variants of the two wall-clock deployments: N domain-affine worker
-//!   shards (each its own [`ServerNode`]) behind a routing acceptor that
-//!   peeks every new session's `Hello` for its naming domain.
+//! * [`Deployment`] — the single builder for every wall-clock shape:
+//!   `Deployment::new(config).shards(n).durable(path)` then
+//!   [`.pipes()`](Deployment::pipes) (threads + in-process duplex pipes)
+//!   or [`.tcp(addr)`](Deployment::tcp) (real sockets, the paper's
+//!   prototype shape). `shards(n)` puts N domain-affine worker shards
+//!   behind a routing acceptor; `durable(path)` makes the shadow store
+//!   survive restarts via per-domain write-ahead journals
+//!   (`shadow-store`), replayed before serving.
+//! * [`connect_tcp`] — a TCP client for a bound deployment (or
+//!   `shadowd`).
 //! * Re-exports of the full public API of the component crates.
 //!
 //! # Module map
@@ -37,6 +38,7 @@
 //! | `sim`  | discrete-event scheduler + CPU/network cost model | `ClientDriver`, `ServerDriver` (timers become sim events) |
 //! | `live` | threads + in-process pipes | `ClientDriver`, `ServerRuntime` over a channel acceptor |
 //! | `tcpd` | daemon + sockets | `ClientDriver`, `ServerRuntime` over a TCP acceptor |
+//! | `deploy` | the [`Deployment`] builder over `live`/`tcpd` | `shadow-store`'s `DurableStore` as the runtime's `PersistSink` |
 //!
 //! The sharded variants reuse the same two acceptors, wrapped in
 //! `shadow-runtime`'s `ShardedServerRuntime` (one `ServerRuntime` per
@@ -72,6 +74,7 @@
 #![warn(missing_docs)]
 
 mod cpu;
+mod deploy;
 pub mod experiment;
 mod live;
 pub mod persist;
@@ -79,14 +82,17 @@ mod sim;
 mod tcpd;
 
 pub use cpu::CpuModel;
+pub use deploy::{DeployError, Deployment, PipeDeployment, TcpDeployment};
 pub use live::{LiveClient, LiveError, LiveSystem, ShardedLiveSystem};
 pub use tcpd::{connect_tcp, ShardedTcpServerRuntime, TcpClient, TcpServerRuntime};
 pub use sim::{ClientId, FinishedJob, ServerId, SimError, Simulation};
 
+pub use shadow_store::{DurableStore, RecoverySummary, DEFAULT_COMPACT_EVERY};
+
 pub use shadow_runtime::{
     shard_for, Accepted, ClientDriver, ClientOutbound, Clock, CompletedJob, DriverEvent,
-    DriverStats, EventHook, FeedError, FrameInfo, FrameTransport, ServerDriver, ServerIo,
-    ServerOutbound, ServerRuntime, SessionAcceptor, ShardedServerRuntime, TimerQueue,
+    DriverStats, EventHook, FeedError, FrameInfo, FrameTransport, PersistSink, ServerDriver,
+    ServerIo, ServerOutbound, ServerRuntime, SessionAcceptor, ShardedServerRuntime, TimerQueue,
     TransportClosed, VirtualClock, WallClock,
 };
 
@@ -106,7 +112,7 @@ pub use shadow_diff::{
 pub use shadow_netsim::{pipe, profiles, LinkProfile, LinkStats, SimNet, SimTime};
 pub use shadow_proto::{
     ClientMessage, ContentDigest, DomainId, FileId, FileKey, Frame, HostName, JobId, JobStats,
-    JobStatus, JobStatusEntry, OutputPayload, RequestId, ServerMessage, SubmitOptions,
+    JobStatus, JobStatusEntry, OutputPayload, PersistRecord, RequestId, ServerMessage, SubmitOptions,
     TransferEncoding, UpdatePayload, VersionNumber, WireDecode, WireEncode, WireError,
     PROTOCOL_VERSION,
 };
@@ -133,13 +139,14 @@ pub use shadow_workload::{
 /// ```
 ///
 /// Covers file identity ([`FileRef`]), the validated config builders,
-/// the three deployment front ends ([`Simulation`], [`LiveSystem`],
-/// [`TcpClient`]), the drivers beneath them, and the unified
+/// the deployment front ends ([`Simulation`], the [`Deployment`]
+/// builder, [`TcpClient`]), the drivers beneath them, and the unified
 /// [`NodeReport`] stats surface.
 pub mod prelude {
-    pub use crate::live::{LiveClient, LiveSystem, ShardedLiveSystem};
+    pub use crate::deploy::{DeployError, Deployment, PipeDeployment, TcpDeployment};
+    pub use crate::live::LiveClient;
     pub use crate::sim::{ClientId, FinishedJob, ServerId, Simulation};
-    pub use crate::tcpd::{connect_tcp, ShardedTcpServerRuntime, TcpClient, TcpServerRuntime};
+    pub use crate::tcpd::{connect_tcp, TcpClient};
     pub use shadow_client::{
         ClientConfig, ClientConfigBuilder, DeltaPolicy, FileRef, ShadowEnv, TransferMode,
     };

@@ -25,7 +25,7 @@ use shadow_proto::{JobId, JobStats, RequestId, SubmitOptions, WireError};
 use shadow_obs::NodeReport;
 use shadow_runtime::{
     Accepted, ClientDriver, ClientOutbound, Clock, EventHook, FeedError, FrameTransport,
-    ServerRuntime, SessionAcceptor, ShardedServerRuntime, WallClock,
+    PersistSink, ServerRuntime, SessionAcceptor, ShardedServerRuntime, WallClock,
 };
 use shadow_server::{ServerConfig, ServerNode};
 
@@ -100,12 +100,12 @@ impl SessionAcceptor for ChannelAcceptor {
 /// # Example
 ///
 /// ```
-/// use shadow::{ClientConfig, LiveSystem, ServerConfig, SubmitOptions, FileRef};
+/// use shadow::{ClientConfig, Deployment, ServerConfig, SubmitOptions, FileRef};
 /// use shadow_proto::FileId;
 /// use std::time::Duration;
 ///
-/// # fn main() -> Result<(), shadow::LiveError> {
-/// let system = LiveSystem::start(ServerConfig::new("superc"));
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let system = Deployment::new(ServerConfig::new("superc")).pipes()?;
 /// let mut client = system.connect_client(ClientConfig::new("ws1", 1));
 /// client.wait_ready(Duration::from_secs(2))?;
 ///
@@ -123,22 +123,36 @@ impl SessionAcceptor for ChannelAcceptor {
 pub struct LiveSystem {
     handle: Option<JoinHandle<ServerNode>>,
     registrar: Sender<PipeEnd>,
+    reports: Sender<Sender<NodeReport>>,
 }
 
 impl LiveSystem {
     /// Starts the server thread.
+    #[deprecated(note = "use `Deployment::new(config).pipes()`")]
     pub fn start(config: ServerConfig) -> Self {
+        Self::start_with(ServerNode::new(config), None)
+    }
+
+    /// Starts the server thread around a pre-built node (fresh, or
+    /// restored from a durable store) and the sink its storage intents
+    /// go to. The [`Deployment`](crate::Deployment) builder is the
+    /// public face of this.
+    pub(crate) fn start_with(node: ServerNode, sink: Option<Box<dyn PersistSink>>) -> Self {
         let (registrar, reg_rx) = unbounded::<PipeEnd>();
+        let (reports, report_rx) = unbounded::<Sender<NodeReport>>();
         let handle = std::thread::Builder::new()
             .name("shadow-server".to_string())
             .spawn(move || {
-                let mut runtime = ServerRuntime::new(
-                    ServerNode::new(config),
-                    ChannelAcceptor { rx: reg_rx },
-                    WallClock::new(),
-                );
+                let mut runtime =
+                    ServerRuntime::new(node, ChannelAcceptor { rx: reg_rx }, WallClock::new());
+                if let Some(sink) = sink {
+                    runtime = runtime.with_sink(sink);
+                }
                 loop {
                     let Ok(busy) = runtime.poll_once();
+                    while let Ok(reply) = report_rx.try_recv() {
+                        let _ = reply.send(runtime.report());
+                    }
                     // Exit once no new clients can arrive and all work
                     // (sessions, pending timers) has drained.
                     if runtime.acceptor_closed() && runtime.idle() {
@@ -153,7 +167,16 @@ impl LiveSystem {
         LiveSystem {
             handle: Some(handle),
             registrar,
+            reports,
         }
+    }
+
+    /// The live server report (protocol metrics, cache behaviour, poll
+    /// loop counters). `None` once the system has begun shutting down.
+    pub fn report(&self) -> Option<NodeReport> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.reports.send(reply_tx).ok()?;
+        reply_rx.recv_timeout(Duration::from_secs(5)).ok()
     }
 
     /// Connects a new client: sends the `Hello` immediately.
@@ -182,6 +205,8 @@ impl LiveSystem {
     /// owning its own `ServerNode`, behind a routing acceptor thread
     /// that assigns every session to the shard owning its naming
     /// domain. See [`ShardedLiveSystem`].
+    #[deprecated(note = "use `Deployment::new(config).shards(n).pipes()`")]
+    #[allow(deprecated)]
     pub fn sharded(config: ServerConfig, shards: usize) -> ShardedLiveSystem {
         ShardedLiveSystem::start(config, shards)
     }
@@ -201,12 +226,12 @@ impl LiveSystem {
 /// # Example
 ///
 /// ```
-/// use shadow::{ClientConfig, LiveSystem, ServerConfig, SubmitOptions, FileRef};
+/// use shadow::{ClientConfig, Deployment, ServerConfig, SubmitOptions, FileRef};
 /// use shadow_proto::FileId;
 /// use std::time::Duration;
 ///
-/// # fn main() -> Result<(), shadow::LiveError> {
-/// let system = LiveSystem::sharded(ServerConfig::new("superc"), 4);
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let system = Deployment::new(ServerConfig::new("superc")).shards(4).pipes()?;
 /// let mut client = system.connect_client(ClientConfig::new("ws1", 1));
 /// client.wait_ready(Duration::from_secs(2))?;
 ///
@@ -229,15 +254,29 @@ pub struct ShardedLiveSystem {
 
 impl ShardedLiveSystem {
     /// Starts the router thread and its worker shards.
+    #[deprecated(note = "use `Deployment::new(config).shards(n).pipes()`")]
     pub fn start(config: ServerConfig, shards: usize) -> Self {
+        Self::start_with_parts(
+            (0..shards.max(1))
+                .map(|_| (ServerNode::new(config.clone()), None))
+                .collect(),
+        )
+    }
+
+    /// Starts the router thread over pre-built shards — each its
+    /// (possibly journal-restored) node plus the sink that shard's
+    /// storage intents go to. The [`Deployment`](crate::Deployment)
+    /// builder is the public face of this.
+    pub(crate) fn start_with_parts(
+        parts: Vec<(ServerNode, Option<Box<dyn PersistSink>>)>,
+    ) -> Self {
         let (registrar, reg_rx) = unbounded::<PipeEnd>();
         let (reports, report_rx) = unbounded::<Sender<NodeReport>>();
         let handle = std::thread::Builder::new()
             .name("shadow-shard-router".to_string())
             .spawn(move || {
-                let mut runtime = ShardedServerRuntime::new(
-                    &config,
-                    shards,
+                let mut runtime = ShardedServerRuntime::from_parts(
+                    parts,
                     ChannelAcceptor { rx: reg_rx },
                     WallClock::new(),
                 );
@@ -514,6 +553,7 @@ impl<T: FrameTransport> LiveClient<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::deploy::Deployment;
     use shadow_proto::FileId;
 
     fn fref(id: u64, name: &str) -> FileRef {
@@ -522,7 +562,7 @@ mod tests {
 
     #[test]
     fn live_round_trip_runs_a_job() {
-        let system = LiveSystem::start(ServerConfig::new("sc"));
+        let system = Deployment::new(ServerConfig::new("sc")).pipes().unwrap();
         let mut client = system.connect_client(ClientConfig::new("ws1", 1));
         client.wait_ready(Duration::from_secs(5)).unwrap();
 
@@ -534,13 +574,13 @@ mod tests {
         assert!(errors.is_empty());
         assert_eq!(stats.exit_code, 0);
         drop(client);
-        let server = system.shutdown();
+        let server = system.shutdown().remove(0);
         assert_eq!(server.report().counter("server", "jobs_completed"), 1);
     }
 
     #[test]
     fn live_resubmission_uses_delta() {
-        let system = LiveSystem::start(ServerConfig::new("sc"));
+        let system = Deployment::new(ServerConfig::new("sc")).pipes().unwrap();
         let mut client = system.connect_client(ClientConfig::new("ws1", 1));
         client.wait_ready(Duration::from_secs(5)).unwrap();
 
@@ -566,14 +606,16 @@ mod tests {
         assert_eq!(client.report().counter("client", "deltas_sent"), 1);
 
         drop(client);
-        let server = system.shutdown();
+        let server = system.shutdown().remove(0);
         assert_eq!(server.report().counter("server", "delta_updates"), 1);
         assert_eq!(server.report().counter("server", "jobs_completed"), 2);
     }
 
     #[test]
     fn multiple_live_clients_share_a_server() {
-        let system = LiveSystem::start(ServerConfig::new("sc").with_max_running(2));
+        let system = Deployment::new(ServerConfig::new("sc").with_max_running(2))
+            .pipes()
+            .unwrap();
         let mut c1 = system.connect_client(ClientConfig::new("ws1", 1));
         let mut c2 = system.connect_client(ClientConfig::new("ws2", 1));
         c1.wait_ready(Duration::from_secs(5)).unwrap();
@@ -593,13 +635,16 @@ mod tests {
         assert_eq!(o2, b"from ws2\n");
         drop(c1);
         drop(c2);
-        let server = system.shutdown();
+        let server = system.shutdown().remove(0);
         assert_eq!(server.report().counter("server", "jobs_completed"), 2);
     }
 
     #[test]
     fn sharded_live_routes_domains_and_runs_jobs() {
-        let system = LiveSystem::sharded(ServerConfig::new("sc"), 4);
+        let system = Deployment::new(ServerConfig::new("sc"))
+            .shards(4)
+            .pipes()
+            .unwrap();
         let mut clients: Vec<LiveClient> = (1..=4u64)
             .map(|d| {
                 system.connect_client(ClientConfig::new(format!("ws{d}"), d))
@@ -632,7 +677,10 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn sharded_live_with_one_shard_matches_single_server_behaviour() {
+        // Deliberately exercises the deprecated entry point so the thin
+        // wrapper keeps working until it is removed.
         let system = LiveSystem::sharded(ServerConfig::new("sc"), 1);
         let mut client = system.connect_client(ClientConfig::new("ws1", 7));
         client.wait_ready(Duration::from_secs(5)).unwrap();

@@ -10,28 +10,57 @@
 //! Layout (plain files, no formats to rot):
 //!
 //! ```text
-//! <state>/<file-id-hex>/name        canonical name (one line)
-//! <state>/<file-id-hex>/<version>.v retained content of that version
+//! <state>/<file-id-hex>/name          canonical name (one line)
+//! <state>/<file-id-hex>/<version>.v   retained content of that version
+//! <state>/<file-id-hex>/<version>.sum FNV digest of that content (hex)
 //! ```
+//!
+//! The `.sum` sidecar lets a later load detect a truncated or bit-rotted
+//! `.v` file instead of silently restoring garbage into the version
+//! chain. State written before the sidecars existed loads unverified.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use shadow_client::{ClientNode, FileRef};
-use shadow_proto::{FileId, VersionNumber};
+use shadow_proto::{ContentDigest, FileId, VersionNumber};
+
+/// What [`load_state`] found: how much state came back, and how much
+/// had to be left behind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadSummary {
+    /// Version-chain entries restored into the node.
+    pub restored: usize,
+    /// Entries skipped: unparsable directory or version names, digest
+    /// mismatches (truncated or corrupt `.v` files), and versions the
+    /// node rejected as out of order.
+    pub skipped: usize,
+}
+
+impl LoadSummary {
+    /// True when anything was left behind.
+    pub fn degraded(&self) -> bool {
+        self.skipped > 0
+    }
+}
 
 /// Loads every persisted version chain in `dir` into the client node.
 /// A missing directory is an empty state, not an error.
 ///
+/// Corrupt entries (bad names, digest mismatches, out-of-order
+/// versions) are skipped, counted in the returned summary, and surfaced
+/// in the node's report as the `client` section's `restore_skipped`
+/// counter.
+///
 /// # Errors
 ///
-/// I/O failures reading existing state (corrupt entries are skipped).
-pub fn load_state(dir: &Path, node: &mut ClientNode) -> io::Result<usize> {
-    let mut restored = 0;
+/// I/O failures reading existing state.
+pub fn load_state(dir: &Path, node: &mut ClientNode) -> io::Result<LoadSummary> {
+    let mut summary = LoadSummary::default();
     let entries = match fs::read_dir(dir) {
         Ok(e) => e,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(summary),
         Err(e) => return Err(e),
     };
     for entry in entries {
@@ -44,6 +73,7 @@ pub fn load_state(dir: &Path, node: &mut ClientNode) -> io::Result<usize> {
             .to_str()
             .and_then(|s| u64::from_str_radix(s, 16).ok())
         else {
+            summary.skipped += 1;
             continue;
         };
         let file_dir = entry.path();
@@ -57,27 +87,44 @@ pub fn load_state(dir: &Path, node: &mut ClientNode) -> io::Result<usize> {
             let v = v?;
             let path = v.path();
             if path.extension().is_some_and(|e| e == "v") {
-                if let Some(num) = path
+                match path
                     .file_stem()
                     .and_then(|s| s.to_str())
                     .and_then(|s| s.parse::<u64>().ok())
                 {
-                    versions.push((num, path));
+                    Some(num) => versions.push((num, path)),
+                    None => summary.skipped += 1,
                 }
             }
         }
         versions.sort();
         for (num, path) in versions {
             let content = fs::read(&path)?;
+            // A `.sum` sidecar pins the expected digest; a mismatch
+            // means the `.v` was truncated or corrupted after writing.
+            let expected = fs::read_to_string(path.with_extension("sum"))
+                .ok()
+                .and_then(|s| u64::from_str_radix(s.trim(), 16).ok());
+            if let Some(sum) = expected {
+                if ContentDigest::of(&content).as_u64() != sum {
+                    summary.skipped += 1;
+                    continue;
+                }
+            }
             if node
                 .restore_version(&fref, VersionNumber::new(num), content)
                 .is_ok()
             {
-                restored += 1;
+                summary.restored += 1;
+            } else {
+                summary.skipped += 1;
             }
         }
     }
-    Ok(restored)
+    if summary.skipped > 0 {
+        node.note_restore_skipped(summary.skipped as u64);
+    }
+    Ok(summary)
 }
 
 /// Persists every retained version chain of the client node into `dir`,
@@ -97,6 +144,10 @@ pub fn save_state(dir: &Path, node: &ClientNode) -> io::Result<usize> {
         fs::create_dir_all(&file_dir)?;
         fs::write(file_dir.join("name"), format!("{}\n", fref.name))?;
         for (version, content) in node.retained_versions(fref.id) {
+            fs::write(
+                file_dir.join(format!("{}.sum", version.as_u64())),
+                format!("{:016x}\n", ContentDigest::of(&content).as_u64()),
+            )?;
             fs::write(
                 file_dir.join(format!("{}.v", version.as_u64())),
                 content,
@@ -132,8 +183,9 @@ mod tests {
         assert_eq!(saved, 2);
 
         let mut fresh = ClientNode::new(ClientConfig::new("ws", 1));
-        let restored = load_state(&dir, &mut fresh).unwrap();
-        assert_eq!(restored, 2);
+        let summary = load_state(&dir, &mut fresh).unwrap();
+        assert_eq!(summary, LoadSummary { restored: 2, skipped: 0 });
+        assert!(!summary.degraded());
         assert_eq!(fresh.file_size(f.id), Some(11));
         let files = fresh.tracked_files();
         assert_eq!(files.len(), 1);
@@ -148,7 +200,7 @@ mod tests {
     fn missing_dir_is_empty_state() {
         let dir = temp_dir("missing");
         let mut node = ClientNode::new(ClientConfig::new("ws", 1));
-        assert_eq!(load_state(&dir, &mut node).unwrap(), 0);
+        assert_eq!(load_state(&dir, &mut node).unwrap(), LoadSummary::default());
     }
 
     #[test]
@@ -161,15 +213,16 @@ mod tests {
         }
         save_state(&dir, &node).unwrap();
         let mut fresh = ClientNode::new(ClientConfig::new("ws", 1));
-        let restored = load_state(&dir, &mut fresh).unwrap();
+        let summary = load_state(&dir, &mut fresh).unwrap();
         // Default retention: latest + 4 older.
-        assert_eq!(restored, 5);
+        assert_eq!(summary.restored, 5);
+        assert_eq!(summary.skipped, 0);
         assert_eq!(fresh.file_size(f.id), Some(10));
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn corrupt_entries_are_skipped() {
+    fn corrupt_entries_are_skipped_and_counted() {
         let dir = temp_dir("corrupt");
         fs::create_dir_all(dir.join("not-hex")).unwrap();
         fs::create_dir_all(dir.join("00000000000000ff")).unwrap();
@@ -177,8 +230,37 @@ mod tests {
         fs::write(dir.join("00000000000000ff/junk.v"), "ignored").unwrap();
         fs::write(dir.join("00000000000000ff/2.v"), "good\n").unwrap();
         let mut node = ClientNode::new(ClientConfig::new("ws", 1));
-        assert_eq!(load_state(&dir, &mut node).unwrap(), 1);
+        let summary = load_state(&dir, &mut node).unwrap();
+        assert_eq!(summary, LoadSummary { restored: 1, skipped: 2 });
+        assert!(summary.degraded());
         assert_eq!(node.file_size(FileId::new(0xff)), Some(5));
+        // The degradation is visible in the node's own metrics (and so
+        // in any report built over them), not just the return value.
+        assert_eq!(node.metrics().restore_skipped, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_version_file_is_detected_and_skipped() {
+        let dir = temp_dir("truncated");
+        let mut node = ClientNode::new(ClientConfig::new("ws", 1));
+        let f = FileRef::new(FileId::new(9), "ws:/data");
+        node.edit_finished(&f, b"first version\n".to_vec());
+        node.edit_finished(&f, b"second version, longer\n".to_vec());
+        save_state(&dir, &node).unwrap();
+
+        // Truncate the latest version's content; its `.sum` sidecar no
+        // longer matches, so the load must not trust the bytes.
+        let v2 = dir.join("0000000000000009/2.v");
+        let bytes = fs::read(&v2).unwrap();
+        fs::write(&v2, &bytes[..bytes.len() / 2]).unwrap();
+
+        let mut fresh = ClientNode::new(ClientConfig::new("ws", 1));
+        let summary = load_state(&dir, &mut fresh).unwrap();
+        assert_eq!(summary, LoadSummary { restored: 1, skipped: 1 });
+        // The intact v1 survived; the truncated v2 did not sneak in.
+        assert_eq!(fresh.file_size(f.id), Some(14));
+        assert_eq!(fresh.metrics().restore_skipped, 1);
         let _ = fs::remove_dir_all(&dir);
     }
 }

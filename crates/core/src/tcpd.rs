@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use shadow_client::ClientConfig;
 use shadow_netsim::tcp::{TcpFramed, TcpServer};
 use shadow_runtime::{
-    Accepted, ServerRuntime, SessionAcceptor, ShardedServerRuntime, WallClock,
+    Accepted, PersistSink, ServerRuntime, SessionAcceptor, ShardedServerRuntime, WallClock,
 };
 use shadow_server::{ServerConfig, ServerNode};
 
@@ -60,11 +60,12 @@ impl SessionAcceptor for TcpAcceptor {
 /// # Example
 ///
 /// ```no_run
-/// use shadow::{ServerConfig, TcpServerRuntime};
+/// use shadow::{Deployment, ServerConfig};
 ///
-/// # fn main() -> std::io::Result<()> {
-/// let runtime = TcpServerRuntime::bind("0.0.0.0:4411", ServerConfig::new("superc"))?;
-/// runtime.run_forever()
+/// # fn main() -> Result<(), shadow::DeployError> {
+/// let runtime = Deployment::new(ServerConfig::new("superc")).tcp("0.0.0.0:4411")?;
+/// runtime.run_forever()?;
+/// # Ok(())
 /// # }
 /// ```
 #[derive(Debug)]
@@ -79,17 +80,33 @@ impl TcpServerRuntime {
     /// # Errors
     ///
     /// Bind failures.
+    #[deprecated(note = "use `Deployment::new(config).tcp(addr)`")]
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Self> {
+        Self::bind_with(addr, ServerNode::new(config), None)
+    }
+
+    /// Binds the well-known port around a pre-built node (fresh, or
+    /// restored from a durable store) and the sink its storage intents
+    /// go to. The [`Deployment`](crate::Deployment) builder is the
+    /// public face of this.
+    pub(crate) fn bind_with(
+        addr: impl ToSocketAddrs,
+        node: ServerNode,
+        sink: Option<Box<dyn PersistSink>>,
+    ) -> io::Result<Self> {
         let listener = TcpServer::bind(addr)?;
         let addr = listener.local_addr()?;
-        Ok(TcpServerRuntime {
-            inner: ServerRuntime::new(
-                ServerNode::new(config),
-                TcpAcceptor { listener },
-                WallClock::new(),
-            ),
-            addr,
-        })
+        let mut inner = ServerRuntime::new(node, TcpAcceptor { listener }, WallClock::new());
+        if let Some(sink) = sink {
+            inner = inner.with_sink(sink);
+        }
+        Ok(TcpServerRuntime { inner, addr })
+    }
+
+    /// The server report: protocol metrics, cache behaviour, poll loop
+    /// counters.
+    pub fn report(&self) -> shadow_obs::NodeReport {
+        self.inner.report()
     }
 
     /// The bound address (useful with port 0).
@@ -154,12 +171,14 @@ impl TcpServerRuntime {
 /// # Example
 ///
 /// ```no_run
-/// use shadow::{ServerConfig, ShardedTcpServerRuntime};
+/// use shadow::{Deployment, ServerConfig};
 ///
-/// # fn main() -> std::io::Result<()> {
-/// let runtime =
-///     ShardedTcpServerRuntime::bind("0.0.0.0:4411", ServerConfig::new("superc"), 4)?;
-/// runtime.run_forever()
+/// # fn main() -> Result<(), shadow::DeployError> {
+/// let runtime = Deployment::new(ServerConfig::new("superc"))
+///     .shards(4)
+///     .tcp("0.0.0.0:4411")?;
+/// runtime.run_forever()?;
+/// # Ok(())
 /// # }
 /// ```
 #[derive(Debug)]
@@ -174,17 +193,33 @@ impl ShardedTcpServerRuntime {
     /// # Errors
     ///
     /// Bind failures.
+    #[deprecated(note = "use `Deployment::new(config).shards(n).tcp(addr)`")]
     pub fn bind(
         addr: impl ToSocketAddrs,
         config: ServerConfig,
         shards: usize,
     ) -> io::Result<Self> {
+        Self::bind_with_parts(
+            addr,
+            (0..shards.max(1))
+                .map(|_| (ServerNode::new(config.clone()), None))
+                .collect(),
+        )
+    }
+
+    /// Binds the well-known port over pre-built shards — each its
+    /// (possibly journal-restored) node plus the sink that shard's
+    /// storage intents go to. The [`Deployment`](crate::Deployment)
+    /// builder is the public face of this.
+    pub(crate) fn bind_with_parts(
+        addr: impl ToSocketAddrs,
+        parts: Vec<(ServerNode, Option<Box<dyn PersistSink>>)>,
+    ) -> io::Result<Self> {
         let listener = TcpServer::bind(addr)?;
         let addr = listener.local_addr()?;
         Ok(ShardedTcpServerRuntime {
-            inner: ShardedServerRuntime::new(
-                &config,
-                shards,
+            inner: ShardedServerRuntime::from_parts(
+                parts,
                 TcpAcceptor { listener },
                 WallClock::new(),
             ),
@@ -262,13 +297,15 @@ impl ShardedTcpServerRuntime {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::deploy::Deployment;
     use shadow_client::FileRef;
     use shadow_proto::{FileId, SubmitOptions};
 
     #[test]
     fn tcp_end_to_end_job() {
-        let runtime =
-            TcpServerRuntime::bind("127.0.0.1:0", ServerConfig::new("sc")).unwrap();
+        let runtime = Deployment::new(ServerConfig::new("sc"))
+            .tcp("127.0.0.1:0")
+            .unwrap();
         let addr = runtime.local_addr().unwrap();
         let handle =
             std::thread::spawn(move || runtime.run_until_idle_for(Duration::from_millis(400)));
@@ -282,12 +319,15 @@ mod tests {
         assert_eq!(output, b"over tcp\n");
         assert_eq!(stats.exit_code, 0);
         drop(client);
-        let node = handle.join().unwrap().unwrap();
+        let node = handle.join().unwrap().unwrap().remove(0);
         assert_eq!(node.report().counter("server", "jobs_completed"), 1);
     }
 
     #[test]
+    #[allow(deprecated)]
     fn tcp_delta_resubmission() {
+        // Deliberately exercises the deprecated entry point so the thin
+        // wrapper keeps working until it is removed.
         let runtime =
             TcpServerRuntime::bind("127.0.0.1:0", ServerConfig::new("sc")).unwrap();
         let addr = runtime.local_addr().unwrap();
@@ -319,9 +359,10 @@ mod tests {
 
     #[test]
     fn sharded_tcp_end_to_end_jobs_across_domains() {
-        let runtime =
-            ShardedTcpServerRuntime::bind("127.0.0.1:0", ServerConfig::new("sc"), 2)
-                .unwrap();
+        let runtime = Deployment::new(ServerConfig::new("sc"))
+            .shards(2)
+            .tcp("127.0.0.1:0")
+            .unwrap();
         let addr = runtime.local_addr().unwrap();
         let handle =
             std::thread::spawn(move || runtime.run_until_idle_for(Duration::from_millis(400)));

@@ -35,12 +35,14 @@ mod digest;
 mod error;
 mod ids;
 mod message;
+mod persist;
 mod stable_hash;
 mod wire;
 
 pub use digest::ContentDigest;
 pub use stable_hash::StableHasher;
 pub use error::WireError;
+pub use persist::PersistRecord;
 pub use ids::{DomainId, FileId, FileKey, HostName, JobId, RequestId, VersionNumber};
 pub use message::{
     ClientMessage, JobStats, JobStatus, JobStatusEntry, OutputPayload, ServerMessage,

@@ -132,7 +132,7 @@ pub struct Cursor<'a> {
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.buf.len() < n {
             return Err(WireError::Truncated {
                 needed: n,
@@ -144,30 +144,30 @@ impl<'a> Cursor<'a> {
         Ok(head)
     }
 
-    fn get_u8(&mut self) -> Result<u8, WireError> {
+    pub(crate) fn get_u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
 
-    fn get_u32(&mut self) -> Result<u32, WireError> {
+    pub(crate) fn get_u32(&mut self) -> Result<u32, WireError> {
         let mut b = self.take(4)?;
         Ok(b.get_u32_le())
     }
 
-    fn get_i32(&mut self) -> Result<i32, WireError> {
+    pub(crate) fn get_i32(&mut self) -> Result<i32, WireError> {
         let mut b = self.take(4)?;
         Ok(b.get_i32_le())
     }
 
-    fn get_u64(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn get_u64(&mut self) -> Result<u64, WireError> {
         let mut b = self.take(8)?;
         Ok(b.get_u64_le())
     }
 
-    fn get_bool(&mut self) -> Result<bool, WireError> {
+    pub(crate) fn get_bool(&mut self) -> Result<bool, WireError> {
         Ok(self.get_u8()? != 0)
     }
 
-    fn get_len(&mut self, what: &'static str, max: usize) -> Result<usize, WireError> {
+    pub(crate) fn get_len(&mut self, what: &'static str, max: usize) -> Result<usize, WireError> {
         let len = self.get_u32()? as usize;
         if len > max {
             return Err(WireError::LengthOverflow {
@@ -179,12 +179,12 @@ impl<'a> Cursor<'a> {
         Ok(len)
     }
 
-    fn get_bytes(&mut self) -> Result<Bytes, WireError> {
+    pub(crate) fn get_bytes(&mut self) -> Result<Bytes, WireError> {
         let len = self.get_len("bytes field", MAX_FRAME_LEN)?;
         Ok(Bytes::copy_from_slice(self.take(len)?))
     }
 
-    fn get_string(&mut self) -> Result<String, WireError> {
+    pub(crate) fn get_string(&mut self) -> Result<String, WireError> {
         let len = self.get_len("string field", MAX_STR_LEN)?;
         let raw = self.take(len)?;
         String::from_utf8(raw.to_vec()).map_err(|_| WireError::InvalidUtf8)
@@ -202,16 +202,16 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn put_bytes(buf: &mut BytesMut, data: &[u8]) {
+pub(crate) fn put_bytes(buf: &mut BytesMut, data: &[u8]) {
     buf.put_u32_le(data.len() as u32);
     buf.put_slice(data);
 }
 
-fn put_string(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_string(buf: &mut BytesMut, s: &str) {
     put_bytes(buf, s.as_bytes());
 }
 
-fn put_opt<T>(buf: &mut BytesMut, value: &Option<T>, write: impl FnOnce(&mut BytesMut, &T)) {
+pub(crate) fn put_opt<T>(buf: &mut BytesMut, value: &Option<T>, write: impl FnOnce(&mut BytesMut, &T)) {
     match value {
         Some(v) => {
             buf.put_u8(1);
@@ -333,7 +333,7 @@ fn get_output_payload(c: &mut Cursor<'_>) -> Result<OutputPayload, WireError> {
     }
 }
 
-fn put_options(buf: &mut BytesMut, o: &SubmitOptions) {
+pub(crate) fn put_options(buf: &mut BytesMut, o: &SubmitOptions) {
     put_opt(buf, &o.output_file, |b, s| put_string(b, s));
     put_opt(buf, &o.error_file, |b, s| put_string(b, s));
     put_opt(buf, &o.deliver_to, |b, h| put_string(b, h.as_str()));

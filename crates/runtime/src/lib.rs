@@ -45,6 +45,7 @@ mod event;
 mod server_driver;
 mod server_runtime;
 mod shard;
+mod sink;
 mod timer;
 mod transport;
 
@@ -53,6 +54,7 @@ pub use clock::{Clock, VirtualClock, WallClock};
 pub use event::{CompletedJob, DriverEvent, DriverStats, EventHook, FeedError, FrameInfo};
 pub use server_driver::{ServerDriver, ServerIo, ServerOutbound};
 pub use server_runtime::{Accepted, ServerRuntime, SessionAcceptor};
+pub use sink::{PersistSink, VecSink};
 pub use shard::{
     shard_for, PeekedTransport, ShardCommand, ShardHandle, ShardInbox, ShardedServerRuntime,
 };

@@ -1,7 +1,7 @@
 //! The server-side driver: decode→feed, Send/SetTimer dispatch, the
 //! unified timer queue.
 
-use shadow_proto::{ClientMessage, Frame};
+use shadow_proto::{ClientMessage, Frame, PersistRecord};
 use shadow_server::{ServerAction, ServerEvent, ServerMetrics, ServerNode, SessionId, TimerToken};
 
 use crate::event::{DriverEvent, DriverStats, EventHook, FeedError, FrameInfo};
@@ -28,6 +28,10 @@ pub struct ServerIo {
     pub outbound: Vec<ServerOutbound>,
     /// Deadlines (driver-clock ms) of timers armed by this call.
     pub armed: Vec<u64>,
+    /// Storage intents to append to the durable shadow store. A
+    /// diskless runtime drops them; a durable one journals them in
+    /// order (see [`PersistSink`](crate::PersistSink)).
+    pub persists: Vec<PersistRecord>,
 }
 
 /// Drives a [`ServerNode`]: the single place server actions are
@@ -252,6 +256,7 @@ impl ServerDriver {
                     self.timers.schedule(deadline_ms, token);
                     io.armed.push(deadline_ms);
                 }
+                ServerAction::Persist(record) => io.persists.push(record),
             }
         }
     }

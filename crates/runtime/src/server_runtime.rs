@@ -7,6 +7,7 @@ use shadow_server::{ServerNode, SessionId};
 
 use crate::clock::Clock;
 use crate::server_driver::{ServerDriver, ServerIo};
+use crate::sink::PersistSink;
 use crate::transport::FrameTransport;
 
 /// Bucket bounds for the inbound frame-size histogram: tuned around the
@@ -78,6 +79,8 @@ pub struct ServerRuntime<A: SessionAcceptor, C: Clock> {
     next_session: u64,
     closed: bool,
     metrics: MetricsRegistry,
+    /// Where storage intents go; `None` drops them (diskless).
+    sink: Option<Box<dyn PersistSink>>,
 }
 
 // Manual impl: acceptors, clocks, and transports need not be `Debug`.
@@ -107,7 +110,16 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
             next_session: 1,
             closed: false,
             metrics,
+            sink: None,
         }
+    }
+
+    /// Installs the sink that journals storage intents (builder-style).
+    /// Without one, `Persist` actions are dropped — the diskless
+    /// behaviour every deployment had before the durable store existed.
+    pub fn with_sink(mut self, sink: Box<dyn PersistSink>) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// The underlying driver (read-only).
@@ -122,10 +134,15 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
     }
 
     /// The driver's full [`NodeReport`] extended with a
-    /// `server_runtime` section from the poll loop's registry.
+    /// `server_runtime` section from the poll loop's registry, plus the
+    /// installed sink's section (the durable store's journal counters)
+    /// when there is one.
     pub fn report(&self) -> NodeReport {
         let mut report = self.driver.report();
         report.add_section(self.metrics.to_section("server_runtime"));
+        if let Some(section) = self.sink.as_ref().and_then(|s| s.report_section()) {
+            report.add_section(section);
+        }
         report
     }
 
@@ -267,6 +284,12 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
     /// are ignored here: wall-clock runtimes poll
     /// [`ServerDriver::next_deadline`] each round instead.
     fn dispatch(&mut self, io: ServerIo) {
+        if let Some(sink) = &mut self.sink {
+            for record in &io.persists {
+                sink.persist(record);
+            }
+            self.metrics.inc("records_persisted", io.persists.len() as u64);
+        }
         for out in io.outbound {
             let Some(&pos) = self.index.get(&out.session) else {
                 continue;

@@ -35,6 +35,7 @@ use shadow_server::{ServerConfig, ServerNode};
 
 use crate::clock::Clock;
 use crate::server_runtime::{Accepted, ServerRuntime, SessionAcceptor};
+use crate::sink::PersistSink;
 use crate::transport::{FrameTransport, TransportClosed};
 
 /// How long [`ShardedServerRuntime::report`] waits for each shard's
@@ -214,12 +215,20 @@ impl<T: FrameTransport> SessionAcceptor for ShardInbox<T> {
 /// inbox, answering report requests between polls, exiting — node in
 /// hand — once shut down *and* fully drained (no live sessions, no
 /// pending timers), so nothing a client was acked is ever dropped.
-fn shard_worker<T, C>(node: ServerNode, rx: Receiver<ShardCommand<T>>, clock: C) -> ServerNode
+fn shard_worker<T, C>(
+    node: ServerNode,
+    sink: Option<Box<dyn PersistSink>>,
+    rx: Receiver<ShardCommand<T>>,
+    clock: C,
+) -> ServerNode
 where
     T: FrameTransport,
     C: Clock,
 {
     let mut runtime = ServerRuntime::new(node, ShardInbox::new(rx), clock);
+    if let Some(sink) = sink {
+        runtime = runtime.with_sink(sink);
+    }
     loop {
         let Ok(busy) = runtime.poll_once();
         if runtime.acceptor_closed() {
@@ -256,15 +265,21 @@ impl<T> std::fmt::Debug for ShardHandle<T> {
 }
 
 impl<T: FrameTransport + Send + 'static> ShardHandle<T> {
-    /// Spawns a worker shard around a fresh node.
-    fn spawn<C>(index: usize, node: ServerNode, clock: C) -> Self
+    /// Spawns a worker shard around a node (fresh or journal-restored)
+    /// and the sink its storage intents go to, if any.
+    fn spawn<C>(
+        index: usize,
+        node: ServerNode,
+        sink: Option<Box<dyn PersistSink>>,
+        clock: C,
+    ) -> Self
     where
         C: Clock + Send + 'static,
     {
         let (tx, rx) = channel();
         let join = std::thread::Builder::new()
             .name(format!("shadow-shard-{index}"))
-            .spawn(move || shard_worker(node, rx, clock))
+            .spawn(move || shard_worker(node, sink, rx, clock))
             .expect("spawn shard worker thread");
         ShardHandle { tx, join }
     }
@@ -334,8 +349,39 @@ where
         C: Clock + Clone + Send + 'static,
     {
         let shards = shards.max(1);
-        let handles = (0..shards)
-            .map(|i| ShardHandle::spawn(i, ServerNode::new(config.clone()), clock.clone()))
+        Self::from_parts(
+            (0..shards)
+                .map(|_| (ServerNode::new(config.clone()), None))
+                .collect(),
+            acceptor,
+            clock,
+        )
+    }
+
+    /// Builds the runtime from pre-built per-shard parts: each shard's
+    /// node (fresh, or already restored from that shard's journal) and
+    /// the sink its storage intents are journaled to. Durable
+    /// deployments construct the parts so that shard `i`'s journal holds
+    /// exactly the domains [`shard_for`] maps to `i` — the journal
+    /// shards with the same affinity as the protocol state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is empty: a deployment with zero shards
+    /// cannot route anything.
+    pub fn from_parts<C>(
+        parts: Vec<(ServerNode, Option<Box<dyn PersistSink>>)>,
+        acceptor: A,
+        clock: C,
+    ) -> Self
+    where
+        C: Clock + Clone + Send + 'static,
+    {
+        assert!(!parts.is_empty(), "a sharded runtime needs at least one shard");
+        let handles = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, (node, sink))| ShardHandle::spawn(i, node, sink, clock.clone()))
             .collect();
         ShardedServerRuntime {
             acceptor,

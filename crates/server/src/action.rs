@@ -1,6 +1,6 @@
 //! Events consumed and actions emitted by the server state machine.
 
-use shadow_proto::{ClientMessage, JobId, ServerMessage};
+use shadow_proto::{ClientMessage, JobId, PersistRecord, ServerMessage};
 
 use crate::node::SessionId;
 
@@ -65,6 +65,11 @@ pub enum ServerAction {
         /// Token echoed back when the timer fires.
         token: TimerToken,
     },
+    /// Append one record to the durable shadow store. The state machine
+    /// stays sans-io: it only *describes* the mutation it just applied
+    /// to its in-memory shadow state; a runtime-layer sink journals it
+    /// (and a diskless deployment simply drops it).
+    Persist(PersistRecord),
 }
 
 #[cfg(test)]

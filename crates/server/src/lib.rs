@@ -61,7 +61,7 @@ pub use action::{ServerAction, ServerEvent, TimerToken};
 pub use config::{ConfigError, ExecProfile, FlowControl, ServerConfig, ServerConfigBuilder};
 pub use domain::{DomainDirectory, MappingEntry};
 pub use jobs::{Job, JobPhase};
-pub use node::{ServerMetrics, ServerNode, SessionId};
+pub use node::{RestoreSummary, ServerMetrics, ServerNode, SessionId};
 #[cfg(any(test, feature = "check-faults"))]
 pub use node::FaultInjection;
 pub use output_shadow::OutputShadowStore;

@@ -9,8 +9,8 @@ use shadow_compress::{Codec, Lzss, Rle};
 use shadow_diff::{apply_delta, diff_docs, DeltaError, DiffAlgorithm, DiffScratch, DocBuf};
 use shadow_proto::{
     ClientMessage, ContentDigest, DomainId, FileId, FileKey, HostName, JobId, JobStats,
-    JobStatus, JobStatusEntry, OutputPayload, ServerMessage, SubmitOptions, TransferEncoding,
-    UpdatePayload, VersionNumber, PROTOCOL_VERSION,
+    JobStatus, JobStatusEntry, OutputPayload, PersistRecord, ServerMessage, SubmitOptions,
+    TransferEncoding, UpdatePayload, VersionNumber, PROTOCOL_VERSION,
 };
 
 use crate::action::{ServerAction, ServerEvent, TimerToken};
@@ -66,6 +66,11 @@ pub struct ServerMetrics {
     pub output_deltas: u64,
     /// Payload bytes received in updates.
     pub update_payload_bytes: u64,
+    /// Journal records applied during startup replay.
+    pub restored_records: u64,
+    /// Journal records skipped during startup replay (broken delta
+    /// chains, digest mismatches).
+    pub restore_skipped: u64,
 }
 
 impl shadow_obs::Snapshot for ServerMetrics {
@@ -82,7 +87,19 @@ impl shadow_obs::Snapshot for ServerMetrics {
             .with("jobs_completed", self.jobs_completed)
             .with("output_deltas", self.output_deltas)
             .with("update_payload_bytes", self.update_payload_bytes)
+            .with("restored_records", self.restored_records)
+            .with("restore_skipped", self.restore_skipped)
     }
+}
+
+/// What startup replay managed to rebuild (see [`ServerNode::restore`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RestoreSummary {
+    /// Records applied to the cache or output store.
+    pub applied: usize,
+    /// Records skipped: a delta whose base was missing or whose result
+    /// digest did not match drops its key instead of corrupting it.
+    pub skipped: usize,
 }
 
 /// Deliberately injectable protocol bugs, used to prove the model
@@ -199,6 +216,87 @@ impl ServerNode {
     /// best-effort caching must survive (§5.1).
     pub fn drop_cache(&mut self) {
         self.cache.clear();
+    }
+
+    /// Replays journal records into a fresh node, rebuilding the shadow
+    /// cache and output shadow store exactly as the pre-crash server had
+    /// them. Pure (no I/O): the runtime reads the journal, this applies
+    /// it, so the model checker can replay in-memory journals too.
+    ///
+    /// Replay is deliberately *forgiving*: a delta record whose base is
+    /// not cached (its chain was cut by a skipped record) or whose
+    /// re-applied result does not match the archived digest drops the
+    /// key — the server then degrades to requesting a full transfer for
+    /// that one file, never to serving corrupt content.
+    ///
+    /// Sessions, the mapping directory, and the job table are *not*
+    /// restored: sessions and name mappings are re-established by
+    /// reconnecting clients, and in-flight jobs are lost by design. Job
+    /// ids seen in output records advance the job counter so fresh jobs
+    /// never collide with restored output bases.
+    pub fn restore(&mut self, records: &[PersistRecord]) -> RestoreSummary {
+        let mut summary = RestoreSummary::default();
+        for record in records {
+            match record {
+                PersistRecord::CacheFull {
+                    key,
+                    version,
+                    content,
+                } => {
+                    self.cache.insert(*key, *version, content.to_vec());
+                    summary.applied += 1;
+                }
+                PersistRecord::CacheDelta {
+                    key,
+                    version,
+                    base,
+                    script,
+                    digest,
+                } => {
+                    let applied = match self.cache.get(key) {
+                        Some(entry) if entry.version == *base => {
+                            apply_delta(&entry.content, script)
+                                .ok()
+                                .filter(|c| ContentDigest::of(c) == *digest)
+                        }
+                        _ => None,
+                    };
+                    match applied {
+                        Some(content) => {
+                            self.cache.insert(*key, *version, content);
+                            summary.applied += 1;
+                        }
+                        None => {
+                            self.cache.remove(key);
+                            summary.skipped += 1;
+                        }
+                    }
+                }
+                PersistRecord::CacheRemove { key } => {
+                    self.cache.remove(key);
+                    summary.applied += 1;
+                }
+                PersistRecord::Output {
+                    domain,
+                    job_file,
+                    job,
+                    content,
+                } => {
+                    self.next_job = self.next_job.max(job.as_u64());
+                    self.outputs
+                        .record(*domain, *job_file, *job, DocBuf::from_bytes(content.to_vec()));
+                    summary.applied += 1;
+                }
+                PersistRecord::OutputAcked { job, .. } => {
+                    self.next_job = self.next_job.max(job.as_u64());
+                    self.outputs.mark_acked(*job);
+                    summary.applied += 1;
+                }
+            }
+        }
+        self.metrics.restored_records += summary.applied as u64;
+        self.metrics.restore_skipped += summary.skipped as u64;
+        summary
     }
 
     /// Every file key currently cached (coherence checks).
@@ -391,7 +489,12 @@ impl ServerNode {
                 });
             }
             ClientMessage::OutputAck { job } => {
-                self.outputs.mark_acked(job);
+                if let Some(domain) = self.outputs.mark_acked(job) {
+                    actions.push(ServerAction::Persist(PersistRecord::OutputAcked {
+                        domain,
+                        job,
+                    }));
+                }
             }
             ClientMessage::Bye => {
                 actions.push(ServerAction::Send {
@@ -525,6 +628,10 @@ impl ServerNode {
             }
         };
         let expected_digest = payload.digest();
+        // When a delta applies cleanly, the decoded script text is kept so
+        // the journal can archive the *delta* (the compressed form of the
+        // version chain) instead of the materialized content.
+        let mut applied_script: Option<(VersionNumber, Bytes)> = None;
         let content: Result<Vec<u8>, &'static str> = match &payload {
             UpdatePayload::Full { encoding, data, .. } => {
                 self.metrics.full_updates += 1;
@@ -543,10 +650,15 @@ impl ServerNode {
                         // to the new content — no base clone, no line
                         // vectors, no parsed-script allocation.
                         Self::decode_payload(*encoding, data).and_then(|script_text| {
-                            apply_delta(&entry.content, &script_text).map_err(|e| match e {
-                                DeltaError::Parse(_) => "edit script parse failed",
-                                DeltaError::Apply(_) => "edit script apply failed",
-                            })
+                            let applied =
+                                apply_delta(&entry.content, &script_text).map_err(|e| match e {
+                                    DeltaError::Parse(_) => "edit script parse failed",
+                                    DeltaError::Apply(_) => "edit script apply failed",
+                                });
+                            if applied.is_ok() {
+                                applied_script = Some((entry.version, Bytes::from(script_text)));
+                            }
+                            applied
                         })
                     }
                     Some(_) => Err("delta base version not cached"),
@@ -563,7 +675,37 @@ impl ServerNode {
         });
         match content {
             Ok(content) => {
-                self.cache.insert(key, version, content);
+                // Build the journal record before the content moves into
+                // the cache. A cleanly applied delta is archived as the
+                // delta itself; everything else as full content. The
+                // digest is of the *actual* result so replay can verify
+                // its own re-application.
+                let record = match applied_script {
+                    Some((base, script)) => PersistRecord::CacheDelta {
+                        key,
+                        version,
+                        base,
+                        script,
+                        digest: ContentDigest::of(&content),
+                    },
+                    None => PersistRecord::CacheFull {
+                        key,
+                        version,
+                        content: Bytes::from(content.clone()),
+                    },
+                };
+                for victim in self.cache.insert(key, version, content) {
+                    actions.push(ServerAction::Persist(PersistRecord::CacheRemove {
+                        key: victim,
+                    }));
+                }
+                if self.cache.version_of(&key) == Some(version) {
+                    actions.push(ServerAction::Persist(record));
+                } else {
+                    // The insertion was rejected (content alone exceeds
+                    // the budget) and any prior entry is gone with it.
+                    actions.push(ServerAction::Persist(PersistRecord::CacheRemove { key }));
+                }
                 actions.push(ServerAction::Send {
                     session,
                     message: ServerMessage::VersionAck {
@@ -576,7 +718,9 @@ impl ServerNode {
             Err(_reason) => {
                 // Best-effort recovery: ask for the whole file.
                 self.metrics.update_failures += 1;
-                self.cache.remove(&key);
+                if self.cache.remove(&key).is_some() {
+                    actions.push(ServerAction::Persist(PersistRecord::CacheRemove { key }));
+                }
                 self.in_flight.insert(key, version);
                 self.metrics.update_requests += 1;
                 actions.push(ServerAction::Send {
@@ -871,6 +1015,12 @@ impl ServerNode {
             }
         };
         if shadow_output {
+            actions.push(ServerAction::Persist(PersistRecord::Output {
+                domain,
+                job_file,
+                job: id,
+                content: Bytes::from(output_buf.as_bytes().to_vec()),
+            }));
             self.outputs.record(domain, job_file, id, output_buf);
         }
 
@@ -1480,5 +1630,180 @@ mod tests {
         assert!(actions
             .iter()
             .any(|a| matches!(a, ServerAction::SetTimer { token: TimerToken::FetchPulse, .. })));
+    }
+
+    fn persists(actions: &[ServerAction]) -> Vec<PersistRecord> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                ServerAction::Persist(r) => Some(r.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_update_persists_full_record_and_delta_persists_the_script() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        notify(&mut server, 1, 7, "/f", 1, b"a\nb\nc\n");
+        let records = persists(&full_update(&mut server, 1, 7, 1, b"a\nb\nc\n"));
+        assert!(matches!(
+            records[..],
+            [PersistRecord::CacheFull { version, .. }] if version == VersionNumber::FIRST
+        ));
+
+        let new_content = b"a\nB\nc\n";
+        let script = diff(
+            DiffAlgorithm::HuntMcIlroy,
+            &Document::from_bytes(b"a\nb\nc\n".to_vec()),
+            &Document::from_bytes(new_content.to_vec()),
+        );
+        let actions = server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::Update {
+                file: FileId::new(7),
+                version: VersionNumber::new(2),
+                payload: UpdatePayload::Delta {
+                    base: VersionNumber::new(1),
+                    encoding: TransferEncoding::Identity,
+                    data: Bytes::from(script.to_text()),
+                    digest: ContentDigest::of(new_content),
+                },
+            },
+            now_ms: NOW,
+        });
+        match &persists(&actions)[..] {
+            [PersistRecord::CacheDelta {
+                version,
+                base,
+                digest,
+                ..
+            }] => {
+                assert_eq!(*version, VersionNumber::new(2));
+                assert_eq!(*base, VersionNumber::FIRST);
+                assert_eq!(*digest, ContentDigest::of(new_content));
+            }
+            other => panic!("expected one CacheDelta record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_update_persists_the_removal() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        notify(&mut server, 1, 7, "/f", 1, b"a\nb\n");
+        full_update(&mut server, 1, 7, 1, b"a\nb\n");
+        let actions = server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::Update {
+                file: FileId::new(7),
+                version: VersionNumber::new(2),
+                payload: UpdatePayload::Delta {
+                    base: VersionNumber::new(1),
+                    encoding: TransferEncoding::Identity,
+                    data: Bytes::from_static(b"1c\nX\n.\nw\n"),
+                    digest: ContentDigest::of(b"not what the script makes"),
+                },
+            },
+            now_ms: NOW,
+        });
+        let key = FileKey::new(DomainId::new(1), FileId::new(7));
+        assert_eq!(persists(&actions), vec![PersistRecord::CacheRemove { key }]);
+    }
+
+    #[test]
+    fn replaying_the_journal_rebuilds_the_cache() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        let mut journal = Vec::new();
+        notify(&mut server, 1, 7, "/f", 1, b"a\nb\nc\n");
+        journal.extend(persists(&full_update(&mut server, 1, 7, 1, b"a\nb\nc\n")));
+        let new_content = b"a\nB\nc\n";
+        let script = diff(
+            DiffAlgorithm::HuntMcIlroy,
+            &Document::from_bytes(b"a\nb\nc\n".to_vec()),
+            &Document::from_bytes(new_content.to_vec()),
+        );
+        journal.extend(persists(&server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::Update {
+                file: FileId::new(7),
+                version: VersionNumber::new(2),
+                payload: UpdatePayload::Delta {
+                    base: VersionNumber::new(1),
+                    encoding: TransferEncoding::Identity,
+                    data: Bytes::from(script.to_text()),
+                    digest: ContentDigest::of(new_content),
+                },
+            },
+            now_ms: NOW,
+        })));
+
+        let mut restored = ServerNode::new(ServerConfig::new("sc"));
+        let summary = restored.restore(&journal);
+        assert_eq!(summary.applied, 2);
+        assert_eq!(summary.skipped, 0);
+        let key = FileKey::new(DomainId::new(1), FileId::new(7));
+        assert_eq!(restored.cached_version(key), Some(VersionNumber::new(2)));
+        assert_eq!(restored.cached_digest(key), server.cached_digest(key));
+        assert_eq!(restored.report().counter("server", "restored_records"), 2);
+    }
+
+    #[test]
+    fn broken_delta_chain_drops_the_key_instead_of_corrupting_it() {
+        // A CacheDelta whose base record is missing (e.g. truncated away)
+        // must not leave any version of the key behind.
+        let key = FileKey::new(DomainId::new(1), FileId::new(7));
+        let journal = vec![PersistRecord::CacheDelta {
+            key,
+            version: VersionNumber::new(2),
+            base: VersionNumber::FIRST,
+            script: Bytes::from_static(b"1c\nX\n.\nw\n"),
+            digest: ContentDigest::of(b"X\n"),
+        }];
+        let mut restored = ServerNode::new(ServerConfig::new("sc"));
+        let summary = restored.restore(&journal);
+        assert_eq!(summary.applied, 0);
+        assert_eq!(summary.skipped, 1);
+        assert_eq!(restored.cached_version(key), None);
+        assert_eq!(restored.report().counter("server", "restore_skipped"), 1);
+    }
+
+    #[test]
+    fn restored_output_records_advance_the_job_counter() {
+        let journal = vec![
+            PersistRecord::Output {
+                domain: DomainId::new(1),
+                job_file: FileId::new(3),
+                job: JobId::new(9),
+                content: Bytes::from_static(b"out\n"),
+            },
+            PersistRecord::OutputAcked {
+                domain: DomainId::new(1),
+                job: JobId::new(9),
+            },
+        ];
+        let mut restored = ServerNode::new(ServerConfig::new("sc"));
+        restored.restore(&journal);
+        hello(&mut restored, 1, 1, "ws1");
+        notify(&mut restored, 1, 3, "/job.cmd", 1, b"noop\n");
+        full_update(&mut restored, 1, 3, 1, b"noop\n");
+        let actions = restored.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::Submit {
+                request: shadow_proto::RequestId::new(1),
+                job_file: FileId::new(3),
+                job_version: VersionNumber::FIRST,
+                data_files: vec![],
+                options: SubmitOptions::default(),
+            },
+            now_ms: NOW,
+        });
+        // The fresh job id must not collide with the restored base job 9.
+        match sends(&actions)[..] {
+            [ServerMessage::SubmitAck { job, .. }] => assert_eq!(*job, JobId::new(10)),
+            ref other => panic!("expected SubmitAck, got {other:?}"),
+        }
     }
 }

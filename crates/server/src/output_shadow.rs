@@ -98,13 +98,18 @@ impl OutputShadowStore {
         }
     }
 
-    /// Marks the output of `job` as held by the client (OutputAck arrived).
-    pub fn mark_acked(&mut self, job: JobId) {
-        for e in self.entries.values_mut() {
+    /// Marks the output of `job` as held by the client (OutputAck
+    /// arrived). Returns the domain of the entry that flipped, if any —
+    /// the journal key for persisting the ack.
+    pub fn mark_acked(&mut self, job: JobId) -> Option<DomainId> {
+        let mut domain = None;
+        for (key, e) in self.entries.iter_mut() {
             if e.job == job {
                 e.acked = true;
+                domain = Some(key.0);
             }
         }
+        domain
     }
 
     /// Number of cached outputs.

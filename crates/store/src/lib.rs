@@ -1,0 +1,30 @@
+//! # shadow-store — the durable shadow store
+//!
+//! The paper's server keeps its shadow state — cached file versions for
+//! delta exchange, job outputs held as future delta bases — purely in
+//! memory, so a server restart silently degrades every client back to
+//! full transfers. This crate makes that state survive restarts without
+//! touching the sans-io cores:
+//!
+//! * the server state machine *describes* each shadow mutation as a
+//!   [`PersistRecord`](shadow_proto::PersistRecord) (emitted through
+//!   `ServerAction::Persist`);
+//! * the runtime hands records to a [`DurableStore`] — a
+//!   [`PersistSink`](shadow_runtime::PersistSink) — which appends them
+//!   to a per-domain write-ahead journal and periodically compacts the
+//!   journal into a snapshot;
+//! * at startup, [`DurableStore::open`] replays snapshot + journal
+//!   (truncating torn or corrupt tails, skipping records an interrupted
+//!   compaction left stale) and [`DurableStore::recovered`] yields the
+//!   record sequence to feed `ServerNode::restore`.
+//!
+//! Journals are **per naming domain** and shard with the same
+//! [`shard_for`](shadow_runtime::shard_for) affinity as the sharded
+//! runtime: each shard owns its domains' directories outright, so
+//! durability adds no cross-thread coordination.
+
+mod mirror;
+mod segment;
+mod store;
+
+pub use store::{DurableStore, RecoverySummary, DEFAULT_COMPACT_EVERY};

@@ -1,0 +1,233 @@
+//! The store's in-memory mirror of one domain's durable state.
+//!
+//! The journal is a *chain* — deltas reference the cached base they
+//! were applied to — so compaction cannot simply drop old records. The
+//! mirror replays every record as the server would (applying edit
+//! scripts, verifying digests) and can re-materialize the state as the
+//! shortest equivalent record sequence: one `CacheFull` per live cache
+//! key and the output entries with their acks. That materialization is
+//! what snapshot compaction writes and what startup recovery feeds to
+//! `ServerNode::restore`.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use shadow_diff::apply_delta;
+use shadow_proto::{ContentDigest, DomainId, FileId, FileKey, JobId, PersistRecord, VersionNumber};
+
+/// One job output held for future delta bases, in insertion order.
+#[derive(Debug, Clone)]
+struct OutputSlot {
+    domain: DomainId,
+    job_file: FileId,
+    job: JobId,
+    content: Bytes,
+    acked: bool,
+}
+
+/// Replayed shadow state of one naming domain.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DomainMirror {
+    /// Live shadow-cache entries: key → (version, materialized content).
+    cache: HashMap<FileKey, (VersionNumber, Bytes)>,
+    /// Output shadow entries, oldest first (the server's FIFO order).
+    outputs: Vec<OutputSlot>,
+}
+
+impl DomainMirror {
+    /// Applies one record. Returns `false` when the record had to be
+    /// dropped — a delta whose base is missing, stale, or fails its
+    /// digest check — in which case the affected key is removed rather
+    /// than left wrong, mirroring `ServerNode::restore`.
+    pub fn apply(&mut self, record: &PersistRecord) -> bool {
+        match record {
+            PersistRecord::CacheFull {
+                key,
+                version,
+                content,
+            } => {
+                self.cache.insert(*key, (*version, content.clone()));
+                true
+            }
+            PersistRecord::CacheDelta {
+                key,
+                version,
+                base,
+                script,
+                digest,
+            } => {
+                let applied = match self.cache.get(key) {
+                    Some((v, content)) if v == base => apply_delta(content, script)
+                        .ok()
+                        .filter(|out| ContentDigest::of(out) == *digest),
+                    _ => None,
+                };
+                match applied {
+                    Some(out) => {
+                        self.cache.insert(*key, (*version, Bytes::from(out)));
+                        true
+                    }
+                    None => {
+                        self.cache.remove(key);
+                        false
+                    }
+                }
+            }
+            PersistRecord::CacheRemove { key } => {
+                self.cache.remove(key);
+                true
+            }
+            PersistRecord::Output {
+                domain,
+                job_file,
+                job,
+                content,
+            } => {
+                let slot = self
+                    .outputs
+                    .iter_mut()
+                    .find(|s| s.domain == *domain && s.job_file == *job_file);
+                match slot {
+                    Some(slot) => {
+                        slot.job = *job;
+                        slot.content = content.clone();
+                        slot.acked = false;
+                    }
+                    None => self.outputs.push(OutputSlot {
+                        domain: *domain,
+                        job_file: *job_file,
+                        job: *job,
+                        content: content.clone(),
+                        acked: false,
+                    }),
+                }
+                true
+            }
+            PersistRecord::OutputAcked { domain, job } => {
+                if let Some(slot) = self
+                    .outputs
+                    .iter_mut()
+                    .find(|s| s.domain == *domain && s.job == *job)
+                {
+                    slot.acked = true;
+                }
+                true
+            }
+        }
+    }
+
+    /// Re-materializes the state as the shortest record sequence that
+    /// rebuilds it: delta chains collapsed to one `CacheFull` per live
+    /// key (sorted, so equal states materialize identically), then the
+    /// outputs in insertion order with their acks.
+    pub fn materialize(&self) -> Vec<PersistRecord> {
+        let mut keys: Vec<&FileKey> = self.cache.keys().collect();
+        keys.sort_by_key(|k| (k.domain.as_u64(), k.file.as_u64()));
+        let mut out = Vec::with_capacity(keys.len() + self.outputs.len() * 2);
+        for key in keys {
+            let (version, content) = &self.cache[key];
+            out.push(PersistRecord::CacheFull {
+                key: *key,
+                version: *version,
+                content: content.clone(),
+            });
+        }
+        for slot in &self.outputs {
+            out.push(PersistRecord::Output {
+                domain: slot.domain,
+                job_file: slot.job_file,
+                job: slot.job,
+                content: slot.content.clone(),
+            });
+            if slot.acked {
+                out.push(PersistRecord::OutputAcked {
+                    domain: slot.domain,
+                    job: slot.job,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadow_diff::{diff_docs, DiffAlgorithm, DiffScratch, DocBuf};
+
+    fn key(file: u64) -> FileKey {
+        FileKey::new(DomainId::new(3), FileId::new(file))
+    }
+
+    fn full(file: u64, version: u64, content: &str) -> PersistRecord {
+        PersistRecord::CacheFull {
+            key: key(file),
+            version: VersionNumber::new(version),
+            content: Bytes::from(content.as_bytes().to_vec()),
+        }
+    }
+
+    fn delta_between(file: u64, base: u64, version: u64, from: &str, to: &str) -> PersistRecord {
+        let mut scratch = DiffScratch::new();
+        let script = diff_docs(
+            DiffAlgorithm::HuntMcIlroy,
+            &DocBuf::from_bytes(from.as_bytes().to_vec()),
+            &DocBuf::from_bytes(to.as_bytes().to_vec()),
+            &mut scratch,
+        );
+        PersistRecord::CacheDelta {
+            key: key(file),
+            version: VersionNumber::new(version),
+            base: VersionNumber::new(base),
+            script: Bytes::from(script.to_text()),
+            digest: ContentDigest::of(to.as_bytes()),
+        }
+    }
+
+    #[test]
+    fn delta_chains_collapse_to_one_full_record() {
+        let mut mirror = DomainMirror::default();
+        assert!(mirror.apply(&full(1, 1, "a\nb\n")));
+        assert!(mirror.apply(&delta_between(1, 1, 2, "a\nb\n", "a\nc\n")));
+        assert!(mirror.apply(&delta_between(1, 2, 3, "a\nc\n", "a\nc\nd\n")));
+        let out = mirror.materialize();
+        assert_eq!(
+            out,
+            vec![PersistRecord::CacheFull {
+                key: key(1),
+                version: VersionNumber::new(3),
+                content: Bytes::from_static(b"a\nc\nd\n"),
+            }]
+        );
+    }
+
+    #[test]
+    fn broken_chain_drops_the_key() {
+        let mut mirror = DomainMirror::default();
+        assert!(mirror.apply(&full(1, 1, "a\n")));
+        // Delta against a base the mirror does not hold.
+        assert!(!mirror.apply(&delta_between(1, 7, 8, "x\n", "y\n")));
+        assert!(mirror.materialize().is_empty());
+    }
+
+    #[test]
+    fn output_replacement_and_acks_materialize_in_order() {
+        let mut mirror = DomainMirror::default();
+        let output = |job_file: u64, job: u64, text: &str| PersistRecord::Output {
+            domain: DomainId::new(3),
+            job_file: FileId::new(job_file),
+            job: JobId::new(job),
+            content: Bytes::from(text.as_bytes().to_vec()),
+        };
+        mirror.apply(&output(1, 10, "first\n"));
+        mirror.apply(&output(2, 11, "second\n"));
+        mirror.apply(&PersistRecord::OutputAcked {
+            domain: DomainId::new(3),
+            job: JobId::new(11),
+        });
+        // A rerun of the same job file replaces the slot and clears the ack.
+        mirror.apply(&output(2, 12, "second again\n"));
+        let out = mirror.materialize();
+        assert_eq!(out, vec![output(1, 10, "first\n"), output(2, 12, "second again\n")]);
+    }
+}

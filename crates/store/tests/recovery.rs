@@ -1,0 +1,294 @@
+//! Recovery edge cases for the durable shadow store: empty journals,
+//! torn tails, mid-file corruption, interrupted compactions, and the
+//! determinism of replay.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use shadow_diff::{diff_docs, DiffAlgorithm, DiffScratch, DocBuf};
+use shadow_proto::{
+    ContentDigest, DomainId, FileId, FileKey, JobId, PersistRecord, VersionNumber,
+};
+use shadow_runtime::{shard_for, PersistSink};
+use shadow_server::{ServerConfig, ServerNode};
+use shadow_store::DurableStore;
+
+fn temp_root(tag: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("store-recovery-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    root
+}
+
+fn key(domain: u64, file: u64) -> FileKey {
+    FileKey::new(DomainId::new(domain), FileId::new(file))
+}
+
+fn full(domain: u64, file: u64, version: u64, content: &str) -> PersistRecord {
+    PersistRecord::CacheFull {
+        key: key(domain, file),
+        version: VersionNumber::new(version),
+        content: Bytes::from(content.as_bytes().to_vec()),
+    }
+}
+
+fn delta(domain: u64, file: u64, base: u64, version: u64, from: &str, to: &str) -> PersistRecord {
+    let mut scratch = DiffScratch::new();
+    let script = diff_docs(
+        DiffAlgorithm::HuntMcIlroy,
+        &DocBuf::from_bytes(from.as_bytes().to_vec()),
+        &DocBuf::from_bytes(to.as_bytes().to_vec()),
+        &mut scratch,
+    );
+    PersistRecord::CacheDelta {
+        key: key(domain, file),
+        version: VersionNumber::new(version),
+        base: VersionNumber::new(base),
+        script: Bytes::from(script.to_text()),
+        digest: ContentDigest::of(to.as_bytes()),
+    }
+}
+
+fn journal_path(root: &Path, domain: u64) -> PathBuf {
+    root.join(format!("domain-{domain:016x}")).join("journal.log")
+}
+
+#[test]
+fn empty_store_recovers_to_nothing() {
+    let root = temp_root("empty");
+    let store = DurableStore::open(&root).unwrap();
+    assert_eq!(store.recovered(), Vec::new());
+    let summary = store.summary();
+    assert_eq!(summary.domains, 0);
+    assert_eq!(summary.replayed(), 0);
+    assert!(!summary.degraded());
+
+    // A journal that exists but holds zero records is equally empty.
+    drop(store);
+    let mut store = DurableStore::open(&root).unwrap();
+    store.persist(&full(1, 1, 1, "x\n"));
+    let reopened = DurableStore::open(&root).unwrap();
+    assert_eq!(reopened.recovered().len(), 1);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn journal_replay_collapses_delta_chains() {
+    let root = temp_root("chain");
+    let mut store = DurableStore::open(&root).unwrap();
+    store.persist(&full(1, 1, 1, "a\nb\n"));
+    store.persist(&delta(1, 1, 1, 2, "a\nb\n", "a\nc\n"));
+    store.persist(&delta(1, 1, 2, 3, "a\nc\n", "a\nc\nd\n"));
+    drop(store);
+
+    let store = DurableStore::open(&root).unwrap();
+    assert_eq!(store.summary().journal_records, 3);
+    assert_eq!(
+        store.recovered(),
+        vec![full(1, 1, 3, "a\nc\nd\n")],
+        "three journal records materialize as one collapsed CacheFull"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn torn_last_record_is_truncated_and_the_prefix_survives() {
+    let root = temp_root("torn");
+    let mut store = DurableStore::open(&root).unwrap();
+    store.persist(&full(1, 1, 1, "kept\n"));
+    store.persist(&full(1, 2, 1, "lost half-written\n"));
+    drop(store);
+
+    let journal = journal_path(&root, 1);
+    let bytes = fs::read(&journal).unwrap();
+    fs::write(&journal, &bytes[..bytes.len() - 7]).unwrap();
+
+    let store = DurableStore::open(&root).unwrap();
+    let summary = store.summary();
+    assert_eq!(summary.torn_tails, 1);
+    assert!(summary.degraded());
+    assert_eq!(store.recovered(), vec![full(1, 1, 1, "kept\n")]);
+    drop(store);
+
+    // Recovery re-stabilized the salvage: a second open is clean.
+    let store = DurableStore::open(&root).unwrap();
+    assert_eq!(store.summary().torn_tails, 0);
+    assert!(!store.summary().degraded());
+    assert_eq!(store.recovered(), vec![full(1, 1, 1, "kept\n")]);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn checksum_mismatch_mid_file_degrades_to_the_valid_prefix() {
+    let root = temp_root("corrupt");
+    let mut store = DurableStore::open(&root).unwrap();
+    store.persist(&full(1, 1, 1, "first\n"));
+    store.persist(&full(1, 2, 1, "second\n"));
+    store.persist(&full(1, 3, 1, "third\n"));
+    drop(store);
+
+    // Flip one payload byte of the *middle* record: its checksum fails,
+    // and everything from there on is distrusted.
+    let journal = journal_path(&root, 1);
+    let mut bytes = fs::read(&journal).unwrap();
+    let needle = bytes
+        .windows(7)
+        .position(|w| w == b"second\n")
+        .expect("middle record payload present");
+    bytes[needle] ^= 0xFF;
+    fs::write(&journal, &bytes).unwrap();
+
+    let store = DurableStore::open(&root).unwrap();
+    let summary = store.summary();
+    assert_eq!(summary.corrupt_segments, 1);
+    assert_eq!(summary.journal_records, 1);
+    assert_eq!(store.recovered(), vec![full(1, 1, 1, "first\n")]);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn snapshot_newer_than_journal_skips_the_stale_records() {
+    let root = temp_root("stale");
+    // compact_every=2 → the second append publishes a snapshot
+    // (covers 2) and resets the journal.
+    let mut store = DurableStore::open(&root).unwrap().with_compact_every(2);
+    store.persist(&full(1, 1, 1, "a\n"));
+    store.persist(&full(1, 2, 1, "b\n"));
+    store.persist(&full(1, 3, 1, "c\n"));
+    drop(store);
+
+    // Simulate the crash window *between* snapshot publication and
+    // journal reset: rebuild the journal as it looked before the
+    // compaction (base 0, all three records), leaving the snapshot
+    // (covers 2) in place. The record bytes come from a scratch store
+    // that journals the same records without compacting.
+    let journal = journal_path(&root, 1);
+    let live = fs::read(&journal).unwrap();
+    let mut stale = Vec::new();
+    stale.extend_from_slice(&live[..8]);
+    stale.extend_from_slice(&0u64.to_le_bytes());
+    let scratch_root = temp_root("stale-scratch");
+    let mut scratch = DurableStore::open(&scratch_root).unwrap();
+    scratch.persist(&full(1, 1, 1, "a\n"));
+    scratch.persist(&full(1, 2, 1, "b\n"));
+    scratch.persist(&full(1, 3, 1, "c\n"));
+    drop(scratch);
+    let scratch_journal = fs::read(journal_path(&scratch_root, 1)).unwrap();
+    stale.extend_from_slice(&scratch_journal[16..]);
+    fs::write(&journal, &stale).unwrap();
+
+    let store = DurableStore::open(&root).unwrap();
+    let summary = store.summary();
+    assert_eq!(summary.stale_skipped, 2, "snapshot already covered two records");
+    assert_eq!(summary.snapshot_records, 2);
+    assert_eq!(summary.journal_records, 1);
+    assert_eq!(
+        store.recovered(),
+        vec![full(1, 1, 1, "a\n"), full(1, 2, 1, "b\n"), full(1, 3, 1, "c\n")]
+    );
+    let _ = fs::remove_dir_all(&root);
+    let _ = fs::remove_dir_all(&scratch_root);
+}
+
+#[test]
+fn compaction_preserves_the_recovered_state() {
+    let root = temp_root("compact");
+    let mut store = DurableStore::open(&root).unwrap().with_compact_every(4);
+    let mut from = String::from("line 0\n");
+    store.persist(&full(1, 1, 1, &from));
+    for v in 2..=9u64 {
+        let to = format!("{from}line {}\n", v - 1);
+        store.persist(&delta(1, 1, v - 1, v, &from, &to));
+        from = to;
+    }
+    store.persist(&PersistRecord::Output {
+        domain: DomainId::new(1),
+        job_file: FileId::new(1),
+        job: JobId::new(5),
+        content: Bytes::from_static(b"output\n"),
+    });
+    store.persist(&PersistRecord::OutputAcked {
+        domain: DomainId::new(1),
+        job: JobId::new(5),
+    });
+    drop(store);
+
+    let snapshot = root.join("domain-0000000000000001").join("snapshot.log");
+    assert!(snapshot.exists(), "compaction published a snapshot");
+
+    let store = DurableStore::open(&root).unwrap();
+    assert!(!store.summary().degraded());
+    let recovered = store.recovered();
+    assert!(recovered.contains(&full(1, 1, 9, &from)));
+    assert!(recovered.contains(&PersistRecord::OutputAcked {
+        domain: DomainId::new(1),
+        job: JobId::new(5),
+    }));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn replaying_twice_rebuilds_identical_server_state() {
+    let root = temp_root("idempotent");
+    let mut store = DurableStore::open(&root).unwrap();
+    store.persist(&full(1, 1, 1, "a\nb\n"));
+    store.persist(&delta(1, 1, 1, 2, "a\nb\n", "a\nc\n"));
+    store.persist(&full(1, 2, 1, "other\n"));
+    store.persist(&PersistRecord::Output {
+        domain: DomainId::new(1),
+        job_file: FileId::new(1),
+        job: JobId::new(3),
+        content: Bytes::from_static(b"out\n"),
+    });
+    drop(store);
+
+    let restore_once = || {
+        let store = DurableStore::open(&root).unwrap();
+        let mut node = ServerNode::new(ServerConfig::new("remote"));
+        let summary = node.restore(&store.recovered());
+        assert_eq!(summary.skipped, 0);
+        node
+    };
+    let a = restore_once();
+    let b = restore_once();
+    assert_eq!(
+        a.report().section("server"),
+        b.report().section("server"),
+        "two recoveries must rebuild identical protocol state"
+    );
+    assert_eq!(a.report().section("cache"), b.report().section("cache"));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn shard_stores_partition_the_domains() {
+    let root = temp_root("shards");
+    let shards = 2usize;
+    let domains: Vec<u64> = (1..=6).collect();
+    {
+        let mut writers: Vec<DurableStore> = (0..shards)
+            .map(|i| DurableStore::open_shard(&root, i, shards).unwrap())
+            .collect();
+        for &d in &domains {
+            let record = full(d, 1, 1, "content\n");
+            let shard = shard_for(DomainId::new(d), shards);
+            writers[shard].persist(&record);
+        }
+    }
+    let mut seen = Vec::new();
+    for i in 0..shards {
+        let store = DurableStore::open_shard(&root, i, shards).unwrap();
+        for record in store.recovered() {
+            assert_eq!(
+                shard_for(record.domain(), shards),
+                i,
+                "a shard must only recover its own domains"
+            );
+            seen.push(record.domain().as_u64());
+        }
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, domains, "the shards together recover every domain");
+    let _ = fs::remove_dir_all(&root);
+}

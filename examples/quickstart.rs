@@ -1,6 +1,7 @@
 //! Quickstart: a real (threaded) shadow server and one client.
 //!
-//! Starts a `LiveSystem` — the server state machine in its own thread —
+//! Deploys the server state machine in its own thread over in-process
+//! pipes (`Deployment::new(...).pipes()`) —
 //! connects a client, runs an editing session, submits a job, edits the
 //! data and resubmits, printing what actually travelled each time.
 //!
@@ -9,11 +10,13 @@
 use std::time::Duration;
 
 use shadow::prelude::*;
-use shadow::LiveError;
 
-fn main() -> Result<(), LiveError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("starting shadow server thread…");
-    let system = LiveSystem::start(ServerConfig::builder("supercomputer").build().expect("valid config"));
+    let system = Deployment::new(
+        ServerConfig::builder("supercomputer").build().expect("valid config"),
+    )
+    .pipes()?;
     let mut client = system.connect_client(
         ClientConfig::builder("workstation", 1).build().expect("valid config"),
     );
@@ -70,7 +73,7 @@ fn main() -> Result<(), LiveError> {
     println!("→ the resubmission travelled as a tiny ed-script delta.");
 
     drop(client);
-    let server = system.shutdown();
+    let server = system.shutdown().remove(0);
     let report = server.report();
     println!(
         "\nserver saw: {} deltas applied, {} jobs completed",

@@ -57,3 +57,11 @@ bench-diff:
 # full 10k-session sweep.
 bench-contention:
     SHADOW_BENCH_QUICK=1 cargo bench -p shadow-bench --bench contention
+
+# Durable-store recovery rows + regression guard: re-exports
+# BENCH_recovery.json (quick parameters) and fails when any append or
+# replay row is more than 3x slower than the committed
+# BENCH_baseline_recovery.json.
+bench-recovery:
+    SHADOW_BENCH_QUICK=1 cargo bench -p shadow-bench --bench recovery
+    cargo run --release -p shadow-bench --bin recovery_guard

@@ -108,7 +108,7 @@ fn run_sim(script: &[EditOp]) -> WorldResult {
 }
 
 fn run_live(script: &[EditOp]) -> WorldResult {
-    let system = LiveSystem::start(ServerConfig::new("sc"));
+    let system = Deployment::new(ServerConfig::new("sc")).pipes().unwrap();
     let mut client = system.connect_client(ClientConfig::new("ws", 1));
     let (frames, hook) = tap();
     client.set_event_hook(hook);
@@ -134,7 +134,7 @@ fn run_live(script: &[EditOp]) -> WorldResult {
     }
     let client_report = client.report();
     drop(client);
-    let server_report = system.shutdown().report();
+    let server_report = system.shutdown().remove(0).report();
     let frames = frames.lock().unwrap().clone();
     WorldResult {
         frames,

@@ -70,7 +70,7 @@ fn run_sim() -> Outcome {
 }
 
 fn run_live() -> Outcome {
-    let system = LiveSystem::start(ServerConfig::new("sc"));
+    let system = Deployment::new(ServerConfig::new("sc")).pipes().unwrap();
     let mut client = system.connect_client(ClientConfig::new("ws", 1));
     client.wait_ready(Duration::from_secs(5)).unwrap();
 
@@ -92,7 +92,7 @@ fn run_live() -> Outcome {
     }
     let cm = client.report();
     drop(client);
-    let server = system.shutdown();
+    let server = system.shutdown().remove(0);
     let sm = server.report();
     Outcome {
         outputs,

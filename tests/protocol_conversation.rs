@@ -39,6 +39,9 @@ fn drain(
                 match a {
                     ServerAction::Send { message, .. } => to_client.push(message),
                     ServerAction::SetTimer { delay_ms, token } => timers.push((delay_ms, token)),
+                    // This harness exercises the wire conversation only;
+                    // durability is covered by the store/runtime tests.
+                    ServerAction::Persist(_) => {}
                 }
             }
         };

@@ -1,6 +1,6 @@
 //! Sharding must be a pure deployment choice: the same multi-domain
 //! workload run against a single [`ServerRuntime`]-backed system and
-//! against a [`ShardedLiveSystem`] with 4 shards must yield identical
+//! against a 4-shard `Deployment` must yield identical
 //! per-domain protocol outcomes — same job outputs, same client
 //! counters, and byte-identical `server`/`cache` report sections on
 //! the node that served each domain. (The timing-dependent `driver` /
@@ -15,7 +15,7 @@
 use std::time::Duration;
 
 use shadow::{
-    shard_for, ClientConfig, DomainId, FileRef, LiveClient, LiveSystem, Section, ServerConfig,
+    shard_for, ClientConfig, Deployment, DomainId, FileRef, LiveClient, Section, ServerConfig,
     SubmitOptions,
 };
 use shadow_proto::FileId;
@@ -91,17 +91,20 @@ fn sharded_and_single_runtimes_agree_per_domain() {
     // single-runtime system.
     let mut baselines = Vec::new();
     for &d in &domains {
-        let system = LiveSystem::start(ServerConfig::new("sc"));
+        let system = Deployment::new(ServerConfig::new("sc")).pipes().unwrap();
         let mut client = system.connect_client(ClientConfig::new(format!("ws{d}"), d));
         let outcome = run_script(&mut client, d);
         drop(client);
-        let node = system.shutdown();
+        let node = system.shutdown().remove(0);
         baselines.push((outcome, node.report()));
     }
 
     // The same scripts through a 4-shard system, one domain at a time
     // (sequential driving keeps per-node frame order identical).
-    let sharded = LiveSystem::sharded(ServerConfig::new("sc"), 4);
+    let sharded = Deployment::new(ServerConfig::new("sc"))
+        .shards(4)
+        .pipes()
+        .unwrap();
     let mut sharded_outcomes = Vec::new();
     for &d in &domains {
         let mut client = sharded.connect_client(ClientConfig::new(format!("ws{d}"), d));
@@ -147,7 +150,10 @@ fn shutdown_drains_in_flight_jobs() {
     // Two domains, two shards; jobs take ~500 ms (the default exec
     // profile's per-job overhead), so shutdown begins well before they
     // finish.
-    let system = LiveSystem::sharded(ServerConfig::new("sc"), 2);
+    let system = Deployment::new(ServerConfig::new("sc"))
+        .shards(2)
+        .pipes()
+        .unwrap();
     let mut clients: Vec<LiveClient> = (1..=2u64)
         .map(|d| system.connect_client(ClientConfig::new(format!("ws{d}"), d)))
         .collect();
