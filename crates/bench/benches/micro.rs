@@ -66,6 +66,8 @@ fn bench_codec(c: &mut Criterion) {
         domain: DomainId::new(1),
         host: HostName::new("ws1"),
         protocol: 1,
+        epoch: 0,
+        resume: Vec::new(),
     };
     group.bench_function("encode_hello", |b| b.iter(|| Frame::encode(&hello)));
     group.finish();

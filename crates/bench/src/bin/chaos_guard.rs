@@ -1,0 +1,179 @@
+//! Chaos-suite regression guard.
+//!
+//! Compares a freshly exported `BENCH_chaos.json` against the committed
+//! `BENCH_baseline_chaos.json` and exits non-zero when the
+//! fault-tolerance story regresses. Two kinds of gate:
+//!
+//! * **Behavior** (exact): every outage recovered, zero resume
+//!   fallbacks, and a recovered-as-delta ratio no worse than the
+//!   baseline's — a reconnecting session that silently degrades to
+//!   full transfers is a correctness bug (§5.1), not a slowdown.
+//! * **Latency** (5x): mean recovery time per row. The threshold is
+//!   looser than the diff/recovery guards' because recoveries are
+//!   millisecond-scale wall-clock measurements over real sockets and
+//!   pipes, where scheduler noise is proportionally large — but the
+//!   failure this exists for (a redial path that spins through extra
+//!   round trips or waits out a stray timeout) costs well over 5x.
+//!
+//! Usage: `cargo run -p shadow-bench --bin chaos_guard` after the
+//! `chaos` bench has written `BENCH_chaos.json` (see `just chaos`).
+
+use std::fs;
+use std::process::ExitCode;
+
+/// Maximum tolerated recovery-latency slowdown per row.
+const MAX_REGRESSION: f64 = 5.0;
+
+/// One exported row: its `op` name and every numeric field.
+struct Row {
+    op: String,
+    fields: Vec<(String, f64)>,
+}
+
+impl Row {
+    fn get(&self, name: &str) -> Option<f64> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Splits an exported document into rows at each `"op"` key and scans
+/// every `"name": number` field of the chunk. A scanner for our own
+/// export format (numbers are never quoted, keys never contain
+/// escapes), not a general JSON parser.
+fn parse_rows(doc: &str) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let mut rest = doc;
+    while let Some(at) = rest.find("\"op\":") {
+        rest = &rest[at + "\"op\":".len()..];
+        let Some(open) = rest.find('"') else { break };
+        rest = &rest[open + 1..];
+        let Some(close) = rest.find('"') else { break };
+        let op = rest[..close].to_string();
+        rest = &rest[close + 1..];
+        let chunk_end = rest.find("\"op\":").unwrap_or(rest.len());
+        let chunk = &rest[..chunk_end];
+        let mut fields = Vec::new();
+        let mut scan = chunk;
+        while let Some(key_open) = scan.find('"') {
+            scan = &scan[key_open + 1..];
+            let Some(key_close) = scan.find('"') else { break };
+            let key = scan[..key_close].to_string();
+            scan = &scan[key_close + 1..];
+            let Some(colon) = scan.find(':') else { break };
+            let val = scan[colon + 1..].trim_start();
+            let end = val.find([',', '}', '\n', ']']).unwrap_or(val.len());
+            if let Ok(num) = val[..end].trim().parse::<f64>() {
+                fields.push((key, num));
+            }
+        }
+        rows.push(Row { op, fields });
+    }
+    rows
+}
+
+fn main() -> ExitCode {
+    let root = shadow_bench::bench_output_dir();
+    let current_path = root.join("BENCH_chaos.json");
+    let baseline_path = root.join("BENCH_baseline_chaos.json");
+    let current = match fs::read_to_string(&current_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "chaos_guard: cannot read {} ({e}); run the chaos bench first \
+                 (just chaos)",
+                current_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "chaos_guard: cannot read {} ({e}); the baseline must be \
+                 committed at the workspace root",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let current_rows = parse_rows(&current);
+    let baseline_rows = parse_rows(&baseline);
+    if baseline_rows.is_empty() {
+        eprintln!("chaos_guard: no rows in the baseline; nothing to guard");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    let mut checked = 0usize;
+    for base in &baseline_rows {
+        let op = &base.op;
+        let Some(cur) = current_rows.iter().find(|r| &r.op == op) else {
+            eprintln!("chaos_guard: FAIL {op}: row missing from BENCH_chaos.json");
+            failed = true;
+            continue;
+        };
+        checked += 1;
+        let mut errors: Vec<String> = Vec::new();
+
+        // Behavior gates: exact, because the suite is seeded.
+        let outages = cur.get("outages").unwrap_or(0.0);
+        let recovered = cur.get("recovered").unwrap_or(-1.0);
+        if outages < 1.0 || (recovered - outages).abs() > f64::EPSILON {
+            errors.push(format!("{recovered} of {outages} outages recovered"));
+        }
+        let fallbacks = cur.get("resume_fallbacks").unwrap_or(-1.0);
+        if fallbacks != 0.0 {
+            errors.push(format!(
+                "{fallbacks} resume fallbacks — a reconnect degraded to a full transfer"
+            ));
+        }
+        let base_ratio = base.get("delta_ratio").unwrap_or(1.0);
+        let ratio = cur.get("delta_ratio").unwrap_or(0.0);
+        if ratio + 1e-9 < base_ratio {
+            errors.push(format!(
+                "recovered-as-delta ratio {ratio:.3} below baseline {base_ratio:.3}"
+            ));
+        }
+
+        // Latency gate: loose, the measurements are wall-clock.
+        let mut factor = 0.0;
+        let mut cur_ms = 0.0;
+        match (base.get("ns_per_op"), cur.get("ns_per_op")) {
+            (Some(base_ns), Some(cur_ns)) => {
+                factor = cur_ns / base_ns.max(1.0);
+                cur_ms = cur_ns / 1e6;
+                if factor > MAX_REGRESSION {
+                    errors.push(format!(
+                        "recovery {cur_ms:.2} ms vs baseline {:.2} ms \
+                         ({factor:.2}x > {MAX_REGRESSION}x)",
+                        base_ns / 1e6
+                    ));
+                }
+            }
+            _ => errors.push("ns_per_op missing".to_string()),
+        }
+
+        if errors.is_empty() {
+            println!(
+                "chaos_guard: ok   {op}: ratio {ratio:.2}, {recovered}/{outages} recovered, \
+                 recovery {cur_ms:.2} ms ({factor:.2}x of baseline)"
+            );
+        } else {
+            failed = true;
+            for msg in errors {
+                eprintln!("chaos_guard: FAIL {op}: {msg}");
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("chaos_guard: {checked} rows within behavior and {MAX_REGRESSION}x latency gates");
+        ExitCode::SUCCESS
+    }
+}

@@ -41,6 +41,10 @@ pub enum FactKind {
     /// and `std::io` / `io::` path segments. Fully-qualified `std::fs`
     /// uses also carry a [`Blocking`](FactKind::Blocking) fact.
     Fs,
+    /// Touches the network: `std::net` / `net::` path segments and the
+    /// socket types (`TcpStream`, `TcpListener`, `UdpSocket`). The pure
+    /// protocol crates are sans-io — sockets live in the transports.
+    Net,
 }
 
 impl FactKind {
@@ -55,6 +59,7 @@ impl FactKind {
             FactKind::Thread => "thread",
             FactKind::Blocking => "blocking",
             FactKind::Fs => "fs",
+            FactKind::Net => "net",
         }
     }
 }
@@ -198,6 +203,14 @@ fn scan_body(src: &str, toks: &[Tok], open: usize, close: usize) -> Vec<Fact> {
                 {
                     let token = if qual_parent == Some("std") { "std::io" } else { "io::" };
                     push(FactKind::Fs, t.line, token);
+                } else if name == "net"
+                    && (qual_parent == Some("std")
+                        || (qual_parent.is_none() && next_pathsep))
+                {
+                    let token = if qual_parent == Some("std") { "std::net" } else { "net::" };
+                    push(FactKind::Net, t.line, token);
+                } else if name == "TcpStream" || name == "TcpListener" || name == "UdpSocket" {
+                    push(FactKind::Net, t.line, name);
                 } else if prev_dot
                     && next_call
                     && is_p(i + 2, ')')
@@ -330,6 +343,25 @@ mod tests {
         );
         // Plain idents named `fs`/`io` in value position are not paths.
         assert!(facts_of("let n = io.outbound.len(); queue(&io);").is_empty());
+    }
+
+    #[test]
+    fn net_facts() {
+        let f = facts_of(
+            "let a = std::net::TcpStream::connect(p); let b = net::lookup(h); let l = TcpListener::bind(a);",
+        );
+        let toks: Vec<(FactKind, &str)> = f.iter().map(|(k, t)| (*k, t.as_str())).collect();
+        assert_eq!(
+            toks,
+            vec![
+                (FactKind::Net, "std::net"),
+                (FactKind::Net, "TcpStream"),
+                (FactKind::Net, "net::"),
+                (FactKind::Net, "TcpListener"),
+            ]
+        );
+        // Plain idents named `net` in value position are not paths.
+        assert!(facts_of("let n = net.nodes.len(); route(&net);").is_empty());
     }
 
     #[test]

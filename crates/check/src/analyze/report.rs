@@ -22,6 +22,7 @@ pub const RULE_NAMES: &[&str] = &[
     "alloc-reach",
     "clock-reach",
     "fs-reach",
+    "net-reach",
     "shard-shape",
 ];
 

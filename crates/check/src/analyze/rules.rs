@@ -14,6 +14,7 @@
 //! | `alloc-reach` | `diff_docs`, `apply_delta`                | alloc           |
 //! | `clock-reach` | every `pub fn` of a pure crate            | clock           |
 //! | `fs-reach`    | every `pub fn` of a pure crate            | fs              |
+//! | `net-reach`   | every `pub fn` of a pure crate            | net             |
 //! | `shard-shape` | shard/server poll loops (+ per-fn scan)   | blocking        |
 
 use super::facts::{Fact, FactKind};
@@ -288,6 +289,32 @@ pub fn run_rules(ws: &Workspace, g: &CallGraph) -> Vec<AnalysisFinding> {
         }
     }
 
+    // Rule c3: no network/socket symbol reachable from any pure-crate
+    // pub fn. The fault-tolerance layer lives in the runtimes and
+    // transports; the protocol cores must model a disconnect as a plain
+    // state transition (`LinkDown`/`Resume`), never by touching a
+    // socket themselves.
+    {
+        let entries: Vec<FnId> = (0..ws.fns.len())
+            .filter(|&id| {
+                let f = ws.item(id);
+                f.is_pub && f.body.is_some() && PURE_CRATES.contains(&f.krate.as_str())
+            })
+            .collect();
+        let r = reach(ws, g, |f| f.kind == FactKind::Net, |_| false);
+        for &e in &entries {
+            if r.reachable[e] {
+                findings.push(finding_for(
+                    ws,
+                    &r,
+                    "net-reach",
+                    e,
+                    "network/socket access reachable from a pure-crate public fn",
+                ));
+            }
+        }
+    }
+
     // Rule d2: no blocking call reachable from the per-round poll
     // functions of the (sharded) server runtime. The shard worker's
     // idle nap lives *outside* these entries by design.
@@ -481,6 +508,24 @@ mod tests {
         assert_eq!(f[0].token, "fs::");
         // The store crate is the sanctioned home of disk I/O: not a
         // pure crate, so no entry and no finding.
+    }
+
+    #[test]
+    fn net_access_below_pure_pub_fn_is_found() {
+        let ws = ws_from(&[
+            (
+                "client",
+                "src/lib.rs",
+                "pub fn reconnect() { dial() }\nfn dial() { let s = TcpStream::connect(a); }",
+            ),
+            ("netsim", "src/tcp.rs", "pub fn connect() { let s = TcpStream::connect(a); }"),
+        ]);
+        let f = rule_findings(&ws, "net-reach");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].entry, "client::reconnect");
+        assert_eq!(f[0].fact_fn, "client::dial");
+        assert_eq!(f[0].token, "TcpStream");
+        // netsim is a transport crate, not pure: no entry, no finding.
     }
 
     #[test]

@@ -40,6 +40,7 @@ impl Profile {
                 dups: 1,
                 reorder_window: 2,
                 crashes: 1,
+                disconnects: 1,
             },
         }
     }
@@ -55,6 +56,7 @@ impl Profile {
                 dups: 2,
                 reorder_window: 3,
                 crashes: 1,
+                disconnects: 2,
             },
         }
     }
@@ -75,6 +77,7 @@ impl Profile {
                 dups: 0,
                 reorder_window: 2,
                 crashes: 0,
+                disconnects: 0,
             },
         }
     }
@@ -91,6 +94,7 @@ impl Profile {
                 dups: 0,
                 reorder_window: 1,
                 crashes: 0,
+                disconnects: 0,
             },
         }
     }

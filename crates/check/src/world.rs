@@ -44,6 +44,10 @@ pub enum Choice {
     /// replay its journal into a fresh node, and re-handshake
     /// (consumes crash budget).
     CrashRestart,
+    /// Cut the transport (in-flight frames lost, server state intact),
+    /// then reconnect and run the resumption handshake (consumes
+    /// disconnect budget).
+    LinkDown,
 }
 
 impl fmt::Display for Choice {
@@ -58,6 +62,7 @@ impl fmt::Display for Choice {
             Choice::FireTimer => write!(f, "fire timer"),
             Choice::NextOp => write!(f, "next op"),
             Choice::CrashRestart => write!(f, "crash+restart"),
+            Choice::LinkDown => write!(f, "link down+resume"),
         }
     }
 }
@@ -206,6 +211,8 @@ pub struct Budgets {
     pub reorder_window: usize,
     /// Total server crash/restart events (journal replay) allowed.
     pub crashes: u32,
+    /// Total link-cut/resume events (session resumption) allowed.
+    pub disconnects: u32,
 }
 
 /// One client + one server + the network between them.
@@ -226,6 +233,7 @@ pub struct World {
     dups_left: u32,
     reorder_window: usize,
     crashes_left: u32,
+    disconnects_left: u32,
     /// Any crash happened on this branch: in-flight frames and running
     /// jobs were legitimately lost, so end-state convergence claims are
     /// off (step invariants still hold).
@@ -277,6 +285,7 @@ impl World {
             dups_left: budgets.dups,
             reorder_window: budgets.reorder_window.max(1),
             crashes_left: budgets.crashes,
+            disconnects_left: budgets.disconnects,
             crashed: false,
             journal: Vec::new(),
             journal_hash: 0,
@@ -358,6 +367,9 @@ impl World {
         if self.crashes_left > 0 {
             out.push(Choice::CrashRestart);
         }
+        if self.disconnects_left > 0 {
+            out.push(Choice::LinkDown);
+        }
         out
     }
 
@@ -423,6 +435,9 @@ impl World {
             Choice::CrashRestart => {
                 self.crash_restart()?;
             }
+            Choice::LinkDown => {
+                self.link_down_resume()?;
+            }
         }
         self.check_step()
     }
@@ -485,6 +500,50 @@ impl World {
         self.queue_server_io(&io)?;
         let hello = self.client.connect(self.conn, self.now_ms);
         self.queue_client_out(&hello);
+        self.drain_handshake()
+    }
+
+    /// Cuts the transport and immediately resumes: in-flight frames die
+    /// with the connection, but — unlike [`crash_restart`](Self::crash_restart)
+    /// — the server keeps its in-memory state, so the resumption
+    /// handshake should confirm the shadow cache and keep the delta path
+    /// warm. Cache-lifetime epochs survive (the cache never restarted),
+    /// so ack and cached-version monotonicity keep holding *across* the
+    /// resume. A cut on a quiet link loses nothing, and then full
+    /// quiescent convergence must still hold.
+    fn link_down_resume(&mut self) -> Result<(), Violation> {
+        self.disconnects_left -= 1;
+        // Whatever was in flight is gone with the transport; losing
+        // frames legitimately stalls best-effort work, exactly like an
+        // explicit drop, so quiescence claims are scoped accordingly.
+        if !self.c2s.is_empty() || !self.s2c.is_empty() {
+            self.any_dropped = true;
+            self.c2s.clear();
+            self.s2c.clear();
+        }
+        // The server observes an abortive close and reaps the session.
+        let io = self
+            .server
+            .disconnected(self.session, shadow_server::CloseReason::Error, self.now_ms);
+        self.queue_server_io(&io)?;
+        // A fresh transport means a fresh accept — and a new session id —
+        // at the server; the client keeps its shadow environment and
+        // re-handshakes with a resume summary. The handshake is
+        // deterministic, so it is applied synchronously like the
+        // initial one.
+        self.session = SessionId::new(self.session.as_u64() + 1);
+        let io = self.server.connected(self.session, self.now_ms);
+        self.queue_server_io(&io)?;
+        self.client.link_down(self.conn, self.now_ms);
+        let hello = self.client.reconnect(self.conn, self.now_ms);
+        self.queue_client_out(&hello);
+        self.drain_handshake()
+    }
+
+    /// Delivers queued frames strictly in order until both directions
+    /// are empty — the synchronous (re-)handshake used by `new`,
+    /// crash-restart, and link-down+resume.
+    fn drain_handshake(&mut self) -> Result<(), Violation> {
         while !self.c2s.is_empty() || !self.s2c.is_empty() {
             if !self.c2s.is_empty() {
                 let frame = self.c2s.remove(0);
@@ -700,6 +759,7 @@ impl World {
         self.drops_left.hash(&mut h);
         self.dups_left.hash(&mut h);
         self.crashes_left.hash(&mut h);
+        self.disconnects_left.hash(&mut h);
         self.crashed.hash(&mut h);
         self.journal_hash.hash(&mut h);
         self.any_dropped.hash(&mut h);
@@ -741,6 +801,7 @@ mod tests {
             dups: 0,
             reorder_window: 1,
             crashes: 0,
+            disconnects: 0,
         }
     }
 
@@ -853,6 +914,139 @@ mod tests {
             w.apply(Choice::CrashRestart).unwrap();
         }
         assert_eq!(a.state_digest(), c.state_digest());
+    }
+
+    #[test]
+    fn quiet_link_cut_resumes_and_still_converges() {
+        let s = &builtin_scenarios()[0];
+        let mut w = World::new(
+            s,
+            Budgets {
+                disconnects: 1,
+                ..budgets()
+            },
+            FaultInjection::default(),
+        );
+        assert!(w.enabled().contains(&Choice::LinkDown));
+        // Settle the whole script first: the link is quiet, so the cut
+        // loses nothing and full convergence claims stay on.
+        let mut steps = 0;
+        while !w.quiescent() {
+            let choice = w.enabled()[0];
+            w.apply(choice).expect("clean run");
+            steps += 1;
+            assert!(steps < 500, "did not quiesce");
+        }
+        w.apply(Choice::LinkDown)
+            .expect("resume must not violate invariants");
+        assert!(
+            !w.enabled().contains(&Choice::LinkDown),
+            "disconnect budget is spent"
+        );
+        assert!(!w.any_dropped(), "a quiet cut loses no frames");
+        // The resumption handshake confirmed the cached bases: the
+        // server state survived, so this is the resume-hit path, not the
+        // full-transfer fallback.
+        assert!(
+            w.client.node().metrics().resume_hits > 0,
+            "resume summary was confirmed against the live cache"
+        );
+        assert_eq!(w.client.node().metrics().resume_fallbacks, 0);
+        let mut steps = 0;
+        while !w.quiescent() {
+            let choice = w.enabled()[0];
+            w.apply(choice).expect("post-resume run stays coherent");
+            steps += 1;
+            assert!(steps < 500, "did not re-quiesce");
+        }
+        // Nothing was dropped and the server never died: the strong
+        // quiescent convergence claim must hold across the resume.
+        assert_eq!(w.check_quiescent(), None);
+    }
+
+    #[test]
+    fn mid_run_link_cut_drops_in_flight_frames() {
+        let s = &builtin_scenarios()[0];
+        let mut w = World::new(
+            s,
+            Budgets {
+                disconnects: 1,
+                ..budgets()
+            },
+            FaultInjection::default(),
+        );
+        // Run ops until something is actually in flight, then cut.
+        let mut steps = 0;
+        while w.c2s.is_empty() && w.s2c.is_empty() {
+            let choice = w.enabled()[0];
+            w.apply(choice).expect("clean run");
+            steps += 1;
+            assert!(steps < 500, "nothing ever took flight");
+        }
+        w.apply(Choice::LinkDown).expect("resume stays coherent");
+        assert!(
+            w.any_dropped(),
+            "frames in flight died with the transport"
+        );
+        let mut steps = 0;
+        while !w.quiescent() {
+            let choice = w.enabled()[0];
+            w.apply(choice).expect("post-resume run stays coherent");
+            steps += 1;
+            assert!(steps < 500, "did not re-quiesce");
+        }
+        // Loss scopes the convergence claim, exactly like a drop.
+        assert_eq!(w.check_quiescent(), None);
+    }
+
+    #[test]
+    fn link_cut_then_crash_interleaving_stays_coherent() {
+        let s = &builtin_scenarios()[0];
+        let mut w = World::new(
+            s,
+            Budgets {
+                crashes: 1,
+                disconnects: 1,
+                ..budgets()
+            },
+            FaultInjection::default(),
+        );
+        // Interleave: one op, cut+resume, another op, crash+restart,
+        // then drive to quiescence — every step invariant must hold.
+        w.apply(Choice::NextOp).unwrap();
+        w.apply(Choice::LinkDown).expect("resume stays coherent");
+        let mut steps = 0;
+        while !w.quiescent() {
+            let choice = w.enabled()[0];
+            w.apply(choice).expect("mixed run stays coherent");
+            steps += 1;
+            assert!(steps < 500, "did not quiesce");
+            if steps == 3 && w.enabled().contains(&Choice::CrashRestart) {
+                w.apply(Choice::CrashRestart).expect("replay stays coherent");
+            }
+        }
+        assert_eq!(w.check_quiescent(), None);
+    }
+
+    #[test]
+    fn link_cut_is_deterministic() {
+        let s = &builtin_scenarios()[0];
+        let b = Budgets {
+            disconnects: 1,
+            ..budgets()
+        };
+        let mut a = World::new(s, b, FaultInjection::default());
+        let mut c = World::new(s, b, FaultInjection::default());
+        for w in [&mut a, &mut c] {
+            w.apply(Choice::NextOp).unwrap();
+            w.apply(Choice::LinkDown).unwrap();
+        }
+        assert_eq!(a.state_digest(), c.state_digest());
+        assert_ne!(
+            a.state_digest(),
+            World::new(s, b, FaultInjection::default()).state_digest(),
+            "a cut is a new state"
+        );
     }
 
     #[test]

@@ -175,6 +175,31 @@ fn planted_fs_access_below_pure_public_fn_fires() {
     assert_eq!(f[0].token, "fs::");
 }
 
+/// A socket dial buried below a pure crate's public fn fires: the
+/// protocol cores model disconnects as plain state transitions
+/// (`LinkDown`/`Resume`); sockets belong to the transports and the
+/// reconnect supervisor, never to the sans-io state machines.
+#[test]
+fn planted_net_access_below_pure_public_fn_fires() {
+    let root = temp_workspace(
+        "analyze_net",
+        &[
+            (
+                "crates/client/src/lib.rs",
+                "mod dialer;\npub fn reconnect(a: &str) -> bool {\n    crate::dialer::dial(a)\n}\n",
+            ),
+            (
+                "crates/client/src/dialer.rs",
+                "pub(crate) fn dial(a: &str) -> bool {\n    std::net::TcpStream::connect(a).is_ok()\n}\n",
+            ),
+        ],
+    );
+    let f = rule_findings(&root, "net-reach");
+    assert!(!f.is_empty(), "planted socket dial must be found");
+    assert!(f.iter().any(|f| f.entry == "client::reconnect"
+        && f.fact_fn == "client::dialer::dial"));
+}
+
 /// A blocking receive below the server poll loop — behind one hop of
 /// indirection in another file — fires the shard-shape rule.
 #[test]

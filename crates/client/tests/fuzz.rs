@@ -51,12 +51,24 @@ fn arb_status() -> impl Strategy<Value = JobStatus> {
     ]
 }
 
+fn arb_retained() -> impl Strategy<Value = Vec<(FileId, VersionNumber)>> {
+    prop::collection::vec(
+        (0u64..6, 0u64..5).prop_map(|(f, v)| (FileId::new(f), VersionNumber::new(v))),
+        0..4,
+    )
+}
+
 fn arb_message() -> impl Strategy<Value = ServerMessage> {
     prop_oneof![
-        "[a-z]{1,6}".prop_map(|s| ServerMessage::HelloAck {
-            protocol: PROTOCOL_VERSION,
-            server: HostName::new(s),
+        ("[a-z]{1,6}", any::<bool>(), arb_retained()).prop_map(|(s, resumed, retained)| {
+            ServerMessage::HelloAck {
+                protocol: PROTOCOL_VERSION,
+                server: HostName::new(s),
+                resumed,
+                retained,
+            }
         }),
+        any::<u64>().prop_map(|nonce| ServerMessage::Pong { nonce }),
         (0u64..6, prop::option::of(0u64..5)).prop_map(|(f, have)| ServerMessage::UpdateRequest {
             file: FileId::new(f),
             have: have.map(VersionNumber::new),
@@ -120,6 +132,11 @@ proptest! {
                     // A submit may legitimately fail before HelloAck.
                     let _ = client.submit(conn, &f, &[], SubmitOptions::default());
                 }
+            }
+            if i % 7 == 6 {
+                // Link churn at arbitrary points must never panic.
+                client.handle(ClientEvent::LinkDown { conn, now_ms: i as u64 });
+                client.handle(ClientEvent::Resume { conn, now_ms: i as u64 });
             }
             client.handle(ClientEvent::Message {
                 conn,

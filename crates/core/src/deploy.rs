@@ -229,6 +229,16 @@ impl PipeDeployment {
         }
     }
 
+    /// Establishes a fresh transport without building a client — the
+    /// redial path for an existing [`LiveClient`] resuming after a
+    /// dropped link ([`LiveClient::resume_over`](crate::LiveClient::resume_over)).
+    pub fn connect_transport(&self) -> shadow_netsim::pipe::PipeEnd {
+        match &self.inner {
+            PipeInner::Single(sys) => sys.connect_transport(),
+            PipeInner::Sharded(sys) => sys.connect_transport(),
+        }
+    }
+
     /// The live server report (merged across shards when sharded).
     /// `None` once the system has begun shutting down.
     pub fn report(&self) -> Option<NodeReport> {

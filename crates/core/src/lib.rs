@@ -90,10 +90,11 @@ pub use sim::{ClientId, FinishedJob, ServerId, SimError, Simulation};
 pub use shadow_store::{DurableStore, RecoverySummary, DEFAULT_COMPACT_EVERY};
 
 pub use shadow_runtime::{
-    shard_for, Accepted, ClientDriver, ClientOutbound, Clock, CompletedJob, DriverEvent,
-    DriverStats, EventHook, FeedError, FrameInfo, FrameTransport, PersistSink, ServerDriver,
-    ServerIo, ServerOutbound, ServerRuntime, SessionAcceptor, ShardedServerRuntime, TimerQueue,
-    TransportClosed, VirtualClock, WallClock,
+    shard_for, Accepted, ClientDriver, ClientOutbound, Clock, CompletedJob, Connector,
+    DriverEvent, DriverStats, EventHook, FeedError, FrameInfo, FrameTransport, PersistSink,
+    ServerDriver, ServerIo, ServerOutbound, ServerRuntime, SessionAcceptor, ShardedServerRuntime,
+    Supervisor, SupervisorConfig, SupervisorEvent, SupervisorStats, TimerQueue, TransportClosed,
+    VirtualClock, WallClock,
 };
 
 pub use shadow_cache::{CacheStats, EvictionPolicy, ShadowStore};
@@ -109,7 +110,10 @@ pub use shadow_diff::{
     DeltaError, DeltaScript, DiffAlgorithm, DiffScratch, DiffStats, DocBuf, Document, EdCommand,
     EdScript, Line,
 };
-pub use shadow_netsim::{pipe, profiles, LinkProfile, LinkStats, SimNet, SimTime};
+pub use shadow_netsim::{
+    pipe, profiles, tcp, ChaosProxy, FaultPlan, FaultStats, FaultTransport, LinkProfile,
+    LinkStats, SimNet, SimTime,
+};
 pub use shadow_proto::{
     ClientMessage, ContentDigest, DomainId, FileId, FileKey, Frame, HostName, JobId, JobStats,
     JobStatus, JobStatusEntry, OutputPayload, PersistRecord, RequestId, ServerMessage, SubmitOptions,

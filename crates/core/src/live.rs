@@ -32,8 +32,11 @@ use shadow_server::{ServerConfig, ServerNode};
 /// Errors from the live system.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LiveError {
-    /// The peer hung up.
+    /// The peer hung up (stream corrupt or otherwise unresumable).
     Disconnected,
+    /// The transport closed, with the clean-vs-error distinction
+    /// preserved for supervisors deciding whether to redial.
+    Closed(shadow_runtime::TransportClosed),
     /// A wait timed out.
     Timeout,
     /// A client command failed.
@@ -42,14 +45,31 @@ pub enum LiveError {
     Wire(WireError),
 }
 
+impl LiveError {
+    /// The transport-level close carried by this error, if any.
+    pub fn closed(&self) -> Option<shadow_runtime::TransportClosed> {
+        match self {
+            LiveError::Closed(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for LiveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LiveError::Disconnected => write!(f, "peer disconnected"),
+            LiveError::Closed(c) => write!(f, "{c}"),
             LiveError::Timeout => write!(f, "timed out waiting for the server"),
             LiveError::Client(e) => write!(f, "client: {e}"),
             LiveError::Wire(e) => write!(f, "wire: {e}"),
         }
+    }
+}
+
+impl From<shadow_runtime::TransportClosed> for LiveError {
+    fn from(c: shadow_runtime::TransportClosed) -> Self {
+        LiveError::Closed(c)
     }
 }
 
@@ -189,6 +209,17 @@ impl LiveSystem {
             .expect("hello on a fresh pipe cannot fail")
     }
 
+    /// Establishes a fresh transport without building a client — the
+    /// redial path for an existing [`LiveClient`] resuming after a
+    /// dropped link ([`LiveClient::resume_over`]).
+    pub fn connect_transport(&self) -> PipeEnd {
+        let (client_end, server_end) = duplex();
+        self.registrar
+            .send(server_end)
+            .expect("server thread is running");
+        client_end
+    }
+
     /// Stops accepting clients and waits for the server thread to finish
     /// (all clients must have been dropped), returning the final server
     /// state for inspection.
@@ -316,6 +347,19 @@ impl ShardedLiveSystem {
             .expect("hello on a fresh pipe cannot fail")
     }
 
+    /// Establishes a fresh transport without building a client — the
+    /// redial path for an existing [`LiveClient`] resuming after a
+    /// dropped link. The resume `Hello` carries the client's domain, so
+    /// the router lands the new session on the same shard that holds
+    /// the cached versions.
+    pub fn connect_transport(&self) -> PipeEnd {
+        let (client_end, server_end) = duplex();
+        self.registrar
+            .send(server_end)
+            .expect("router thread is running");
+        client_end
+    }
+
     /// The aggregate server report: per-shard [`NodeReport`]s merged
     /// value-wise plus `shards`/`shardN` breakdown sections (see
     /// [`ShardedServerRuntime::report`]). `None` once the system has
@@ -386,9 +430,7 @@ impl<T: FrameTransport> LiveClient<T> {
 
     fn transmit(&mut self, out: Vec<ClientOutbound>) -> Result<(), LiveError> {
         for o in out {
-            self.transport
-                .send_frame(o.frame)
-                .map_err(|_| LiveError::Disconnected)?;
+            self.transport.send_frame(o.frame).map_err(LiveError::from)?;
         }
         Ok(())
     }
@@ -409,7 +451,7 @@ impl<T: FrameTransport> LiveClient<T> {
         while let Some(frame) = self
             .transport
             .recv_frame(Duration::ZERO)
-            .map_err(|_| LiveError::Disconnected)?
+            .map_err(LiveError::from)?
         {
             self.feed(&frame)?;
             n += 1;
@@ -439,7 +481,7 @@ impl<T: FrameTransport> LiveClient<T> {
             match self.transport.recv_frame(Duration::from_millis(10)) {
                 Ok(Some(frame)) => self.feed(&frame)?,
                 Ok(None) => {}
-                Err(_) => return Err(LiveError::Disconnected),
+                Err(c) => return Err(LiveError::Closed(c)),
             }
         }
     }
@@ -452,6 +494,42 @@ impl<T: FrameTransport> LiveClient<T> {
     pub fn wait_ready(&mut self, timeout: Duration) -> Result<(), LiveError> {
         self.wait_for(timeout, |n| matches!(n, Notification::SessionReady { .. }))
             .map(|_| ())
+    }
+
+    /// The link is gone but the session may yet be resumed: marks the
+    /// connection down in the protocol state machine, keeping version
+    /// chains and acked knowledge for the resume handshake.
+    pub fn link_down(&mut self) {
+        let now_ms = self.clock.now_ms();
+        self.driver.link_down(self.conn, now_ms);
+    }
+
+    /// Resumes the session over a freshly dialed transport: swaps the
+    /// transport and sends the resume `Hello` carrying the client's
+    /// shadow-cache digest summary. Follow with
+    /// [`wait_ready`](Self::wait_ready) to learn what the server
+    /// retained.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures sending the resume handshake.
+    pub fn resume_over(&mut self, transport: T) -> Result<(), LiveError> {
+        self.transport = transport;
+        let now_ms = self.clock.now_ms();
+        let out = self.driver.reconnect(self.conn, now_ms);
+        self.transmit(out)
+    }
+
+    /// Sends a heartbeat ping; the pong surfaces as
+    /// [`Notification::Pong`] via the notification queue.
+    ///
+    /// # Errors
+    ///
+    /// Client-command or transport failures.
+    pub fn ping(&mut self, nonce: u64) -> Result<(), LiveError> {
+        let now_ms = self.clock.now_ms();
+        let out = self.driver.ping(self.conn, nonce, now_ms)?;
+        self.transmit(out)
     }
 
     /// Records an editing session's result (the shadow post-processor).

@@ -287,9 +287,27 @@ impl Simulation {
             self.clients[client.0].driver.disconnect(conn);
             let now = self.net.now();
             // Session teardown produces no sends; drop the (empty) io.
-            let _ = self.servers[server.0]
-                .driver
-                .disconnected(session, now.as_millis());
+            let _ = self.servers[server.0].driver.disconnected(
+                session,
+                shadow_server::CloseReason::Error,
+                now.as_millis(),
+            );
+            self.servers[server.0].sessions.remove(&session);
+        }
+    }
+
+    /// Gracefully closes a client↔server connection: the orderly
+    /// hang-up a live deployment performs on client drop, so both
+    /// worlds account the session under the `clean` close reason.
+    pub fn close_connection(&mut self, client: ClientId, server: ServerId) {
+        if let Some((conn, session)) = self.pairs.remove(&(client.0, server.0)) {
+            self.clients[client.0].driver.disconnect(conn);
+            let now = self.net.now();
+            let _ = self.servers[server.0].driver.disconnected(
+                session,
+                shadow_server::CloseReason::Clean,
+                now.as_millis(),
+            );
             self.servers[server.0].sessions.remove(&session);
         }
     }

@@ -32,8 +32,17 @@ pub type TcpClient = LiveClient<TcpFramed>;
 /// Socket or handshake failures.
 pub fn connect_tcp(config: ClientConfig, addr: impl ToSocketAddrs) -> io::Result<TcpClient> {
     let transport = TcpFramed::connect(addr)?;
-    LiveClient::over_transport(config, transport)
-        .map_err(|e| io::Error::new(io::ErrorKind::ConnectionReset, e.to_string()))
+    LiveClient::over_transport(config, transport).map_err(|e| {
+        // Preserve the real failure kind: an orderly close during the
+        // handshake is not a reset, and a reset is not a decode error.
+        let kind = match e.closed() {
+            Some(closed) => closed
+                .error_kind()
+                .unwrap_or(io::ErrorKind::ConnectionAborted),
+            None => io::ErrorKind::InvalidData,
+        };
+        io::Error::new(kind, e.to_string())
+    })
 }
 
 /// Accepts framed TCP connections from the well-known port. The listener

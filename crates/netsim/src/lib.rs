@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 mod link;
 mod net;
 pub mod pipe;
@@ -45,6 +46,7 @@ pub mod profiles;
 pub mod tcp;
 mod time;
 
+pub use fault::{ChaosProxy, FaultPlan, FaultStats, FaultTransport};
 pub use link::{LinkProfile, LinkStats};
 pub use net::{Delivery, NetError, NodeId, SimEvent, SimNet};
 pub use time::SimTime;

@@ -91,18 +91,19 @@ impl PipeEnd {
 
 impl shadow_runtime::FrameTransport for PipeEnd {
     fn send_frame(&mut self, frame: Vec<u8>) -> Result<(), shadow_runtime::TransportClosed> {
-        PipeEnd::send(self, frame).map_err(|_| shadow_runtime::TransportClosed)
+        // A dropped peer end is an orderly hang-up, not a failure.
+        PipeEnd::send(self, frame).map_err(|_| shadow_runtime::TransportClosed::Clean)
     }
 
     fn recv_frame(
         &mut self,
         timeout: Duration,
     ) -> Result<Option<Vec<u8>>, shadow_runtime::TransportClosed> {
-        PipeEnd::recv_timeout(self, timeout).map_err(|_| shadow_runtime::TransportClosed)
+        PipeEnd::recv_timeout(self, timeout).map_err(|_| shadow_runtime::TransportClosed::Clean)
     }
 
     fn try_recv_frame(&mut self) -> Result<Option<Vec<u8>>, shadow_runtime::TransportClosed> {
-        PipeEnd::try_recv(self).map_err(|_| shadow_runtime::TransportClosed)
+        PipeEnd::try_recv(self).map_err(|_| shadow_runtime::TransportClosed::Clean)
     }
 }
 

@@ -105,6 +105,15 @@ impl TcpFramed {
                     if self.read_buf.is_empty() {
                         return Err(io::Error::new(ErrorKind::UnexpectedEof, "peer closed"));
                     }
+                    if !self.buffered_frame_complete() {
+                        // EOF mid-frame: the stream was cut, not closed.
+                        // Without this, the partial frame would sit in
+                        // the buffer returning `Ok(None)` forever.
+                        return Err(io::Error::new(
+                            ErrorKind::ConnectionAborted,
+                            "peer closed mid-frame",
+                        ));
+                    }
                     break;
                 }
                 Ok(n) => {
@@ -143,6 +152,21 @@ impl TcpFramed {
         Ok(Some(frame))
     }
 
+    /// True when the buffered bytes form at least one complete outer
+    /// frame (so an EOF now is an orderly close, not a cut).
+    fn buffered_frame_complete(&self) -> bool {
+        if self.read_buf.len() < 4 {
+            return false;
+        }
+        let len = u32::from_le_bytes([
+            self.read_buf[0],
+            self.read_buf[1],
+            self.read_buf[2],
+            self.read_buf[3],
+        ]);
+        self.read_buf.len() >= 4 + len as usize
+    }
+
     /// Receives one frame, blocking until it arrives or `timeout` elapses
     /// (`Ok(None)` on timeout).
     ///
@@ -164,18 +188,20 @@ impl TcpFramed {
 
 impl shadow_runtime::FrameTransport for TcpFramed {
     fn send_frame(&mut self, frame: Vec<u8>) -> Result<(), shadow_runtime::TransportClosed> {
-        TcpFramed::send(self, &frame).map_err(|_| shadow_runtime::TransportClosed)
+        // `From<io::Error>` maps UnexpectedEof (orderly peer close) to
+        // Clean and carries every other kind through as an error close.
+        TcpFramed::send(self, &frame).map_err(shadow_runtime::TransportClosed::from)
     }
 
     fn recv_frame(
         &mut self,
         timeout: Duration,
     ) -> Result<Option<Vec<u8>>, shadow_runtime::TransportClosed> {
-        TcpFramed::recv_timeout(self, timeout).map_err(|_| shadow_runtime::TransportClosed)
+        TcpFramed::recv_timeout(self, timeout).map_err(shadow_runtime::TransportClosed::from)
     }
 
     fn try_recv_frame(&mut self) -> Result<Option<Vec<u8>>, shadow_runtime::TransportClosed> {
-        TcpFramed::try_recv(self).map_err(|_| shadow_runtime::TransportClosed)
+        TcpFramed::try_recv(self).map_err(shadow_runtime::TransportClosed::from)
     }
 }
 

@@ -70,6 +70,16 @@ pub enum DriverEvent<'a> {
         /// The deadline it was armed for.
         deadline_ms: u64,
     },
+    /// A server session was closed and reaped.
+    SessionClosed {
+        /// The raw session id.
+        session: u64,
+        /// The close-reason label (`"clean"`, `"error"`, `"decode"`,
+        /// `"idle"`, `"shutdown"`).
+        reason: &'static str,
+        /// Driver-clock close time, milliseconds.
+        at_ms: u64,
+    },
 }
 
 /// The callback type for [`DriverEvent`] taps.

@@ -80,6 +80,13 @@ impl FlightRecorder {
             DriverEvent::TimerFired { deadline_ms } => {
                 self.record(*deadline_ms, "timer fired");
             }
+            DriverEvent::SessionClosed {
+                session,
+                reason,
+                at_ms,
+            } => {
+                self.record(*at_ms, format!("session {session} closed ({reason})"));
+            }
         }
     }
 

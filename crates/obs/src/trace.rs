@@ -167,7 +167,9 @@ impl TraceSink {
             DriverEvent::FrameReceived { frame, at_ms } => {
                 self.observe_frame(frame, *at_ms, false);
             }
-            DriverEvent::TimerArmed { .. } | DriverEvent::TimerFired { .. } => {}
+            DriverEvent::TimerArmed { .. }
+            | DriverEvent::TimerFired { .. }
+            | DriverEvent::SessionClosed { .. } => {}
         }
     }
 
@@ -429,6 +431,8 @@ mod tests {
             domain: DomainId::new(1),
             host: HostName::new("edit-host"),
             protocol: shadow_proto::PROTOCOL_VERSION,
+            epoch: 0,
+            resume: Vec::new(),
         });
         hook(sent(&hello, 0));
         let guard = sink.lock().expect("sink lock");

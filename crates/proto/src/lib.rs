@@ -19,6 +19,8 @@
 //!     domain: DomainId::new(42),
 //!     host: HostName::new("workstation.lab"),
 //!     protocol: PROTOCOL_VERSION,
+//!     epoch: 0,
+//!     resume: Vec::new(),
 //! };
 //! let bytes = Frame::encode(&msg);
 //! let (decoded, used) = Frame::decode::<ClientMessage>(&bytes)?.expect("complete frame");
@@ -45,10 +47,12 @@ pub use error::WireError;
 pub use persist::PersistRecord;
 pub use ids::{DomainId, FileId, FileKey, HostName, JobId, RequestId, VersionNumber};
 pub use message::{
-    ClientMessage, JobStats, JobStatus, JobStatusEntry, OutputPayload, ServerMessage,
-    SubmitOptions, TransferEncoding, UpdatePayload,
+    ClientMessage, JobStats, JobStatus, JobStatusEntry, OutputPayload, ResumeEntry,
+    ServerMessage, SubmitOptions, TransferEncoding, UpdatePayload,
 };
 pub use wire::{Frame, WireDecode, WireEncode, MAX_FRAME_LEN};
 
-/// Version of the wire protocol spoken by this crate.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version of the wire protocol spoken by this crate. Version 2 added
+/// the session-resumption handshake (`Hello` epoch + resume summary,
+/// `HelloAck` retained list) and the `Ping`/`Pong` heartbeats.
+pub const PROTOCOL_VERSION: u32 = 2;

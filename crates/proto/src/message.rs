@@ -208,6 +208,22 @@ pub struct JobStats {
     pub exit_code: i32,
 }
 
+/// One shadow-cache claim presented by a reconnecting client: "version
+/// `version` of `file`, whose content digests to `digest`, should still
+/// be in your cache". The server confirms each claim it can verify
+/// against its (possibly journal-restored) cache, and the confirmed
+/// files resume delta transfers without a fresh full copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeEntry {
+    /// The file.
+    pub file: FileId,
+    /// The newest version the server acknowledged before the link died.
+    pub version: VersionNumber,
+    /// Digest of that version's content, so a cache holding different
+    /// bytes under the same number is never trusted.
+    pub digest: ContentDigest,
+}
+
 /// Messages sent by the shadow client to a shadow server.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientMessage {
@@ -219,6 +235,14 @@ pub enum ClientMessage {
         host: HostName,
         /// Protocol version spoken.
         protocol: u32,
+        /// Session epoch: 0 for a first connection, incremented on every
+        /// reconnect so both sides can tell a resumption from a fresh
+        /// session.
+        epoch: u64,
+        /// Shadow-cache digest summary for resumption: the acked
+        /// versions this client believes the server still caches.
+        /// Empty on a first connection.
+        resume: Vec<ResumeEntry>,
     },
     /// A new version of a file exists at the client (§6.4: "the client
     /// contacts the server to notify it about the creation of a new
@@ -275,6 +299,13 @@ pub enum ClientMessage {
         /// The job whose output arrived.
         job: JobId,
     },
+    /// Liveness heartbeat; the server answers with
+    /// [`ServerMessage::Pong`] echoing the nonce. Also counts as session
+    /// activity for idle-eviction purposes.
+    Ping {
+        /// Echoed verbatim in the answering pong.
+        nonce: u64,
+    },
     /// Closes the session.
     Bye,
 }
@@ -288,6 +319,14 @@ pub enum ServerMessage {
         protocol: u32,
         /// The server host's name.
         server: HostName,
+        /// True when the server treated this as a resumption (the
+        /// client's `epoch` was non-zero) rather than a fresh session.
+        resumed: bool,
+        /// The subset of the client's [`ResumeEntry`] claims the server
+        /// verified against its cache: these files keep their delta
+        /// bases. Claims absent here were lost — the client must fall
+        /// back to full transfers for them.
+        retained: Vec<(FileId, VersionNumber)>,
     },
     /// Demand-driven pull (§5.2): the server decides *when* to fetch and
     /// names the newest base version it already caches so the client can
@@ -338,6 +377,11 @@ pub enum ServerMessage {
         errors: Bytes,
         /// Accounting.
         stats: JobStats,
+    },
+    /// Answer to a [`ClientMessage::Ping`] heartbeat.
+    Pong {
+        /// The nonce from the ping.
+        nonce: u64,
     },
     /// Closes the session.
     Bye,

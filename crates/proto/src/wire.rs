@@ -8,8 +8,8 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::message::{
-    ClientMessage, JobStats, JobStatus, JobStatusEntry, OutputPayload, ServerMessage,
-    SubmitOptions, TransferEncoding, UpdatePayload,
+    ClientMessage, JobStats, JobStatus, JobStatusEntry, OutputPayload, ResumeEntry,
+    ServerMessage, SubmitOptions, TransferEncoding, UpdatePayload,
 };
 use crate::{
     ContentDigest, DomainId, FileId, HostName, JobId, RequestId, VersionNumber, WireError,
@@ -406,6 +406,7 @@ const CM_SUBMIT: u8 = 0x04;
 const CM_STATUS: u8 = 0x05;
 const CM_OUTPUT_ACK: u8 = 0x06;
 const CM_BYE: u8 = 0x07;
+const CM_PING: u8 = 0x08;
 
 impl WireEncode for ClientMessage {
     fn encode_body(&self, buf: &mut BytesMut) {
@@ -414,11 +415,20 @@ impl WireEncode for ClientMessage {
                 domain,
                 host,
                 protocol,
+                epoch,
+                resume,
             } => {
                 buf.put_u8(CM_HELLO);
                 buf.put_u64_le(domain.as_u64());
                 put_string(buf, host.as_str());
                 buf.put_u32_le(*protocol);
+                buf.put_u64_le(*epoch);
+                buf.put_u32_le(resume.len() as u32);
+                for e in resume {
+                    buf.put_u64_le(e.file.as_u64());
+                    buf.put_u64_le(e.version.as_u64());
+                    buf.put_u64_le(e.digest.as_u64());
+                }
             }
             ClientMessage::NotifyVersion {
                 file,
@@ -471,6 +481,10 @@ impl WireEncode for ClientMessage {
                 buf.put_u8(CM_OUTPUT_ACK);
                 buf.put_u64_le(job.as_u64());
             }
+            ClientMessage::Ping { nonce } => {
+                buf.put_u8(CM_PING);
+                buf.put_u64_le(*nonce);
+            }
             ClientMessage::Bye => buf.put_u8(CM_BYE),
         }
     }
@@ -479,11 +493,28 @@ impl WireEncode for ClientMessage {
 impl WireDecode for ClientMessage {
     fn decode_body(c: &mut Cursor<'_>) -> Result<Self, WireError> {
         match c.get_u8()? {
-            CM_HELLO => Ok(ClientMessage::Hello {
-                domain: DomainId::new(c.get_u64()?),
-                host: HostName::new(c.get_string()?),
-                protocol: c.get_u32()?,
-            }),
+            CM_HELLO => {
+                let domain = DomainId::new(c.get_u64()?);
+                let host = HostName::new(c.get_string()?);
+                let protocol = c.get_u32()?;
+                let epoch = c.get_u64()?;
+                let n = c.get_len("resume entries", MAX_VEC_LEN)?;
+                let mut resume = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    resume.push(ResumeEntry {
+                        file: FileId::new(c.get_u64()?),
+                        version: VersionNumber::new(c.get_u64()?),
+                        digest: ContentDigest::from_raw(c.get_u64()?),
+                    });
+                }
+                Ok(ClientMessage::Hello {
+                    domain,
+                    host,
+                    protocol,
+                    epoch,
+                    resume,
+                })
+            }
             CM_NOTIFY => Ok(ClientMessage::NotifyVersion {
                 file: FileId::new(c.get_u64()?),
                 name: c.get_string()?,
@@ -523,6 +554,9 @@ impl WireDecode for ClientMessage {
             CM_OUTPUT_ACK => Ok(ClientMessage::OutputAck {
                 job: JobId::new(c.get_u64()?),
             }),
+            CM_PING => Ok(ClientMessage::Ping {
+                nonce: c.get_u64()?,
+            }),
             CM_BYE => Ok(ClientMessage::Bye),
             tag => Err(WireError::UnknownTag {
                 what: "ClientMessage",
@@ -544,14 +578,26 @@ const SM_SUBMIT_ERR: u8 = 0x85;
 const SM_STATUS_REPORT: u8 = 0x86;
 const SM_JOB_COMPLETE: u8 = 0x87;
 const SM_BYE: u8 = 0x88;
+const SM_PONG: u8 = 0x89;
 
 impl WireEncode for ServerMessage {
     fn encode_body(&self, buf: &mut BytesMut) {
         match self {
-            ServerMessage::HelloAck { protocol, server } => {
+            ServerMessage::HelloAck {
+                protocol,
+                server,
+                resumed,
+                retained,
+            } => {
                 buf.put_u8(SM_HELLO_ACK);
                 buf.put_u32_le(*protocol);
                 put_string(buf, server.as_str());
+                buf.put_u8(u8::from(*resumed));
+                buf.put_u32_le(retained.len() as u32);
+                for (f, v) in retained {
+                    buf.put_u64_le(f.as_u64());
+                    buf.put_u64_le(v.as_u64());
+                }
             }
             ServerMessage::UpdateRequest { file, have } => {
                 buf.put_u8(SM_UPDATE_REQ);
@@ -595,6 +641,10 @@ impl WireEncode for ServerMessage {
                 put_bytes(buf, errors);
                 put_stats(buf, stats);
             }
+            ServerMessage::Pong { nonce } => {
+                buf.put_u8(SM_PONG);
+                buf.put_u64_le(*nonce);
+            }
             ServerMessage::Bye => buf.put_u8(SM_BYE),
         }
     }
@@ -603,10 +653,25 @@ impl WireEncode for ServerMessage {
 impl WireDecode for ServerMessage {
     fn decode_body(c: &mut Cursor<'_>) -> Result<Self, WireError> {
         match c.get_u8()? {
-            SM_HELLO_ACK => Ok(ServerMessage::HelloAck {
-                protocol: c.get_u32()?,
-                server: HostName::new(c.get_string()?),
-            }),
+            SM_HELLO_ACK => {
+                let protocol = c.get_u32()?;
+                let server = HostName::new(c.get_string()?);
+                let resumed = c.get_bool()?;
+                let n = c.get_len("retained entries", MAX_VEC_LEN)?;
+                let mut retained = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    retained.push((
+                        FileId::new(c.get_u64()?),
+                        VersionNumber::new(c.get_u64()?),
+                    ));
+                }
+                Ok(ServerMessage::HelloAck {
+                    protocol,
+                    server,
+                    resumed,
+                    retained,
+                })
+            }
             SM_UPDATE_REQ => Ok(ServerMessage::UpdateRequest {
                 file: FileId::new(c.get_u64()?),
                 have: c.get_opt(|c| Ok(VersionNumber::new(c.get_u64()?)))?,
@@ -642,6 +707,9 @@ impl WireDecode for ServerMessage {
                 errors: c.get_bytes()?,
                 stats: get_stats(c)?,
             }),
+            SM_PONG => Ok(ServerMessage::Pong {
+                nonce: c.get_u64()?,
+            }),
             SM_BYE => Ok(ServerMessage::Bye),
             tag => Err(WireError::UnknownTag {
                 what: "ServerMessage",
@@ -676,6 +744,8 @@ mod tests {
             domain: DomainId::new(9),
             host: HostName::new("ws9"),
             protocol: crate::PROTOCOL_VERSION,
+            epoch: 0,
+            resume: Vec::new(),
         };
         let mut batch = Vec::new();
         Frame::encode_into(&a, &mut batch);
@@ -697,6 +767,26 @@ mod tests {
             domain: DomainId::new(1),
             host: HostName::new("ws1.lab"),
             protocol: 1,
+            epoch: 0,
+            resume: Vec::new(),
+        });
+        round_trip_client(ClientMessage::Hello {
+            domain: DomainId::new(1),
+            host: HostName::new("ws1.lab"),
+            protocol: 1,
+            epoch: 3,
+            resume: vec![
+                ResumeEntry {
+                    file: FileId::new(2),
+                    version: VersionNumber::new(5),
+                    digest: ContentDigest::of(b"cached content"),
+                },
+                ResumeEntry {
+                    file: FileId::new(7),
+                    version: VersionNumber::FIRST,
+                    digest: ContentDigest::of(b"other"),
+                },
+            ],
         });
         round_trip_client(ClientMessage::NotifyVersion {
             file: FileId::new(2),
@@ -749,6 +839,7 @@ mod tests {
             job: None,
         });
         round_trip_client(ClientMessage::OutputAck { job: JobId::new(3) });
+        round_trip_client(ClientMessage::Ping { nonce: 0xDEAD_BEEF });
         round_trip_client(ClientMessage::Bye);
     }
 
@@ -757,6 +848,17 @@ mod tests {
         round_trip_server(ServerMessage::HelloAck {
             protocol: 1,
             server: HostName::new("superc.uiuc"),
+            resumed: false,
+            retained: Vec::new(),
+        });
+        round_trip_server(ServerMessage::HelloAck {
+            protocol: 1,
+            server: HostName::new("superc.uiuc"),
+            resumed: true,
+            retained: vec![
+                (FileId::new(2), VersionNumber::new(5)),
+                (FileId::new(7), VersionNumber::FIRST),
+            ],
         });
         round_trip_server(ServerMessage::UpdateRequest {
             file: FileId::new(2),
@@ -810,6 +912,7 @@ mod tests {
                 exit_code: 0,
             },
         });
+        round_trip_server(ServerMessage::Pong { nonce: 42 });
         round_trip_server(ServerMessage::Bye);
     }
 

@@ -5,8 +5,8 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use shadow_proto::{
     ClientMessage, ContentDigest, DomainId, FileId, Frame, HostName, JobId, JobStats, JobStatus,
-    JobStatusEntry, OutputPayload, RequestId, ServerMessage, SubmitOptions, TransferEncoding,
-    UpdatePayload, VersionNumber,
+    JobStatusEntry, OutputPayload, RequestId, ResumeEntry, ServerMessage, SubmitOptions,
+    TransferEncoding, UpdatePayload, VersionNumber,
 };
 
 fn arb_encoding() -> impl Strategy<Value = TransferEncoding> {
@@ -88,13 +88,28 @@ fn arb_status() -> impl Strategy<Value = JobStatus> {
 
 fn arb_client_message() -> impl Strategy<Value = ClientMessage> {
     prop_oneof![
-        (any::<u64>(), "[a-z0-9.]{1,20}", any::<u32>()).prop_map(|(d, h, p)| {
-            ClientMessage::Hello {
+        (
+            any::<u64>(),
+            "[a-z0-9.]{1,20}",
+            any::<u32>(),
+            any::<u64>(),
+            prop::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..6)
+        )
+            .prop_map(|(d, h, p, epoch, resume)| ClientMessage::Hello {
                 domain: DomainId::new(d),
                 host: HostName::new(h),
                 protocol: p,
-            }
-        }),
+                epoch,
+                resume: resume
+                    .into_iter()
+                    .map(|(f, v, dg)| ResumeEntry {
+                        file: FileId::new(f),
+                        version: VersionNumber::new(v),
+                        digest: ContentDigest::from_raw(dg),
+                    })
+                    .collect(),
+            }),
+        any::<u64>().prop_map(|nonce| ClientMessage::Ping { nonce }),
         (any::<u64>(), "[ -~]{0,40}", any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
             |(f, name, v, size, dg)| ClientMessage::NotifyVersion {
                 file: FileId::new(f),
@@ -141,10 +156,22 @@ fn arb_client_message() -> impl Strategy<Value = ClientMessage> {
 
 fn arb_server_message() -> impl Strategy<Value = ServerMessage> {
     prop_oneof![
-        (any::<u32>(), "[a-z0-9.]{1,20}").prop_map(|(p, s)| ServerMessage::HelloAck {
-            protocol: p,
-            server: HostName::new(s),
-        }),
+        (
+            any::<u32>(),
+            "[a-z0-9.]{1,20}",
+            any::<bool>(),
+            prop::collection::vec((any::<u64>(), any::<u64>()), 0..6)
+        )
+            .prop_map(|(p, s, resumed, retained)| ServerMessage::HelloAck {
+                protocol: p,
+                server: HostName::new(s),
+                resumed,
+                retained: retained
+                    .into_iter()
+                    .map(|(f, v)| (FileId::new(f), VersionNumber::new(v)))
+                    .collect(),
+            }),
+        any::<u64>().prop_map(|nonce| ServerMessage::Pong { nonce }),
         (any::<u64>(), prop::option::of(any::<u64>())).prop_map(|(f, have)| {
             ServerMessage::UpdateRequest {
                 file: FileId::new(f),

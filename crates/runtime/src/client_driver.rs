@@ -135,6 +135,35 @@ impl ClientDriver {
         self.node.disconnect(conn);
     }
 
+    /// The link dropped but the session may yet be resumed: withdraws
+    /// readiness, keeps all protocol state (see
+    /// [`ClientNode::link_down`]).
+    pub fn link_down(&mut self, conn: ConnId, now_ms: u64) {
+        let actions = self.node.handle(ClientEvent::LinkDown { conn, now_ms });
+        // Link loss sends nothing; perform only records notifications.
+        let _ = self.perform(actions, now_ms);
+    }
+
+    /// A fresh transport is up for `conn`: emits the resume Hello
+    /// carrying the shadow-cache digest summary.
+    pub fn reconnect(&mut self, conn: ConnId, now_ms: u64) -> Vec<ClientOutbound> {
+        let actions = self.node.handle(ClientEvent::Resume { conn, now_ms });
+        self.perform(actions, now_ms)
+    }
+
+    /// Emits a heartbeat ping; the matching
+    /// [`Notification::Pong`](shadow_client::Notification) surfaces
+    /// through the notification queue.
+    pub fn ping(
+        &mut self,
+        conn: ConnId,
+        nonce: u64,
+        now_ms: u64,
+    ) -> Result<Vec<ClientOutbound>, ClientError> {
+        let actions = self.node.ping(conn, nonce)?;
+        Ok(self.perform(actions, now_ms))
+    }
+
     /// Records the result of an editing session (§6.1 `edit_finished`).
     pub fn edit_finished(
         &mut self,

@@ -46,6 +46,7 @@ mod server_driver;
 mod server_runtime;
 mod shard;
 mod sink;
+mod supervisor;
 mod timer;
 mod transport;
 
@@ -55,6 +56,9 @@ pub use event::{CompletedJob, DriverEvent, DriverStats, EventHook, FeedError, Fr
 pub use server_driver::{ServerDriver, ServerIo, ServerOutbound};
 pub use server_runtime::{Accepted, ServerRuntime, SessionAcceptor};
 pub use sink::{PersistSink, VecSink};
+pub use supervisor::{
+    Connector, Supervisor, SupervisorConfig, SupervisorEvent, SupervisorStats,
+};
 pub use shard::{
     shard_for, PeekedTransport, ShardCommand, ShardHandle, ShardInbox, ShardedServerRuntime,
 };

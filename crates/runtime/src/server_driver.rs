@@ -2,7 +2,9 @@
 //! unified timer queue.
 
 use shadow_proto::{ClientMessage, Frame, PersistRecord};
-use shadow_server::{ServerAction, ServerEvent, ServerMetrics, ServerNode, SessionId, TimerToken};
+use shadow_server::{
+    CloseReason, ServerAction, ServerEvent, ServerMetrics, ServerNode, SessionId, TimerToken,
+};
 
 use crate::event::{DriverEvent, DriverStats, EventHook, FeedError, FrameInfo};
 use crate::timer::TimerQueue;
@@ -136,11 +138,25 @@ impl ServerDriver {
         self.perform(actions, now_ms)
     }
 
-    /// A transport session closed.
-    pub fn disconnected(&mut self, session: SessionId, now_ms: u64) -> ServerIo {
-        let actions = self
-            .node
-            .handle(ServerEvent::Disconnected { session, now_ms });
+    /// A transport session closed, for the given reason.
+    pub fn disconnected(
+        &mut self,
+        session: SessionId,
+        reason: CloseReason,
+        now_ms: u64,
+    ) -> ServerIo {
+        if let Some(hook) = &mut self.hook {
+            hook(DriverEvent::SessionClosed {
+                session: session.as_u64(),
+                reason: reason.label(),
+                at_ms: now_ms,
+            });
+        }
+        let actions = self.node.handle(ServerEvent::Disconnected {
+            session,
+            reason,
+            now_ms,
+        });
         self.perform(actions, now_ms)
     }
 

@@ -3,7 +3,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use shadow_obs::{MetricsRegistry, NodeReport};
-use shadow_server::{ServerNode, SessionId};
+use shadow_server::{CloseReason, ServerNode, SessionId};
 
 use crate::clock::Clock;
 use crate::server_driver::{ServerDriver, ServerIo};
@@ -55,6 +55,10 @@ struct Session<T> {
     id: SessionId,
     transport: T,
     alive: bool,
+    /// Driver-clock time of the last inbound frame (or the accept).
+    /// Heartbeat pings refresh it, so a quiet-but-supervised client is
+    /// never evicted as idle.
+    last_active_ms: u64,
 }
 
 /// The shared server event loop: accept → read → feed → fire timers →
@@ -74,10 +78,15 @@ pub struct ServerRuntime<A: SessionAcceptor, C: Clock> {
     /// reap path swap-removes and patches the one displaced entry.
     index: HashMap<SessionId, usize>,
     /// Sessions marked dead this round, awaiting reaping (each id is
-    /// queued exactly once, when `alive` flips).
-    dead: VecDeque<SessionId>,
+    /// queued exactly once, when `alive` flips), with the close reason
+    /// observed at kill time.
+    dead: VecDeque<(SessionId, CloseReason)>,
     next_session: u64,
     closed: bool,
+    /// Evict sessions with no inbound traffic for this long. `None`
+    /// (the default) keeps sessions forever, the pre-supervision
+    /// behaviour.
+    idle_timeout_ms: Option<u64>,
     metrics: MetricsRegistry,
     /// Where storage intents go; `None` drops them (diskless).
     sink: Option<Box<dyn PersistSink>>,
@@ -109,9 +118,18 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
             dead: VecDeque::new(),
             next_session: 1,
             closed: false,
+            idle_timeout_ms: None,
             metrics,
             sink: None,
         }
+    }
+
+    /// Evicts sessions that have sent nothing for `ms` milliseconds
+    /// (builder-style). Their reaps are counted under the `idle` close
+    /// reason. Supervised clients stay alive through heartbeats.
+    pub fn with_idle_timeout(mut self, ms: u64) -> Self {
+        self.idle_timeout_ms = Some(ms);
+        self
     }
 
     /// Installs the sink that journals storage intents (builder-style).
@@ -192,14 +210,15 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
                     Accepted::Session(transport) => {
                         let id = SessionId::new(self.next_session);
                         self.next_session += 1;
+                        let now = self.clock.now_ms();
                         self.index.insert(id, self.sessions.len());
                         self.sessions.push(Session {
                             id,
                             transport,
                             alive: true,
+                            last_active_ms: now,
                         });
                         self.metrics.inc("sessions_accepted", 1);
-                        let now = self.clock.now_ms();
                         let io = self.driver.connected(id, now);
                         self.dispatch(io);
                         busy = true;
@@ -220,6 +239,7 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
                         busy = true;
                         let id = self.sessions[i].id;
                         let now = self.clock.now_ms();
+                        self.sessions[i].last_active_ms = now;
                         self.metrics.inc("frames_fed", 1);
                         self.metrics.observe("frame_bytes", frame.len() as u64);
                         match self.driver.feed_frame(id, &frame, now, |_| 0) {
@@ -228,12 +248,19 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
                             // peer is hopelessly confused; drop them.
                             Err(_) => {
                                 self.metrics.inc("decode_failures", 1);
-                                self.kill(i);
+                                self.kill(i, CloseReason::Decode);
                             }
                         }
                     }
                     Ok(None) => break,
-                    Err(_) => self.kill(i),
+                    Err(closed) => {
+                        let reason = if closed.is_clean() {
+                            CloseReason::Clean
+                        } else {
+                            CloseReason::Error
+                        };
+                        self.kill(i, reason);
+                    }
                 }
             }
         }
@@ -245,22 +272,21 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
         let io = self.driver.fire_due(now, 0);
         self.dispatch(io);
 
-        // Reap from the dead queue: disconnect handling can emit sends
-        // whose failure enqueues further sessions, so drain until empty.
-        while let Some(id) = self.dead.pop_front() {
-            let Some(pos) = self.index.remove(&id) else {
-                continue;
-            };
-            let dead = self.sessions.swap_remove(pos);
-            if let Some(moved) = self.sessions.get(pos) {
-                self.index.insert(moved.id, pos);
-            }
+        // Idle eviction: a session that has sent nothing (not even a
+        // heartbeat) within the timeout is presumed gone without a
+        // transport-level signal — half-open TCP, a paused process.
+        if let Some(timeout) = self.idle_timeout_ms {
             let now = self.clock.now_ms();
-            self.metrics.inc("sessions_reaped", 1);
-            let io = self.driver.disconnected(dead.id, now);
-            self.dispatch(io);
-            busy = true;
+            for i in 0..self.sessions.len() {
+                let s = &self.sessions[i];
+                if s.alive && now.saturating_sub(s.last_active_ms) >= timeout {
+                    self.metrics.inc("sessions_evicted_idle", 1);
+                    self.kill(i, CloseReason::Idle);
+                }
+            }
         }
+
+        busy |= self.reap_dead();
         self.metrics.set_gauge("sessions_live", self.sessions.len() as i64);
         self.metrics.set_gauge(
             "timers_pending",
@@ -271,13 +297,48 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
     }
 
     /// Marks the session at `pos` dead (idempotent); it is reaped — and
-    /// its disconnect reported to the driver — at the end of the round.
-    fn kill(&mut self, pos: usize) {
+    /// its disconnect reported to the driver with `reason` — at the end
+    /// of the round. The first kill wins: a session that failed a send
+    /// (`Error`) and later read EOF keeps the original reason.
+    fn kill(&mut self, pos: usize, reason: CloseReason) {
         let s = &mut self.sessions[pos];
         if s.alive {
             s.alive = false;
-            self.dead.push_back(s.id);
+            self.dead.push_back((s.id, reason));
         }
+    }
+
+    /// Drains the dead queue: disconnect handling can emit sends whose
+    /// failure enqueues further sessions, so loop until empty. Returns
+    /// `true` if anything was reaped.
+    fn reap_dead(&mut self) -> bool {
+        let mut reaped = false;
+        while let Some((id, reason)) = self.dead.pop_front() {
+            let Some(pos) = self.index.remove(&id) else {
+                continue;
+            };
+            let dead = self.sessions.swap_remove(pos);
+            if let Some(moved) = self.sessions.get(pos) {
+                self.index.insert(moved.id, pos);
+            }
+            let now = self.clock.now_ms();
+            self.metrics.inc("sessions_reaped", 1);
+            let io = self.driver.disconnected(dead.id, reason, now);
+            self.dispatch(io);
+            reaped = true;
+        }
+        reaped
+    }
+
+    /// Closes every live session with the `shutdown` reason and reports
+    /// the disconnects to the driver immediately. Deployment loops call
+    /// this on their way out so per-reason accounting distinguishes an
+    /// orderly drain from crashes.
+    pub fn shutdown_sessions(&mut self) {
+        for i in 0..self.sessions.len() {
+            self.kill(i, CloseReason::Shutdown);
+        }
+        self.reap_dead();
     }
 
     /// Routes driver output to the owning transports. Armed deadlines
@@ -295,8 +356,16 @@ impl<A: SessionAcceptor, C: Clock> ServerRuntime<A, C> {
                 continue;
             };
             let s = &mut self.sessions[pos];
-            if s.alive && s.transport.send_frame(out.frame).is_err() {
-                self.kill(pos);
+            if !s.alive {
+                continue;
+            }
+            if let Err(closed) = s.transport.send_frame(out.frame) {
+                let reason = if closed.is_clean() {
+                    CloseReason::Clean
+                } else {
+                    CloseReason::Error
+                };
+                self.kill(pos, reason);
             }
         }
     }

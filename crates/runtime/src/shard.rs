@@ -588,6 +588,8 @@ mod tests {
             domain: DomainId::new(9),
             host: shadow_proto::HostName::new("ws"),
             protocol: shadow_proto::PROTOCOL_VERSION,
+            epoch: 0,
+            resume: Vec::new(),
         });
         assert_eq!(hello_domain(&hello), Some(DomainId::new(9)));
         let status = Frame::encode(&ClientMessage::StatusQuery {

@@ -1,19 +1,59 @@
 //! The byte-frame transport abstraction.
 
 use std::fmt;
+use std::io;
 use std::time::Duration;
 
 /// The peer is gone: the pipe, channel, or socket closed.
 ///
-/// Transports collapse their own error vocabularies (EOF, reset,
-/// disconnected channel…) into this single terminal condition; the
-/// drivers treat any transport failure as a session disconnect.
+/// Transports collapse their own error vocabularies into one of two
+/// terminal conditions: a *clean* shutdown (orderly EOF, peer dropped
+/// its end) or an *error* close carrying the underlying
+/// [`io::ErrorKind`] (reset, aborted, timeout at the OS level…).
+/// Drivers treat both as a session disconnect; supervisors and reports
+/// use the distinction to tell drain from failure and to decide whether
+/// redialing is worthwhile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TransportClosed;
+pub enum TransportClosed {
+    /// The peer shut the transport down in an orderly way.
+    Clean,
+    /// The transport failed, with the OS-level error kind carried
+    /// through.
+    Error(io::ErrorKind),
+}
+
+impl TransportClosed {
+    /// True for the orderly-shutdown variant.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, TransportClosed::Clean)
+    }
+
+    /// The carried error kind, if this was an error close.
+    pub fn error_kind(&self) -> Option<io::ErrorKind> {
+        match self {
+            TransportClosed::Clean => None,
+            TransportClosed::Error(kind) => Some(*kind),
+        }
+    }
+}
+
+impl From<io::Error> for TransportClosed {
+    fn from(e: io::Error) -> Self {
+        // An orderly EOF is how most transports spell "peer hung up".
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TransportClosed::Clean
+        } else {
+            TransportClosed::Error(e.kind())
+        }
+    }
+}
 
 impl fmt::Display for TransportClosed {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "transport closed by peer")
+        match self {
+            TransportClosed::Clean => write!(f, "transport closed by peer"),
+            TransportClosed::Error(kind) => write!(f, "transport failed: {kind}"),
+        }
     }
 }
 
@@ -37,5 +77,26 @@ pub trait FrameTransport {
     /// Receives one frame without waiting.
     fn try_recv_frame(&mut self) -> Result<Option<Vec<u8>>, TransportClosed> {
         self.recv_frame(Duration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eof_maps_to_clean_other_kinds_carry_through() {
+        let eof = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        assert_eq!(TransportClosed::from(eof), TransportClosed::Clean);
+        let reset = io::Error::new(io::ErrorKind::ConnectionReset, "rst");
+        assert_eq!(
+            TransportClosed::from(reset),
+            TransportClosed::Error(io::ErrorKind::ConnectionReset)
+        );
+        assert!(TransportClosed::Clean.is_clean());
+        assert_eq!(
+            TransportClosed::Error(io::ErrorKind::ConnectionReset).error_kind(),
+            Some(io::ErrorKind::ConnectionReset)
+        );
     }
 }

@@ -13,6 +13,37 @@ pub enum TimerToken {
     FetchPulse,
 }
 
+/// Why a session went away. Runtimes classify the transport-level
+/// condition; the node keeps per-reason counters so reaped sessions
+/// show up in reports instead of vanishing silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CloseReason {
+    /// The peer shut the transport down in an orderly way (or said
+    /// `Bye`).
+    Clean,
+    /// The transport failed underneath the session.
+    Error,
+    /// An inbound frame failed to decode and the session was killed.
+    Decode,
+    /// The runtime evicted the session for prolonged inactivity.
+    Idle,
+    /// The runtime is shutting down and dropped the session.
+    Shutdown,
+}
+
+impl CloseReason {
+    /// A stable label for logs, driver events, and report keys.
+    pub const fn label(self) -> &'static str {
+        match self {
+            CloseReason::Clean => "clean",
+            CloseReason::Error => "error",
+            CloseReason::Decode => "decode",
+            CloseReason::Idle => "idle",
+            CloseReason::Shutdown => "shutdown",
+        }
+    }
+}
+
 /// An input to [`ServerNode::handle`](crate::ServerNode::handle).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServerEvent {
@@ -27,6 +58,8 @@ pub enum ServerEvent {
     Disconnected {
         /// The session that went away.
         session: SessionId,
+        /// Why the runtime considers it gone.
+        reason: CloseReason,
         /// Server clock, milliseconds.
         now_ms: u64,
     },

@@ -40,6 +40,8 @@
 //!         domain: DomainId::new(1),
 //!         host: HostName::new("ws1"),
 //!         protocol: PROTOCOL_VERSION,
+//!         epoch: 0,
+//!         resume: Vec::new(),
 //!     },
 //!     now_ms: 0,
 //! });
@@ -57,7 +59,7 @@ mod jobs;
 mod node;
 mod output_shadow;
 
-pub use action::{ServerAction, ServerEvent, TimerToken};
+pub use action::{CloseReason, ServerAction, ServerEvent, TimerToken};
 pub use config::{ConfigError, ExecProfile, FlowControl, ServerConfig, ServerConfigBuilder};
 pub use domain::{DomainDirectory, MappingEntry};
 pub use jobs::{Job, JobPhase};

@@ -13,7 +13,7 @@ use shadow_proto::{
     TransferEncoding, UpdatePayload, VersionNumber, PROTOCOL_VERSION,
 };
 
-use crate::action::{ServerAction, ServerEvent, TimerToken};
+use crate::action::{CloseReason, ServerAction, ServerEvent, TimerToken};
 use crate::config::{FlowControl, ServerConfig};
 use crate::domain::DomainDirectory;
 use crate::exec::run_job;
@@ -71,6 +71,26 @@ pub struct ServerMetrics {
     /// Journal records skipped during startup replay (broken delta
     /// chains, digest mismatches).
     pub restore_skipped: u64,
+    /// Sessions resumed via an epoch > 0 `Hello`.
+    pub sessions_resumed: u64,
+    /// Resume-summary entries verified against the shadow cache: the
+    /// client's next update for these files travels as a delta.
+    pub resume_hits: u64,
+    /// Resume-summary entries the cache could not confirm (evicted,
+    /// stale, or digest mismatch): those files degrade to full transfer.
+    pub resume_fallbacks: u64,
+    /// Heartbeat `Ping`s answered with a `Pong`.
+    pub pings_answered: u64,
+    /// Sessions closed by an orderly `Bye` or clean transport shutdown.
+    pub closed_clean: u64,
+    /// Sessions closed by a transport failure.
+    pub closed_error: u64,
+    /// Sessions killed because an inbound frame failed to decode.
+    pub closed_decode: u64,
+    /// Sessions evicted by the runtime for prolonged inactivity.
+    pub closed_idle: u64,
+    /// Sessions dropped by a runtime shutdown.
+    pub closed_shutdown: u64,
 }
 
 impl shadow_obs::Snapshot for ServerMetrics {
@@ -89,6 +109,15 @@ impl shadow_obs::Snapshot for ServerMetrics {
             .with("update_payload_bytes", self.update_payload_bytes)
             .with("restored_records", self.restored_records)
             .with("restore_skipped", self.restore_skipped)
+            .with("sessions_resumed", self.sessions_resumed)
+            .with("resume_hits", self.resume_hits)
+            .with("resume_fallbacks", self.resume_fallbacks)
+            .with("pings_answered", self.pings_answered)
+            .with("closed_clean", self.closed_clean)
+            .with("closed_error", self.closed_error)
+            .with("closed_decode", self.closed_decode)
+            .with("closed_idle", self.closed_idle)
+            .with("closed_shutdown", self.closed_shutdown)
     }
 }
 
@@ -374,12 +403,20 @@ impl ServerNode {
         let mut actions = Vec::new();
         match event {
             ServerEvent::Connected { .. } => {}
-            ServerEvent::Disconnected { session, .. } => {
+            ServerEvent::Disconnected {
+                session, reason, ..
+            } => {
                 if let Some(s) = self.sessions.remove(&session) {
                     if self.hosts.get(&s.host) == Some(&session) {
                         self.hosts.remove(&s.host);
                     }
+                    self.count_close(reason);
                 }
+                // Pulls outstanding toward the dead session can never be
+                // answered; clearing them lets a re-announce (or resume)
+                // re-request instead of wedging behind `in_flight`.
+                self.in_flight
+                    .retain(|key, _| self.announcers.get(key) != Some(&session));
             }
             ServerEvent::Message {
                 session,
@@ -403,15 +440,57 @@ impl ServerNode {
                 domain,
                 host,
                 protocol: _,
+                epoch,
+                resume,
             } => {
                 self.hosts.insert(host.clone(), session);
                 self.sessions.insert(session, Session { domain, host });
+                // Session resumption (epoch > 0): verify each entry of
+                // the client's shadow-cache summary against our cache.
+                // A confirmed entry keeps its delta base warm — the next
+                // update for that file travels as a diff — and re-points
+                // the announcer at the new session so pending pulls have
+                // somewhere to go. Anything the cache cannot confirm
+                // degrades to a full transfer, never to trusting a
+                // digest we did not check.
+                let resumed = epoch > 0;
+                let mut retained = Vec::with_capacity(resume.len().min(4096));
+                for entry in &resume {
+                    let key = FileKey::new(domain, entry.file);
+                    let confirmed = self.cache.version_of(&key) == Some(entry.version)
+                        && self.cache.peek(&key).map(|e| e.digest) == Some(entry.digest);
+                    if confirmed {
+                        self.metrics.resume_hits += 1;
+                        self.announcers.insert(key, session);
+                        retained.push((entry.file, entry.version));
+                    } else {
+                        self.metrics.resume_fallbacks += 1;
+                    }
+                }
+                if resumed {
+                    self.metrics.sessions_resumed += 1;
+                }
                 actions.push(ServerAction::Send {
                     session,
                     message: ServerMessage::HelloAck {
                         protocol: PROTOCOL_VERSION,
                         server: self.config.host.clone(),
+                        resumed,
+                        retained,
                     },
+                });
+                if resumed {
+                    // Jobs stranded by the disconnect (waiting on files
+                    // whose pull died with the old session) get their
+                    // requests re-driven against the resumed session.
+                    self.check_waiting_jobs(now_ms, actions);
+                }
+            }
+            ClientMessage::Ping { nonce } => {
+                self.metrics.pings_answered += 1;
+                actions.push(ServerAction::Send {
+                    session,
+                    message: ServerMessage::Pong { nonce },
                 });
             }
             ClientMessage::NotifyVersion {
@@ -505,6 +584,7 @@ impl ServerNode {
                     if self.hosts.get(&s.host) == Some(&session) {
                         self.hosts.remove(&s.host);
                     }
+                    self.count_close(CloseReason::Clean);
                 }
             }
         }
@@ -512,6 +592,19 @@ impl ServerNode {
 
     fn session_domain(&self, session: SessionId) -> Option<DomainId> {
         self.sessions.get(&session).map(|s| s.domain)
+    }
+
+    /// Counted exactly once per closed session, at the moment it leaves
+    /// the session table (a `Bye` followed by the transport reap does
+    /// not double-count).
+    fn count_close(&mut self, reason: CloseReason) {
+        match reason {
+            CloseReason::Clean => self.metrics.closed_clean += 1,
+            CloseReason::Error => self.metrics.closed_error += 1,
+            CloseReason::Decode => self.metrics.closed_decode += 1,
+            CloseReason::Idle => self.metrics.closed_idle += 1,
+            CloseReason::Shutdown => self.metrics.closed_shutdown += 1,
+        }
     }
 
     /// Flow control: decide whether to pull a newly announced version now,
@@ -1069,6 +1162,29 @@ mod tests {
                 domain: DomainId::new(domain),
                 host: HostName::new(host),
                 protocol: PROTOCOL_VERSION,
+                epoch: 0,
+                resume: Vec::new(),
+            },
+            now_ms: NOW,
+        })
+    }
+
+    fn resume_hello(
+        server: &mut ServerNode,
+        session: u64,
+        domain: u64,
+        host: &str,
+        epoch: u64,
+        resume: Vec<shadow_proto::ResumeEntry>,
+    ) -> Vec<ServerAction> {
+        server.handle(ServerEvent::Message {
+            session: SessionId::new(session),
+            message: ClientMessage::Hello {
+                domain: DomainId::new(domain),
+                host: HostName::new(host),
+                protocol: PROTOCOL_VERSION,
+                epoch,
+                resume,
             },
             now_ms: NOW,
         })
@@ -1805,5 +1921,149 @@ mod tests {
             [ServerMessage::SubmitAck { job, .. }] => assert_eq!(*job, JobId::new(10)),
             ref other => panic!("expected SubmitAck, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn ping_is_answered_with_pong() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        let actions = server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::Ping { nonce: 77 },
+            now_ms: NOW,
+        });
+        match sends(&actions)[..] {
+            [ServerMessage::Pong { nonce }] => assert_eq!(*nonce, 77),
+            ref other => panic!("expected Pong, got {other:?}"),
+        }
+        assert_eq!(server.report().counter("server", "pings_answered"), 1);
+    }
+
+    #[test]
+    fn resume_confirms_cached_entries_and_degrades_the_rest() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        notify(&mut server, 1, 7, "/f", 1, b"kept\n");
+        full_update(&mut server, 1, 7, 1, b"kept\n");
+        server.handle(ServerEvent::Disconnected {
+            session: SessionId::new(1),
+            reason: CloseReason::Error,
+            now_ms: NOW,
+        });
+        // The reconnecting client claims file 7 (correct) and file 8
+        // (never cached here).
+        let resume = vec![
+            shadow_proto::ResumeEntry {
+                file: FileId::new(7),
+                version: VersionNumber::FIRST,
+                digest: ContentDigest::of(b"kept\n"),
+            },
+            shadow_proto::ResumeEntry {
+                file: FileId::new(8),
+                version: VersionNumber::FIRST,
+                digest: ContentDigest::of(b"lost\n"),
+            },
+        ];
+        let actions = resume_hello(&mut server, 2, 1, "ws1", 1, resume);
+        match sends(&actions)[..] {
+            [ServerMessage::HelloAck {
+                resumed, retained, ..
+            }] => {
+                assert!(*resumed);
+                assert_eq!(retained[..], [(FileId::new(7), VersionNumber::FIRST)]);
+            }
+            ref other => panic!("expected HelloAck, got {other:?}"),
+        }
+        assert_eq!(server.report().counter("server", "sessions_resumed"), 1);
+        assert_eq!(server.report().counter("server", "resume_hits"), 1);
+        assert_eq!(server.report().counter("server", "resume_fallbacks"), 1);
+        // The confirmed base keeps the delta path warm: a newer version
+        // announced on the resumed session is pulled with have = v1.
+        let actions = notify(&mut server, 2, 7, "/f", 2, b"kept more\n");
+        match sends(&actions)[..] {
+            [ServerMessage::UpdateRequest { have, .. }] => {
+                assert_eq!(*have, Some(VersionNumber::FIRST));
+            }
+            ref other => panic!("expected UpdateRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_with_stale_digest_is_not_confirmed() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        notify(&mut server, 1, 7, "/f", 1, b"real\n");
+        full_update(&mut server, 1, 7, 1, b"real\n");
+        // Right version number, wrong digest: must not be trusted.
+        let resume = vec![shadow_proto::ResumeEntry {
+            file: FileId::new(7),
+            version: VersionNumber::FIRST,
+            digest: ContentDigest::of(b"tampered\n"),
+        }];
+        let actions = resume_hello(&mut server, 2, 1, "ws1", 1, resume);
+        match sends(&actions)[..] {
+            [ServerMessage::HelloAck { retained, .. }] => assert!(retained.is_empty()),
+            ref other => panic!("expected HelloAck, got {other:?}"),
+        }
+        assert_eq!(server.report().counter("server", "resume_fallbacks"), 1);
+    }
+
+    #[test]
+    fn disconnect_clears_in_flight_pulls_toward_the_dead_session() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        // The notify arms a pull that will never be answered.
+        let actions = notify(&mut server, 1, 7, "/f", 1, b"x\n");
+        assert!(matches!(
+            sends(&actions)[..],
+            [ServerMessage::UpdateRequest { .. }]
+        ));
+        server.handle(ServerEvent::Disconnected {
+            session: SessionId::new(1),
+            reason: CloseReason::Error,
+            now_ms: NOW,
+        });
+        // After reconnecting, the same announcement must re-request
+        // instead of being suppressed by the stale in-flight entry.
+        hello(&mut server, 2, 1, "ws1");
+        let actions = notify(&mut server, 2, 7, "/f", 1, b"x\n");
+        assert!(matches!(
+            sends(&actions)[..],
+            [ServerMessage::UpdateRequest { .. }]
+        ));
+    }
+
+    #[test]
+    fn close_reasons_are_counted_once_per_session() {
+        let mut server = ServerNode::new(ServerConfig::new("sc"));
+        hello(&mut server, 1, 1, "ws1");
+        // Orderly Bye, then the transport reap that follows it: one
+        // clean close, not two.
+        server.handle(ServerEvent::Message {
+            session: SessionId::new(1),
+            message: ClientMessage::Bye,
+            now_ms: NOW,
+        });
+        server.handle(ServerEvent::Disconnected {
+            session: SessionId::new(1),
+            reason: CloseReason::Clean,
+            now_ms: NOW,
+        });
+        assert_eq!(server.report().counter("server", "closed_clean"), 1);
+        // A failed session counts under its own reason.
+        hello(&mut server, 2, 1, "ws2");
+        server.handle(ServerEvent::Disconnected {
+            session: SessionId::new(2),
+            reason: CloseReason::Error,
+            now_ms: NOW,
+        });
+        assert_eq!(server.report().counter("server", "closed_error"), 1);
+        hello(&mut server, 3, 1, "ws3");
+        server.handle(ServerEvent::Disconnected {
+            session: SessionId::new(3),
+            reason: CloseReason::Idle,
+            now_ms: NOW,
+        });
+        assert_eq!(server.report().counter("server", "closed_idle"), 1);
     }
 }

@@ -6,10 +6,10 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use shadow_proto::{
-    ClientMessage, ContentDigest, DomainId, FileId, HostName, JobId, RequestId, SubmitOptions,
-    TransferEncoding, UpdatePayload, VersionNumber, PROTOCOL_VERSION,
+    ClientMessage, ContentDigest, DomainId, FileId, HostName, JobId, RequestId, ResumeEntry,
+    SubmitOptions, TransferEncoding, UpdatePayload, VersionNumber, PROTOCOL_VERSION,
 };
-use shadow_server::{ServerConfig, ServerEvent, ServerNode, SessionId};
+use shadow_server::{CloseReason, ServerConfig, ServerEvent, ServerNode, SessionId};
 
 fn arb_encoding() -> impl Strategy<Value = TransferEncoding> {
     prop_oneof![
@@ -43,13 +43,29 @@ fn arb_payload() -> impl Strategy<Value = UpdatePayload> {
     ]
 }
 
+fn arb_resume() -> impl Strategy<Value = Vec<ResumeEntry>> {
+    prop::collection::vec(
+        (0u64..6, 0u64..4, any::<u64>()).prop_map(|(f, v, d)| ResumeEntry {
+            file: FileId::new(f),
+            version: VersionNumber::new(v),
+            digest: ContentDigest::from_raw(d),
+        }),
+        0..4,
+    )
+}
+
 fn arb_message() -> impl Strategy<Value = ClientMessage> {
     prop_oneof![
-        (0u64..3, "[a-z]{1,6}").prop_map(|(d, h)| ClientMessage::Hello {
-            domain: DomainId::new(d),
-            host: HostName::new(h),
-            protocol: PROTOCOL_VERSION,
+        (0u64..3, "[a-z]{1,6}", 0u64..4, arb_resume()).prop_map(|(d, h, epoch, resume)| {
+            ClientMessage::Hello {
+                domain: DomainId::new(d),
+                host: HostName::new(h),
+                protocol: PROTOCOL_VERSION,
+                epoch,
+                resume,
+            }
         }),
+        any::<u64>().prop_map(|nonce| ClientMessage::Ping { nonce }),
         (0u64..6, "[ -~]{0,16}", 0u64..6, any::<u64>(), any::<u64>()).prop_map(
             |(f, name, v, size, dg)| ClientMessage::NotifyVersion {
                 file: FileId::new(f),
@@ -142,14 +158,25 @@ proptest! {
 
     #[test]
     fn server_survives_sessions_vanishing_at_any_point(
-        script in prop::collection::vec((any::<bool>(), arb_message()), 0..32),
+        script in prop::collection::vec((prop::option::of(0usize..5), arb_message()), 0..32),
     ) {
+        let reasons = [
+            CloseReason::Clean,
+            CloseReason::Error,
+            CloseReason::Decode,
+            CloseReason::Idle,
+            CloseReason::Shutdown,
+        ];
         let mut server = ServerNode::new(ServerConfig::new("sc"));
         let session = SessionId::new(1);
         for (now_ms, (disconnect, message)) in script.into_iter().enumerate() {
             let now_ms = now_ms as u64;
-            if disconnect {
-                server.handle(ServerEvent::Disconnected { session, now_ms });
+            if let Some(r) = disconnect {
+                server.handle(ServerEvent::Disconnected {
+                    session,
+                    reason: reasons[r],
+                    now_ms,
+                });
             }
             server.handle(ServerEvent::Message {
                 session,

@@ -65,3 +65,13 @@ bench-contention:
 bench-recovery:
     SHADOW_BENCH_QUICK=1 cargo bench -p shadow-bench --bench recovery
     cargo run --release -p shadow-bench --bin recovery_guard
+
+# Fault-tolerance suite: the kill-the-link integration tests, then the
+# seeded chaos matrix (scheduled resets, a lossy link, a healed
+# partition) exporting BENCH_chaos.json, gated by chaos_guard on the
+# recovered-as-delta ratio and recovery latency vs the committed
+# BENCH_baseline_chaos.json.
+chaos:
+    cargo test -q --release -p shadow --test reconnect_resume
+    SHADOW_BENCH_QUICK=1 cargo bench -p shadow-bench --bench chaos
+    cargo run --release -p shadow-bench --bin chaos_guard

@@ -97,6 +97,9 @@ fn run_sim(script: &[EditOp]) -> WorldResult {
         .map(|j| j.output.clone())
         .collect();
     let client_report = sim.client_report(client);
+    // Mirror the live run's teardown (client drop → orderly hang-up)
+    // so close-reason accounting matches world to world.
+    sim.close_connection(client, server);
     let server_report = sim.server_report(server);
     let frames = frames.lock().unwrap().clone();
     WorldResult {

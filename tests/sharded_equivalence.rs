@@ -15,8 +15,8 @@
 use std::time::Duration;
 
 use shadow::{
-    shard_for, ClientConfig, Deployment, DomainId, FileRef, LiveClient, Section, ServerConfig,
-    SubmitOptions,
+    shard_for, ClientConfig, Deployment, DomainId, FileRef, LiveClient, Notification, Section,
+    ServerConfig, SubmitOptions,
 };
 use shadow_proto::FileId;
 
@@ -142,6 +142,81 @@ fn sharded_and_single_runtimes_agree_per_domain() {
         // And the scenario really exercised the delta path.
         assert_eq!(shard_report.counter("server", "delta_updates"), 1);
         assert_eq!(shard_report.counter("server", "jobs_completed"), 2);
+    }
+}
+
+/// A mid-run disconnect must not change where a domain's state lives:
+/// the client abandons its pipe between the first job and the edit,
+/// resumes over a fresh transport, and the router must land the new
+/// session back on the owning shard — proved by the resubmission still
+/// travelling as a delta against that shard's cache.
+#[test]
+fn mid_run_disconnect_resumes_on_the_owning_shard() {
+    let domains = domains_covering_four_shards();
+    let system = Deployment::new(ServerConfig::new("sc"))
+        .shards(4)
+        .pipes()
+        .unwrap();
+
+    for &d in &domains {
+        let mut client = system.connect_client(ClientConfig::new(format!("ws{d}"), d));
+        client.wait_ready(WAIT).expect("handshake");
+        let data = FileRef::new(FileId::new(2), format!("ws{d}:/data"));
+        let job = FileRef::new(FileId::new(1), format!("ws{d}:/run.job"));
+        let content: Vec<u8> = (0..400)
+            .flat_map(|i| format!("row {i} of domain {d}\n").into_bytes())
+            .collect();
+        client.edit_finished(&data, content.clone());
+        client.edit_finished(&job, format!("wc ws{d}:/data\n").into_bytes());
+        client
+            .submit(&job, std::slice::from_ref(&data), SubmitOptions::default())
+            .expect("submit");
+        client.wait_job(WAIT).expect("first job");
+
+        // The link dies between the job and the next edit; the resume
+        // handshake travels over a brand-new pipe.
+        client.link_down();
+        client
+            .resume_over(system.connect_transport())
+            .expect("resume handshake");
+        let ready = client
+            .wait_for(WAIT, |n| matches!(n, Notification::SessionReady { .. }))
+            .expect("resumed handshake");
+        assert!(
+            matches!(ready, Notification::SessionReady { resumed: true, .. }),
+            "domain {d}: the server must recognize the resumption"
+        );
+
+        let mut edited = content;
+        edited.extend_from_slice(format!("appended in domain {d}\n").as_bytes());
+        client.edit_finished(&data, edited);
+        client
+            .submit(&job, std::slice::from_ref(&data), SubmitOptions::default())
+            .expect("resubmit");
+        client.wait_job(WAIT).expect("second job");
+
+        let report = client.report();
+        assert_eq!(
+            report.counter("client", "deltas_sent"),
+            1,
+            "domain {d}: the post-resume submission must be a delta"
+        );
+        assert_eq!(report.counter("client", "reconnects"), 1);
+        assert!(report.counter("client", "resume_hits") >= 1);
+        assert_eq!(report.counter("client", "resume_fallbacks"), 0);
+        drop(client);
+    }
+
+    let nodes = system.shutdown();
+    for &d in &domains {
+        let report = nodes[shard_for(DomainId::new(d), 4)].report();
+        assert_eq!(
+            report.counter("server", "sessions_resumed"),
+            1,
+            "domain {d}: the resumed session must land on its owning shard"
+        );
+        assert_eq!(report.counter("server", "delta_updates"), 1);
+        assert_eq!(report.counter("server", "jobs_completed"), 2);
     }
 }
 
