@@ -10,7 +10,10 @@
 //! * Tichy block-move ([Tic84], byte-level).
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
-use shadow::{diff, diff_docs, DiffAlgorithm, DiffScratch, DocBuf, Document, EditModel, FileSpec};
+use shadow::{
+    apply_chunk_delta, chunk_delta_into, diff, diff_docs, DiffAlgorithm, DiffScratch, DocBuf,
+    Document, EditModel, FileSpec,
+};
 use shadow::block_diff;
 
 fn bench_diff_algorithms(c: &mut Criterion) {
@@ -120,6 +123,52 @@ fn main() {
                     .with("tichy_bytes", block_diff(&base, &edited).wire_len()),
             );
         }
+    }
+    // Large and binary files (§8.3 extension): on a 10 MB single-line
+    // file the line differ's wire cost collapses to a full transfer,
+    // while the chunk codec ships bytes proportional to the 1 KB edit.
+    // Random binary data happens to contain accidental newlines, so the
+    // line differ's *wire* cost can stay small there — the classifier
+    // still routes NUL-bearing files to the chunk codec because nothing
+    // guarantees that structure (a blob with few/no newlines degenerates
+    // exactly like the single-line row). One row per shape, with the
+    // three candidate transfer strategies side by side against the edit.
+    let big_len = if shadow_bench::quick_mode() {
+        2 * 1024 * 1024
+    } else {
+        10 * 1024 * 1024
+    };
+    for (shape, binary) in [("single_line", false), ("binary", true)] {
+        let (base, edited) = shadow_bench::blob_pair(big_len, binary, if binary { 11 } else { 9 });
+        let old_buf = DocBuf::from_bytes(base.clone());
+        let new_buf = DocBuf::from_bytes(edited.clone());
+        let line_bytes = diff_docs(DiffAlgorithm::HuntMcIlroy, &old_buf, &new_buf, &mut scratch)
+            .to_text()
+            .len();
+        let mut delta = Vec::new();
+        let stats = chunk_delta_into(&base, &edited, &mut scratch, &mut delta);
+        assert_eq!(
+            apply_chunk_delta(&base, &delta).unwrap(),
+            edited,
+            "chunk delta must reproduce the edited {shape} blob"
+        );
+        let edit_bytes = 1024usize;
+        println!(
+            "large-file wire cost {shape} ({big_len}B, {edit_bytes}B edit): \
+             line={line_bytes}B chunk={}B full={}B ({} chunk ops)",
+            delta.len(),
+            edited.len(),
+            stats.ops
+        );
+        rows.push(
+            shadow_obs::Json::object()
+                .with("file_bytes", big_len)
+                .with("shape", shape)
+                .with("edit_bytes", edit_bytes)
+                .with("line_bytes", line_bytes)
+                .with("chunk_bytes", delta.len())
+                .with("full_transfer_bytes", edited.len()),
+        );
     }
     shadow_bench::export_rows("ablation_diff_algos", rows);
 }

@@ -13,9 +13,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{criterion_group, Criterion, Throughput};
 use shadow::{
-    apply_delta, diff_docs, diff_legacy, Codec, ClientMessage, ContentDigest, DiffAlgorithm,
-    DiffScratch, DocBuf, Document, DomainId, EdScript, EditModel, FileId, FileSpec, Frame,
-    HostName, Lzss, Rle, TransferEncoding, UpdatePayload, VersionNumber,
+    apply_chunk_delta, apply_delta, chunk_delta_into, diff_docs, diff_legacy, Codec,
+    ClientMessage, ContentDigest, DiffAlgorithm, DiffScratch, DocBuf, Document, DomainId,
+    EdScript, EditModel, FileId, FileSpec, Frame, HostName, Lzss, Rle, TransferEncoding,
+    UpdatePayload, VersionNumber,
 };
 
 /// Pass-through allocator that counts every allocation (and growth
@@ -146,6 +147,13 @@ fn small_edit_pair() -> (Vec<u8>, Vec<u8>) {
     (base, edited)
 }
 
+/// A 10 MB blob with a 1 KB splice in the middle — the shape that defeats
+/// the line differ (one giant line, or binary data) and that the chunk
+/// codec exists for. See [`shadow_bench::blob_pair`].
+fn big_blob_pair(binary: bool, seed: u64) -> (Vec<u8>, Vec<u8>) {
+    shadow_bench::blob_pair(10 * 1024 * 1024, binary, seed)
+}
+
 fn main() {
     benches();
     // Re-measure the headline operations with a plain timer and export
@@ -270,6 +278,78 @@ fn main() {
             black_box(apply_delta(black_box(&base), black_box(&script_text)).unwrap());
         }),
     ));
+
+    // Frame encode with a caller-held scratch buffer: once the buffer has
+    // grown to frame size, re-encoding must not touch the heap at all.
+    let mut encode_buf = Vec::new();
+    Frame::encode_into(&msg, &mut encode_buf); // warm to full frame size
+    let encode_reuse = measure(iters, || {
+        encode_buf.clear();
+        Frame::encode_into(black_box(&msg), &mut encode_buf);
+        black_box(encode_buf.as_slice());
+    });
+    assert_eq!(
+        encode_reuse.1, 0.0,
+        "warmed Frame::encode_into must be allocation-free"
+    );
+    rows.push(row("encode_update_reuse_100k", payload.len(), encode_reuse));
+
+    // The chunk codec over the inputs the line differ cannot handle: a
+    // 10 MB single-line file and a 10 MB binary blob, each with a 1 KB
+    // splice. The reuse rows are the steady-state path and must be
+    // allocation-free; wire size must stay proportional to the edit.
+    let chunk_iters = if shadow_bench::quick_mode() { 5 } else { 40 };
+    for (label, binary) in [("single_line", false), ("binary", true)] {
+        let (cbase, cedit) = big_blob_pair(binary, if binary { 11 } else { 9 });
+        let mut delta = Vec::new();
+        rows.push(row(
+            &format!("chunk_diff_10m_{label}"),
+            cbase.len(),
+            measure(chunk_iters, || {
+                let mut scratch = DiffScratch::new();
+                let mut out = Vec::new();
+                black_box(chunk_delta_into(
+                    black_box(&cbase),
+                    black_box(&cedit),
+                    &mut scratch,
+                    &mut out,
+                ));
+                black_box(out.as_slice());
+            }),
+        ));
+        let mut cscratch = DiffScratch::new();
+        chunk_delta_into(&cbase, &cedit, &mut cscratch, &mut delta); // warm
+        let reuse = measure(chunk_iters, || {
+            black_box(chunk_delta_into(
+                black_box(&cbase),
+                black_box(&cedit),
+                &mut cscratch,
+                &mut delta,
+            ));
+            black_box(delta.as_slice());
+        });
+        assert_eq!(
+            reuse.1, 0.0,
+            "warmed chunk_delta_into must be allocation-free ({label})"
+        );
+        rows.push(row(
+            &format!("chunk_diff_reuse_10m_{label}"),
+            cbase.len(),
+            reuse,
+        ));
+        assert!(
+            delta.len() <= 10 * 1024,
+            "10 MB {label} with a 1 KB edit must ship <= 10x the edit ({} bytes)",
+            delta.len()
+        );
+        rows.push(row(
+            &format!("chunk_apply_10m_{label}"),
+            cbase.len(),
+            measure(chunk_iters, || {
+                black_box(apply_chunk_delta(black_box(&cbase), black_box(&delta)).unwrap());
+            }),
+        ));
+    }
 
     shadow_bench::export_rows("micro", rows);
 }

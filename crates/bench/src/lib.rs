@@ -51,6 +51,30 @@ pub fn bench_output_dir() -> PathBuf {
     }
 }
 
+/// Deterministic blob pair for the chunk-codec benches: a `len`-byte
+/// file plus a copy with a 1 KB splice in the middle. `binary` selects
+/// NUL-bearing bytes; otherwise the blob is printable with no newlines
+/// at all (one giant "line" — the shape that defeats the line differ).
+pub fn blob_pair(len: usize, binary: bool, seed: u64) -> (Vec<u8>, Vec<u8>) {
+    let mut state = seed | 1;
+    let mut base = Vec::with_capacity(len);
+    for _ in 0..len {
+        // xorshift64*: cheap, deterministic, no deps.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let b = (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 56) as u8;
+        base.push(if binary { b } else { b' ' + b % 94 });
+    }
+    let mut edited = base.clone();
+    let mid = len / 2;
+    let splice = 1024.min(len / 2);
+    for (i, slot) in edited[mid..mid + splice].iter_mut().enumerate() {
+        *slot = if binary { i as u8 } else { b'A' + (i % 26) as u8 };
+    }
+    (base, edited)
+}
+
 /// Wraps benchmark rows in the common export envelope:
 /// `{"bench": <name>, "quick": <bool>, "rows": [...]}`.
 pub fn bench_doc(name: &str, rows: Vec<Json>) -> Json {

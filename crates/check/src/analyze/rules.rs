@@ -11,7 +11,7 @@
 //! | rule          | entries                                   | forbidden facts |
 //! |---------------|-------------------------------------------|-----------------|
 //! | `panic-reach` | `Frame::decode`, `*Message::decode_body`  | panic           |
-//! | `alloc-reach` | `diff_docs`, `apply_delta`                | alloc           |
+//! | `alloc-reach` | `diff_docs`, `apply_delta`, chunk codec   | alloc           |
 //! | `clock-reach` | every `pub fn` of a pure crate            | clock           |
 //! | `fs-reach`    | every `pub fn` of a pure crate            | fs              |
 //! | `net-reach`   | every `pub fn` of a pure crate            | net             |
@@ -219,7 +219,12 @@ pub fn run_rules(ws: &Workspace, g: &CallGraph) -> Vec<AnalysisFinding> {
     // outside the allowlisted shim.
     let diff_entries = entries_of(
         ws,
-        &[("diff", None, "diff_docs"), ("diff", None, "apply_delta")],
+        &[
+            ("diff", None, "diff_docs"),
+            ("diff", None, "apply_delta"),
+            ("diff", None, "chunk_delta_into"),
+            ("diff", None, "apply_chunk_delta"),
+        ],
     );
     if diff_entries.is_empty() {
         findings.push(missing_entries("alloc-reach", "diff hot path"));
@@ -473,6 +478,25 @@ mod tests {
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].entry, "diff::zerocopy::diff_docs");
         assert_eq!(f[0].fact_fn, "diff::zerocopy::inner");
+    }
+
+    #[test]
+    fn alloc_below_chunk_codec_entries_is_found() {
+        // Both chunk-codec entry points are guarded: an allocation
+        // injected into a shared helper is reported once per entry.
+        let ws = ws_from(&[(
+            "diff",
+            "src/chunk.rs",
+            "pub fn chunk_delta_into() { emit_span() }\n\
+             pub fn apply_chunk_delta() { emit_span() }\n\
+             fn emit_span() { let copy = span.to_vec(); }",
+        )]);
+        let f = rule_findings(&ws, "alloc-reach");
+        assert_eq!(f.len(), 2, "{f:?}");
+        let entries: Vec<&str> = f.iter().map(|x| x.entry.as_str()).collect();
+        assert!(entries.contains(&"diff::chunk::chunk_delta_into"));
+        assert!(entries.contains(&"diff::chunk::apply_chunk_delta"));
+        assert!(f.iter().all(|x| x.fact_fn == "diff::chunk::emit_span"));
     }
 
     #[test]

@@ -60,6 +60,7 @@ const DIFF_HOT_FILES: &[&str] = &[
     "crates/diff/src/zerocopy.rs",
     "crates/diff/src/hunt_mcilroy.rs",
     "crates/diff/src/myers.rs",
+    "crates/diff/src/chunk.rs",
 ];
 
 /// The compatibility shim is the one place the allocating conversions
@@ -887,6 +888,17 @@ mod tests {
             check_diff_hot_alloc("zerocopy.rs", &strip_cfg_test(&strip_code(test_only)))
                 .is_empty()
         );
+    }
+
+    #[test]
+    fn diff_hot_alloc_rule_covers_the_chunk_module() {
+        // The chunk codec is part of the zero-copy hot path: an injected
+        // per-line/per-span allocation in chunk.rs must trip the rule.
+        assert!(DIFF_HOT_FILES.contains(&"crates/diff/src/chunk.rs"));
+        let bad = "fn emit(span: &[u8]) { let copy = span.to_vec(); }";
+        let findings = check_diff_hot_alloc("crates/diff/src/chunk.rs", &strip_code(bad));
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "diff-hot-alloc");
     }
 
     #[test]

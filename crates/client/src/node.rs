@@ -7,7 +7,7 @@ use std::fmt;
 use bytes::Bytes;
 use shadow_compress::{Codec, Lzss, Rle};
 use shadow_proto::{
-    ClientMessage, ContentDigest, FileId, HostName, JobId, JobStats, JobStatusEntry,
+    ClientMessage, ContentDigest, DeltaCodec, FileId, HostName, JobId, JobStats, JobStatusEntry,
     OutputPayload, RequestId, ResumeEntry, ServerMessage, SubmitOptions, TransferEncoding,
     UpdatePayload, VersionNumber, PROTOCOL_VERSION,
 };
@@ -902,24 +902,30 @@ impl ClientNode {
         // the full content is only copied on the full-transfer path.
         let digest = ContentDigest::of(content);
         let content_len = content.len();
+        // The version store picks the delta codec per file shape: line
+        // ed scripts for text, chunk deltas for binary or line-hostile
+        // content. When the delta (under either codec) fails to beat the
+        // full content the adaptive policy falls back to a full transfer
+        // — the "both lost" path.
         let delta = match (self.config.mode, have) {
             (TransferMode::Shadow, Some(base)) if base < latest => {
-                self.versions.delta_text_from(file, base)
+                self.versions.delta_payload_from(file, base)
             }
             _ => None,
         };
         let use_delta = match (&delta, self.config.env.delta_policy) {
-            (Some((_, text, _)), DeltaPolicy::Adaptive) => text.len() < content_len,
+            (Some((_, _, bytes)), DeltaPolicy::Adaptive) => bytes.len() < content_len,
             (Some(_), DeltaPolicy::Always) => true,
             (None, _) => false,
         };
         let payload = if use_delta {
-            let (base, text, _) = delta.expect("checked");
-            let (encoding, data) = Self::encode_with(self.config.env.encoding, text);
+            let (base, codec, bytes) = delta.expect("checked");
+            let (encoding, data) = Self::encode_with(self.config.env.encoding, bytes);
             self.metrics.deltas_sent += 1;
             self.metrics.update_payload_bytes += data.len() as u64;
             UpdatePayload::Delta {
                 base,
+                codec,
                 encoding,
                 data: Bytes::from(data),
                 digest,
@@ -961,6 +967,7 @@ impl ClientNode {
             },
             OutputPayload::Delta {
                 base_job,
+                codec,
                 encoding,
                 data,
                 digest,
@@ -972,6 +979,9 @@ impl ClientNode {
                 };
                 // Reconstruct in one pass directly over the retained base
                 // bytes — no base clone, no intermediate line vectors.
+                // The payload's codec selects the decoder; both are
+                // symmetric with what the server's reverse-shadow path
+                // chose when diffing the outputs.
                 let applied = text.and_then(|t| {
                     let base = self
                         .outputs
@@ -979,7 +989,12 @@ impl ClientNode {
                         .and_then(|q| q.iter().find(|(j, _)| *j == base_job))
                         .map(|(_, o)| o.as_slice())
                         .ok_or(())?;
-                    shadow_diff::apply_delta(base, &t).map_err(|_| ())
+                    match codec {
+                        DeltaCodec::Line => shadow_diff::apply_delta(base, &t).map_err(|_| ()),
+                        DeltaCodec::Chunk => {
+                            shadow_diff::apply_chunk_delta(base, &t).map_err(|_| ())
+                        }
+                    }
                 });
                 applied.and_then(|bytes| {
                     if ContentDigest::of(&bytes) == digest {
@@ -1339,6 +1354,7 @@ mod tests {
                 job: JobId::new(2),
                 output: OutputPayload::Delta {
                     base_job: JobId::new(1),
+                    codec: DeltaCodec::Line,
                     encoding: TransferEncoding::Identity,
                     data: Bytes::from(script.to_text()),
                     digest: ContentDigest::of(new_output),
@@ -1365,6 +1381,7 @@ mod tests {
                 job: JobId::new(2),
                 output: OutputPayload::Delta {
                     base_job: JobId::new(99),
+                    codec: DeltaCodec::Line,
                     encoding: TransferEncoding::Identity,
                     data: Bytes::from_static(b"w\n"),
                     digest: ContentDigest::of(b""),

@@ -7,8 +7,9 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use shadow_client::{ClientConfig, ClientEvent, ClientNode, ConnId, FileRef};
 use shadow_proto::{
-    ContentDigest, FileId, HostName, JobId, JobStats, JobStatus, JobStatusEntry, OutputPayload,
-    RequestId, ServerMessage, SubmitOptions, TransferEncoding, VersionNumber, PROTOCOL_VERSION,
+    ContentDigest, DeltaCodec, FileId, HostName, JobId, JobStats, JobStatus, JobStatusEntry,
+    OutputPayload, RequestId, ServerMessage, SubmitOptions, TransferEncoding, VersionNumber,
+    PROTOCOL_VERSION,
 };
 
 fn arb_encoding() -> impl Strategy<Value = TransferEncoding> {
@@ -29,12 +30,14 @@ fn arb_output() -> impl Strategy<Value = OutputPayload> {
         ),
         (
             0u64..8,
+            prop_oneof![Just(DeltaCodec::Line), Just(DeltaCodec::Chunk)],
             arb_encoding(),
             prop::collection::vec(any::<u8>(), 0..128),
             any::<u64>()
         )
-            .prop_map(|(job, encoding, data, d)| OutputPayload::Delta {
+            .prop_map(|(job, codec, encoding, data, d)| OutputPayload::Delta {
                 base_job: JobId::new(job),
+                codec,
                 encoding,
                 data: Bytes::from(data),
                 digest: ContentDigest::from_raw(d),

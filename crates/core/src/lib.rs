@@ -106,19 +106,20 @@ pub use shadow_client::{
 };
 pub use shadow_compress::{Codec, Lzss, Rle};
 pub use shadow_diff::{
-    apply_delta, block_diff, diff, diff_docs, diff_legacy, ApplyError, BlockOp, BlockScript,
-    DeltaError, DeltaScript, DiffAlgorithm, DiffScratch, DiffStats, DocBuf, Document, EdCommand,
-    EdScript, Line,
+    apply_chunk_delta, apply_delta, block_diff, choose_chunk_codec, chunk_delta_into, classify,
+    diff, diff_docs, diff_legacy, ApplyError, BlockOp, BlockScript, ChunkDeltaError, ChunkParams,
+    ChunkStats, DeltaError, DeltaScript, DiffAlgorithm, DiffScratch, DiffStats, DocBuf, DocShape,
+    Document, EdCommand, EdScript, Line,
 };
 pub use shadow_netsim::{
     pipe, profiles, tcp, ChaosProxy, FaultPlan, FaultStats, FaultTransport, LinkProfile,
     LinkStats, SimNet, SimTime,
 };
 pub use shadow_proto::{
-    ClientMessage, ContentDigest, DomainId, FileId, FileKey, Frame, HostName, JobId, JobStats,
-    JobStatus, JobStatusEntry, OutputPayload, PersistRecord, RequestId, ServerMessage, SubmitOptions,
-    TransferEncoding, UpdatePayload, VersionNumber, WireDecode, WireEncode, WireError,
-    PROTOCOL_VERSION,
+    ClientMessage, ContentDigest, DeltaCodec, DomainId, FileId, FileKey, Frame, HostName, JobId,
+    JobStats, JobStatus, JobStatusEntry, OutputPayload, PersistRecord, RequestId, ServerMessage,
+    SubmitOptions, TransferEncoding, UpdatePayload, VersionNumber, WireDecode, WireEncode,
+    WireError, PROTOCOL_VERSION,
 };
 pub use shadow_obs::{
     FlightEntry, FlightRecorder, Histogram, Json, MetricValue, MetricsRegistry, NodeReport,

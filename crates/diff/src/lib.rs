@@ -31,6 +31,12 @@
 //! [`diff_legacy`] preserves the original pipeline as an equivalence
 //! oracle — both emit byte-identical scripts.
 //!
+//! Large and binary files that the line differ handles poorly route
+//! through the **chunk codec** instead: [`chunk_delta_into`] emits a
+//! copy/insert delta over content-defined chunk boundaries (see
+//! [`choose_chunk_codec`] for the per-file classifier), applied by
+//! [`apply_chunk_delta`].
+//!
 //! # Example
 //!
 //! ```
@@ -50,6 +56,7 @@
 #![warn(missing_docs)]
 
 mod algorithm;
+mod chunk;
 mod docbuf;
 mod document;
 mod edscript;
@@ -64,6 +71,11 @@ pub mod myers;
 
 pub use algorithm::{diff, matches_to_script, DiffAlgorithm, Match};
 pub use blockmove::{block_diff, BlockOp, BlockScript};
+pub use chunk::{
+    apply_chunk_delta, choose_chunk_codec, chunk_delta_into, classify, ChunkDeltaError,
+    ChunkParams, ChunkStats, DocShape, AVG_LINE_CHUNK_THRESHOLD, BINARY_SNIFF_WINDOW,
+    CHUNK_FORMAT_VERSION, LEVELS, MAX_LEVELS, MAX_LINE_CHUNK_THRESHOLD,
+};
 pub use docbuf::DocBuf;
 pub use document::{Document, Line};
 pub use edscript::{ApplyError, EdCommand, EdScript, ParseError};

@@ -14,6 +14,7 @@
 //! without duplicating dead capacity.
 
 use crate::algorithm::Match;
+use crate::chunk::ChunkScratch;
 
 /// Multiplier from the FxHash family (Firefox / rustc's default hasher):
 /// cheap, and good enough for a table that always confirms equality by
@@ -97,6 +98,9 @@ pub struct DiffScratch {
     pub(crate) vb: Vec<i64>,
     /// LCS output: strictly increasing window-relative matches.
     pub(crate) matches: Vec<Match>,
+    /// Content-defined chunking arenas (chunk records, digest buckets,
+    /// op list) for [`chunk_delta_into`](crate::chunk_delta_into).
+    pub(crate) chunk: ChunkScratch,
 }
 
 impl DiffScratch {

@@ -1,0 +1,169 @@
+//! Property tests for the chunk codec: for every pair of byte blobs —
+//! random binary data, multi-megabyte single-line strings, structured
+//! splice edits — `apply_chunk_delta(base, chunk_delta_into(base, t))`
+//! must reproduce `t` exactly, and `apply_chunk_delta` must never panic
+//! whatever delta bytes it is fed. The classifier is pinned on the
+//! workload generator's text corpora: ordinary program text must keep
+//! routing through the line differ.
+
+use proptest::prelude::*;
+use shadow_diff::{
+    apply_chunk_delta, choose_chunk_codec, chunk_delta_into, classify, DiffScratch, DocBuf,
+};
+use shadow_workload::{generate_file, EditModel, FileSpec};
+
+/// Round-trips one pair through the chunk codec and returns the wire
+/// delta length (callers assert proportionality where it is meaningful).
+fn round_trip(base: &[u8], target: &[u8], scratch: &mut DiffScratch) -> usize {
+    let mut delta = Vec::new();
+    chunk_delta_into(base, target, scratch, &mut delta);
+    let rebuilt = apply_chunk_delta(base, &delta).expect("self-produced delta must apply");
+    assert_eq!(rebuilt, target, "chunk delta did not reproduce the target");
+    delta.len()
+}
+
+/// A splice edit: delete `del` bytes at a position and insert `insert`.
+#[derive(Debug, Clone)]
+struct Splice {
+    at: usize,
+    del: usize,
+    insert: Vec<u8>,
+}
+
+fn arb_splices() -> impl Strategy<Value = Vec<Splice>> {
+    prop::collection::vec(
+        (any::<usize>(), 0usize..512, prop::collection::vec(any::<u8>(), 0..512))
+            .prop_map(|(at, del, insert)| Splice { at, del, insert }),
+        0..6,
+    )
+}
+
+/// Applies splices to `base`, clamping positions into range.
+fn apply_splices(base: &[u8], splices: &[Splice]) -> Vec<u8> {
+    let mut out = base.to_vec();
+    for s in splices {
+        let at = if out.is_empty() { 0 } else { s.at % (out.len() + 1) };
+        let end = (at + s.del).min(out.len());
+        out.splice(at..end, s.insert.iter().copied());
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Fully arbitrary binary pairs — no shared structure at all.
+    #[test]
+    fn chunk_apply_reproduces_arbitrary_binary_pairs(
+        base in prop::collection::vec(any::<u8>(), 0..4096),
+        target in prop::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let mut scratch = DiffScratch::new();
+        round_trip(&base, &target, &mut scratch);
+    }
+
+    /// The realistic shape: a binary base plus a handful of splice edits.
+    /// One scratch is reused across every case, so arena reuse cannot
+    /// leak state between unrelated documents.
+    #[test]
+    fn chunk_apply_reproduces_spliced_binary_edits(
+        base in prop::collection::vec(any::<u8>(), 0..65536),
+        splices in arb_splices(),
+    ) {
+        let mut scratch = DiffScratch::new();
+        let target = apply_splices(&base, &splices);
+        round_trip(&base, &target, &mut scratch);
+        // Same pair again through the now-warm scratch: must still agree.
+        round_trip(&base, &target, &mut scratch);
+    }
+
+    /// Mixed edits on *text* still round-trip through the chunk codec —
+    /// codec choice is a bandwidth decision, never a correctness one.
+    #[test]
+    fn chunk_apply_reproduces_text_edits(
+        seed in 0u64..64,
+        pct in 0u32..30,
+    ) {
+        let base = generate_file(&FileSpec::new(20_000, seed));
+        let target =
+            EditModel::fraction(f64::from(pct) / 100.0, seed.wrapping_add(1)).apply(&base);
+        let mut scratch = DiffScratch::new();
+        round_trip(&base, &target, &mut scratch);
+    }
+
+    /// Hostile input: arbitrary delta bytes against an arbitrary base
+    /// must produce `Ok` or `Err`, never a panic or runaway allocation.
+    #[test]
+    fn apply_never_panics_on_arbitrary_delta(
+        base in prop::collection::vec(any::<u8>(), 0..2048),
+        delta in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let _ = apply_chunk_delta(&base, &delta);
+    }
+}
+
+/// Multi-megabyte single-line strings: the line differ's worst case. A
+/// small splice must round-trip and the wire delta must stay within 10x
+/// of the edit, not within 10x of the file.
+#[test]
+fn multi_mb_single_line_round_trips_proportionally() {
+    let len = 3 * 1024 * 1024;
+    let mut base = Vec::with_capacity(len);
+    let mut state = 0x5eed_u64 | 1;
+    for _ in 0..len {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        base.push(b' ' + (state >> 56) as u8 % 94); // printable, never \n
+    }
+    let splices = [Splice {
+        at: len / 3,
+        del: 512,
+        insert: vec![b'!'; 1024],
+    }];
+    let target = apply_splices(&base, &splices);
+    let mut scratch = DiffScratch::new();
+    let wire = round_trip(&base, &target, &mut scratch);
+    assert!(
+        wire <= 10 * 1024,
+        "3 MB single-line splice shipped {wire} bytes (> 10x the edit)"
+    );
+}
+
+/// The classifier must keep ordinary program text — every size and seed
+/// the workload generator produces for the paper's experiments — on the
+/// line differ, so text latency and wire format are unchanged.
+#[test]
+fn classifier_pins_line_codec_on_text_corpora() {
+    for seed in [1, 7, 42, 99] {
+        for size in [1_000usize, 20_000, 200_000] {
+            let base = generate_file(&FileSpec::new(size, seed));
+            let edited = EditModel::fraction(0.05, seed + 1).apply(&base);
+            let base_doc = DocBuf::from_bytes(base);
+            let edited_doc = DocBuf::from_bytes(edited);
+            assert!(
+                !classify(&base_doc).prefers_chunk(),
+                "text corpus (size {size}, seed {seed}) misclassified as chunk"
+            );
+            assert!(
+                !choose_chunk_codec(&base_doc, &edited_doc),
+                "text edit pair (size {size}, seed {seed}) must stay on line diff"
+            );
+        }
+    }
+}
+
+/// And the inverse pins: the shapes the chunk codec exists for actually
+/// select it.
+#[test]
+fn classifier_selects_chunk_for_binary_and_single_line() {
+    let binary = DocBuf::from_bytes([0u8, 1, 2, 3, 0, 5].repeat(64));
+    assert!(classify(&binary).prefers_chunk(), "NUL-bearing blob must chunk");
+    let single_line = DocBuf::from_bytes(vec![b'x'; 64 * 1024]);
+    assert!(
+        classify(&single_line).prefers_chunk(),
+        "64 KB single-line file must chunk"
+    );
+    let text = DocBuf::from_bytes(b"short\nlines\nof\ntext\n".to_vec());
+    assert!(choose_chunk_codec(&text, &binary), "text->binary transition must chunk");
+}

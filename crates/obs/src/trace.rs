@@ -331,7 +331,7 @@ fn classify_server(msg: &ServerMessage, at_ms: u64, wire_bytes: u64) -> TraceRec
 mod tests {
     use super::*;
     use shadow_proto::{
-        ContentDigest, DomainId, HostName, RequestId, TransferEncoding, VersionNumber,
+        ContentDigest, DeltaCodec, DomainId, HostName, RequestId, TransferEncoding, VersionNumber,
     };
 
     fn sent(frame: &[u8], at_ms: u64) -> DriverEvent<'_> {
@@ -372,6 +372,7 @@ mod tests {
             version: VersionNumber::new(2),
             payload: UpdatePayload::Delta {
                 base: VersionNumber::new(1),
+                codec: DeltaCodec::Line,
                 encoding: TransferEncoding::Identity,
                 data: b"1c\nY\n.\n".to_vec().into(),
                 digest: ContentDigest::of(b"y"),

@@ -47,7 +47,7 @@ pub use error::WireError;
 pub use persist::PersistRecord;
 pub use ids::{DomainId, FileId, FileKey, HostName, JobId, RequestId, VersionNumber};
 pub use message::{
-    ClientMessage, JobStats, JobStatus, JobStatusEntry, OutputPayload, ResumeEntry,
+    ClientMessage, DeltaCodec, JobStats, JobStatus, JobStatusEntry, OutputPayload, ResumeEntry,
     ServerMessage, SubmitOptions, TransferEncoding, UpdatePayload,
 };
 pub use wire::{Frame, WireDecode, WireEncode, MAX_FRAME_LEN};
@@ -55,4 +55,8 @@ pub use wire::{Frame, WireDecode, WireEncode, MAX_FRAME_LEN};
 /// Version of the wire protocol spoken by this crate. Version 2 added
 /// the session-resumption handshake (`Hello` epoch + resume summary,
 /// `HelloAck` retained list) and the `Ping`/`Pong` heartbeats.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// Version 3 added the [`DeltaCodec`] tag on every delta payload (line
+/// ed-script vs content-defined chunk delta) and switched
+/// [`ContentDigest`] to its block-wise format (digest values are not
+/// comparable across this bump).
+pub const PROTOCOL_VERSION: u32 = 3;

@@ -21,6 +21,29 @@ pub enum TransferEncoding {
     Lzss,
 }
 
+/// Which delta representation a delta payload's `data` carries (before
+/// transfer encoding). Sender and receiver must agree per payload, so the
+/// codec travels on the wire and in persisted cache records.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default,
+)]
+pub enum DeltaCodec {
+    /// A textual ed script from the line differ.
+    #[default]
+    Line,
+    /// A binary copy/insert delta over content-defined chunks.
+    Chunk,
+}
+
+impl fmt::Display for DeltaCodec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaCodec::Line => write!(f, "line"),
+            DeltaCodec::Chunk => write!(f, "chunk"),
+        }
+    }
+}
+
 impl fmt::Display for TransferEncoding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -47,15 +70,17 @@ pub enum UpdatePayload {
         /// Digest of the decoded content.
         digest: ContentDigest,
     },
-    /// An ed-script delta against a base version the server holds.
+    /// A delta against a base version the server holds.
     Delta {
-        /// The base version the script applies to.
+        /// The base version the delta applies to.
         base: VersionNumber,
+        /// Delta representation carried in `data`.
+        codec: DeltaCodec,
         /// Encoding of `data`.
         encoding: TransferEncoding,
-        /// The (possibly compressed) textual ed script.
+        /// The (possibly compressed) delta bytes.
         data: Bytes,
-        /// Digest of the content the script reconstructs.
+        /// Digest of the content the delta reconstructs.
         digest: ContentDigest,
     },
 }
@@ -95,15 +120,17 @@ pub enum OutputPayload {
         /// The (possibly compressed) output bytes.
         data: Bytes,
     },
-    /// An ed-script delta against the output of a previous job.
+    /// A delta against the output of a previous job.
     Delta {
         /// The earlier job whose output is the base.
         base_job: JobId,
+        /// Delta representation carried in `data`.
+        codec: DeltaCodec,
         /// Encoding of `data`.
         encoding: TransferEncoding,
-        /// The (possibly compressed) textual ed script.
+        /// The (possibly compressed) delta bytes.
         data: Bytes,
-        /// Digest of the output the script reconstructs.
+        /// Digest of the output the delta reconstructs.
         digest: ContentDigest,
     },
 }
@@ -412,6 +439,7 @@ mod tests {
         assert!(!full.is_delta());
         let delta = UpdatePayload::Delta {
             base: VersionNumber::FIRST,
+            codec: DeltaCodec::Line,
             encoding: TransferEncoding::Lzss,
             data: Bytes::from_static(b"xy"),
             digest: ContentDigest::of(b"whole"),

@@ -16,7 +16,8 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 
-use crate::wire::{put_bytes, Cursor, WireDecode, WireEncode};
+use crate::message::DeltaCodec;
+use crate::wire::{get_codec, put_bytes, put_codec, Cursor, WireDecode, WireEncode};
 use crate::{ContentDigest, DomainId, FileId, FileKey, JobId, VersionNumber, WireError};
 
 /// One durable mutation of the server's shadow state.
@@ -31,17 +32,19 @@ pub enum PersistRecord {
         /// The complete file content.
         content: Bytes,
     },
-    /// A file version entered the shadow cache by applying an edit
-    /// script to the previously cached base — the record archives the
-    /// *delta*, and replay re-applies it.
+    /// A file version entered the shadow cache by applying a delta to
+    /// the previously cached base — the record archives the *delta*,
+    /// and replay re-applies it.
     CacheDelta {
-        /// The file the script applies to.
+        /// The file the delta applies to.
         key: FileKey,
-        /// The version produced by applying the script.
+        /// The version produced by applying the delta.
         version: VersionNumber,
-        /// The base version the script was diffed against.
+        /// The base version the delta was diffed against.
         base: VersionNumber,
-        /// The ed-style edit script text.
+        /// Delta representation carried in `script`.
+        codec: DeltaCodec,
+        /// The serialized delta (ed script or chunk delta).
         script: Bytes,
         /// Digest of the *resulting* content; replay verifies it.
         digest: ContentDigest,
@@ -130,6 +133,7 @@ impl WireEncode for PersistRecord {
                 key,
                 version,
                 base,
+                codec,
                 script,
                 digest,
             } => {
@@ -137,6 +141,7 @@ impl WireEncode for PersistRecord {
                 put_key(buf, *key);
                 buf.put_u64_le(version.as_u64());
                 buf.put_u64_le(base.as_u64());
+                put_codec(buf, *codec);
                 put_bytes(buf, script);
                 buf.put_u64_le(digest.as_u64());
             }
@@ -177,6 +182,7 @@ impl WireDecode for PersistRecord {
                 key: get_key(c)?,
                 version: VersionNumber::new(c.get_u64()?),
                 base: VersionNumber::new(c.get_u64()?),
+                codec: get_codec(c)?,
                 script: c.get_bytes()?,
                 digest: ContentDigest::from_raw(c.get_u64()?),
             }),
@@ -223,8 +229,17 @@ mod tests {
             key,
             version: VersionNumber::new(3),
             base: VersionNumber::new(2),
+            codec: DeltaCodec::Line,
             script: Bytes::from_static(b"2c\nchanged\n.\nw\n"),
             digest: ContentDigest::of(b"line one\nchanged\n"),
+        });
+        round_trip(PersistRecord::CacheDelta {
+            key,
+            version: VersionNumber::new(4),
+            base: VersionNumber::new(3),
+            codec: DeltaCodec::Chunk,
+            script: Bytes::from_static(b"\x01\x00\x00\x00\x00"),
+            digest: ContentDigest::of(b""),
         });
         round_trip(PersistRecord::CacheRemove { key });
         round_trip(PersistRecord::Output {

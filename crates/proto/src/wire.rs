@@ -8,7 +8,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::message::{
-    ClientMessage, JobStats, JobStatus, JobStatusEntry, OutputPayload, ResumeEntry,
+    ClientMessage, DeltaCodec, JobStats, JobStatus, JobStatusEntry, OutputPayload, ResumeEntry,
     ServerMessage, SubmitOptions, TransferEncoding, UpdatePayload,
 };
 use crate::{
@@ -245,6 +245,24 @@ fn get_encoding(c: &mut Cursor<'_>) -> Result<TransferEncoding, WireError> {
     }
 }
 
+pub(crate) fn put_codec(buf: &mut BytesMut, codec: DeltaCodec) {
+    buf.put_u8(match codec {
+        DeltaCodec::Line => 0,
+        DeltaCodec::Chunk => 1,
+    });
+}
+
+pub(crate) fn get_codec(c: &mut Cursor<'_>) -> Result<DeltaCodec, WireError> {
+    match c.get_u8()? {
+        0 => Ok(DeltaCodec::Line),
+        1 => Ok(DeltaCodec::Chunk),
+        tag => Err(WireError::UnknownTag {
+            what: "DeltaCodec",
+            tag,
+        }),
+    }
+}
+
 fn put_update_payload(buf: &mut BytesMut, p: &UpdatePayload) {
     match p {
         UpdatePayload::Full {
@@ -259,12 +277,14 @@ fn put_update_payload(buf: &mut BytesMut, p: &UpdatePayload) {
         }
         UpdatePayload::Delta {
             base,
+            codec,
             encoding,
             data,
             digest,
         } => {
             buf.put_u8(1);
             buf.put_u64_le(base.as_u64());
+            put_codec(buf, *codec);
             put_encoding(buf, *encoding);
             put_bytes(buf, data);
             buf.put_u64_le(digest.as_u64());
@@ -281,6 +301,7 @@ fn get_update_payload(c: &mut Cursor<'_>) -> Result<UpdatePayload, WireError> {
         }),
         1 => Ok(UpdatePayload::Delta {
             base: VersionNumber::new(c.get_u64()?),
+            codec: get_codec(c)?,
             encoding: get_encoding(c)?,
             data: c.get_bytes()?,
             digest: ContentDigest::from_raw(c.get_u64()?),
@@ -301,12 +322,14 @@ fn put_output_payload(buf: &mut BytesMut, p: &OutputPayload) {
         }
         OutputPayload::Delta {
             base_job,
+            codec,
             encoding,
             data,
             digest,
         } => {
             buf.put_u8(1);
             buf.put_u64_le(base_job.as_u64());
+            put_codec(buf, *codec);
             put_encoding(buf, *encoding);
             put_bytes(buf, data);
             buf.put_u64_le(digest.as_u64());
@@ -322,6 +345,7 @@ fn get_output_payload(c: &mut Cursor<'_>) -> Result<OutputPayload, WireError> {
         }),
         1 => Ok(OutputPayload::Delta {
             base_job: JobId::new(c.get_u64()?),
+            codec: get_codec(c)?,
             encoding: get_encoding(c)?,
             data: c.get_bytes()?,
             digest: ContentDigest::from_raw(c.get_u64()?),
@@ -800,6 +824,7 @@ mod tests {
             version: VersionNumber::new(3),
             payload: UpdatePayload::Delta {
                 base: VersionNumber::new(2),
+                codec: DeltaCodec::Line,
                 encoding: TransferEncoding::Lzss,
                 data: Bytes::from_static(b"4c\nnew line\n.\nw\n"),
                 digest: ContentDigest::of(b"whole new content"),
@@ -899,6 +924,7 @@ mod tests {
             job: JobId::new(1),
             output: OutputPayload::Delta {
                 base_job: JobId::new(0),
+                codec: DeltaCodec::Chunk,
                 encoding: TransferEncoding::Rle,
                 data: Bytes::from_static(b"1c\nx\n.\nw\n"),
                 digest: ContentDigest::of(b"new output"),

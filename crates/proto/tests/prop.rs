@@ -4,9 +4,9 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use shadow_proto::{
-    ClientMessage, ContentDigest, DomainId, FileId, Frame, HostName, JobId, JobStats, JobStatus,
-    JobStatusEntry, OutputPayload, RequestId, ResumeEntry, ServerMessage, SubmitOptions,
-    TransferEncoding, UpdatePayload, VersionNumber,
+    ClientMessage, ContentDigest, DeltaCodec, DomainId, FileId, Frame, HostName, JobId, JobStats,
+    JobStatus, JobStatusEntry, OutputPayload, RequestId, ResumeEntry, ServerMessage,
+    SubmitOptions, TransferEncoding, UpdatePayload, VersionNumber,
 };
 
 fn arb_encoding() -> impl Strategy<Value = TransferEncoding> {
@@ -15,6 +15,10 @@ fn arb_encoding() -> impl Strategy<Value = TransferEncoding> {
         Just(TransferEncoding::Rle),
         Just(TransferEncoding::Lzss),
     ]
+}
+
+fn arb_codec() -> impl Strategy<Value = DeltaCodec> {
+    prop_oneof![Just(DeltaCodec::Line), Just(DeltaCodec::Chunk)]
 }
 
 fn arb_bytes() -> impl Strategy<Value = Bytes> {
@@ -30,14 +34,20 @@ fn arb_update_payload() -> impl Strategy<Value = UpdatePayload> {
                 digest: ContentDigest::from_raw(d),
             }
         }),
-        (any::<u64>(), arb_encoding(), arb_bytes(), any::<u64>()).prop_map(
-            |(base, encoding, data, d)| UpdatePayload::Delta {
+        (
+            any::<u64>(),
+            arb_codec(),
+            arb_encoding(),
+            arb_bytes(),
+            any::<u64>()
+        )
+            .prop_map(|(base, codec, encoding, data, d)| UpdatePayload::Delta {
                 base: VersionNumber::new(base),
+                codec,
                 encoding,
                 data,
                 digest: ContentDigest::from_raw(d),
-            }
-        ),
+            }),
     ]
 }
 
@@ -45,14 +55,20 @@ fn arb_output_payload() -> impl Strategy<Value = OutputPayload> {
     prop_oneof![
         (arb_encoding(), arb_bytes())
             .prop_map(|(encoding, data)| OutputPayload::Full { encoding, data }),
-        (any::<u64>(), arb_encoding(), arb_bytes(), any::<u64>()).prop_map(
-            |(job, encoding, data, d)| OutputPayload::Delta {
+        (
+            any::<u64>(),
+            arb_codec(),
+            arb_encoding(),
+            arb_bytes(),
+            any::<u64>()
+        )
+            .prop_map(|(job, codec, encoding, data, d)| OutputPayload::Delta {
                 base_job: JobId::new(job),
+                codec,
                 encoding,
                 data,
                 digest: ContentDigest::from_raw(d),
-            }
-        ),
+            }),
     ]
 }
 

@@ -42,6 +42,10 @@ pub struct ClientDriver {
     job_options: HashMap<JobId, SubmitOptions>,
     stats: DriverStats,
     hook: Option<EventHook>,
+    /// Reusable frame-encode buffer: `perform` encodes every outbound
+    /// frame into this warmed scratch, then copies out one exact-sized
+    /// frame — the encode itself allocates nothing in steady state.
+    encode_scratch: Vec<u8>,
 }
 
 impl std::fmt::Debug for ClientDriver {
@@ -69,6 +73,7 @@ impl Clone for ClientDriver {
             job_options: self.job_options.clone(),
             stats: self.stats,
             hook: None,
+            encode_scratch: Vec::new(),
         }
     }
 }
@@ -84,6 +89,7 @@ impl ClientDriver {
             job_options: HashMap::new(),
             stats: DriverStats::default(),
             hook: None,
+            encode_scratch: Vec::new(),
         }
     }
 
@@ -233,7 +239,9 @@ impl ClientDriver {
             match action {
                 ClientAction::Send { conn, message } => {
                     let info = self.classify(&message);
-                    let frame = Frame::encode(&message);
+                    self.encode_scratch.clear();
+                    Frame::encode_into(&message, &mut self.encode_scratch);
+                    let frame = self.encode_scratch.clone();
                     self.stats.frames_sent += 1;
                     self.stats.bytes_sent += frame.len() as u64;
                     match info {

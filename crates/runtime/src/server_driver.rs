@@ -54,6 +54,8 @@ pub struct ServerDriver {
     timers: TimerQueue<TimerToken>,
     stats: DriverStats,
     hook: Option<EventHook>,
+    /// Reusable frame-encode buffer (see `ClientDriver::encode_scratch`).
+    encode_scratch: Vec<u8>,
 }
 
 impl std::fmt::Debug for ServerDriver {
@@ -77,6 +79,7 @@ impl Clone for ServerDriver {
             timers: self.timers.clone(),
             stats: self.stats,
             hook: None,
+            encode_scratch: Vec::new(),
         }
     }
 }
@@ -89,6 +92,7 @@ impl ServerDriver {
             timers: TimerQueue::new(),
             stats: DriverStats::default(),
             hook: None,
+            encode_scratch: Vec::new(),
         }
     }
 
@@ -250,7 +254,9 @@ impl ServerDriver {
         for action in actions {
             match action {
                 ServerAction::Send { session, message } => {
-                    let frame = Frame::encode(&message);
+                    self.encode_scratch.clear();
+                    Frame::encode_into(&message, &mut self.encode_scratch);
+                    let frame = self.encode_scratch.clone();
                     self.stats.frames_sent += 1;
                     self.stats.bytes_sent += frame.len() as u64;
                     if let Some(hook) = &mut self.hook {

@@ -6,11 +6,14 @@ use std::fmt;
 use bytes::Bytes;
 use shadow_cache::ShadowStore;
 use shadow_compress::{Codec, Lzss, Rle};
-use shadow_diff::{apply_delta, diff_docs, DeltaError, DiffAlgorithm, DiffScratch, DocBuf};
+use shadow_diff::{
+    apply_chunk_delta, apply_delta, choose_chunk_codec, chunk_delta_into, diff_docs, DeltaError,
+    DiffAlgorithm, DiffScratch, DocBuf,
+};
 use shadow_proto::{
-    ClientMessage, ContentDigest, DomainId, FileId, FileKey, HostName, JobId, JobStats,
-    JobStatus, JobStatusEntry, OutputPayload, PersistRecord, ServerMessage, SubmitOptions,
-    TransferEncoding, UpdatePayload, VersionNumber, PROTOCOL_VERSION,
+    ClientMessage, ContentDigest, DeltaCodec, DomainId, FileId, FileKey, HostName, JobId,
+    JobStats, JobStatus, JobStatusEntry, OutputPayload, PersistRecord, ServerMessage,
+    SubmitOptions, TransferEncoding, UpdatePayload, VersionNumber, PROTOCOL_VERSION,
 };
 
 use crate::action::{CloseReason, ServerAction, ServerEvent, TimerToken};
@@ -279,15 +282,19 @@ impl ServerNode {
                     key,
                     version,
                     base,
+                    codec,
                     script,
                     digest,
                 } => {
                     let applied = match self.cache.get(key) {
-                        Some(entry) if entry.version == *base => {
-                            apply_delta(&entry.content, script)
+                        Some(entry) if entry.version == *base => match codec {
+                            DeltaCodec::Line => apply_delta(&entry.content, script)
                                 .ok()
-                                .filter(|c| ContentDigest::of(c) == *digest)
-                        }
+                                .filter(|c| ContentDigest::of(c) == *digest),
+                            DeltaCodec::Chunk => apply_chunk_delta(&entry.content, script)
+                                .ok()
+                                .filter(|c| ContentDigest::of(c) == *digest),
+                        },
                         _ => None,
                     };
                     match applied {
@@ -721,10 +728,11 @@ impl ServerNode {
             }
         };
         let expected_digest = payload.digest();
-        // When a delta applies cleanly, the decoded script text is kept so
-        // the journal can archive the *delta* (the compressed form of the
-        // version chain) instead of the materialized content.
-        let mut applied_script: Option<(VersionNumber, Bytes)> = None;
+        // When a delta applies cleanly, the decoded delta bytes are kept
+        // (with their codec) so the journal can archive the *delta* (the
+        // compressed form of the version chain) instead of the
+        // materialized content.
+        let mut applied_script: Option<(VersionNumber, DeltaCodec, Bytes)> = None;
         let content: Result<Vec<u8>, &'static str> = match &payload {
             UpdatePayload::Full { encoding, data, .. } => {
                 self.metrics.full_updates += 1;
@@ -732,6 +740,7 @@ impl ServerNode {
             }
             UpdatePayload::Delta {
                 base,
+                codec,
                 encoding,
                 data,
                 ..
@@ -739,17 +748,26 @@ impl ServerNode {
                 self.metrics.delta_updates += 1;
                 match self.cache.get(&key) {
                     Some(entry) if trust_bookkeeping || entry.version == *base => {
-                        // One pass over (base bytes, script text) straight
+                        // One pass over (base bytes, delta bytes) straight
                         // to the new content — no base clone, no line
-                        // vectors, no parsed-script allocation.
-                        Self::decode_payload(*encoding, data).and_then(|script_text| {
-                            let applied =
-                                apply_delta(&entry.content, &script_text).map_err(|e| match e {
-                                    DeltaError::Parse(_) => "edit script parse failed",
-                                    DeltaError::Apply(_) => "edit script apply failed",
-                                });
+                        // vectors, no parsed-script allocation. The
+                        // payload's codec picks the decoder the client's
+                        // classifier chose.
+                        Self::decode_payload(*encoding, data).and_then(|delta_bytes| {
+                            let applied = match codec {
+                                DeltaCodec::Line => apply_delta(&entry.content, &delta_bytes)
+                                    .map_err(|e| match e {
+                                        DeltaError::Parse(_) => "edit script parse failed",
+                                        DeltaError::Apply(_) => "edit script apply failed",
+                                    }),
+                                DeltaCodec::Chunk => {
+                                    apply_chunk_delta(&entry.content, &delta_bytes)
+                                        .map_err(|_| "chunk delta apply failed")
+                                }
+                            };
                             if applied.is_ok() {
-                                applied_script = Some((entry.version, Bytes::from(script_text)));
+                                applied_script =
+                                    Some((entry.version, *codec, Bytes::from(delta_bytes)));
                             }
                             applied
                         })
@@ -774,10 +792,11 @@ impl ServerNode {
                 // digest is of the *actual* result so replay can verify
                 // its own re-application.
                 let record = match applied_script {
-                    Some((base, script)) => PersistRecord::CacheDelta {
+                    Some((base, codec, script)) => PersistRecord::CacheDelta {
                         key,
                         version,
                         base,
+                        codec,
                         script,
                         digest: ContentDigest::of(&content),
                     },
@@ -1075,18 +1094,34 @@ impl ServerNode {
         let output_payload = if shadow_output {
             match self.outputs.base_for(domain, job_file) {
                 Some((base_job, base_output)) => {
-                    let script = diff_docs(
-                        DiffAlgorithm::HuntMcIlroy,
-                        base_output,
-                        &output_buf,
-                        &mut self.diff_scratch,
-                    );
-                    if script.wire_len() < output_buf.byte_len() {
+                    // The classifier picks the codec for outputs exactly
+                    // as the client does for inputs: chunk deltas for
+                    // binary or line-hostile output, ed scripts for text.
+                    let (codec, delta_bytes) = if choose_chunk_codec(base_output, &output_buf) {
+                        let mut out = Vec::new();
+                        chunk_delta_into(
+                            base_output.as_bytes(),
+                            output_buf.as_bytes(),
+                            &mut self.diff_scratch,
+                            &mut out,
+                        );
+                        (DeltaCodec::Chunk, out)
+                    } else {
+                        let script = diff_docs(
+                            DiffAlgorithm::HuntMcIlroy,
+                            base_output,
+                            &output_buf,
+                            &mut self.diff_scratch,
+                        );
+                        (DeltaCodec::Line, script.to_text())
+                    };
+                    if delta_bytes.len() < output_buf.byte_len() {
                         self.metrics.output_deltas += 1;
                         OutputPayload::Delta {
                             base_job,
+                            codec,
                             encoding: TransferEncoding::Identity,
-                            data: Bytes::from(script.to_text()),
+                            data: Bytes::from(delta_bytes),
                             digest: ContentDigest::of(output_buf.as_bytes()),
                         }
                     } else {
@@ -1328,6 +1363,7 @@ mod tests {
                 version: VersionNumber::new(2),
                 payload: UpdatePayload::Delta {
                     base: VersionNumber::new(1),
+                    codec: DeltaCodec::Line,
                     encoding: TransferEncoding::Identity,
                     data: Bytes::from(script.to_text()),
                     digest: ContentDigest::of(new_content),
@@ -1357,6 +1393,7 @@ mod tests {
                 version: VersionNumber::new(2),
                 payload: UpdatePayload::Delta {
                     base: VersionNumber::new(1),
+                    codec: DeltaCodec::Line,
                     encoding: TransferEncoding::Identity,
                     data: Bytes::from_static(b"1c\nX\n.\nw\n"),
                     digest: ContentDigest::of(b"not what the script makes"),
@@ -1383,6 +1420,7 @@ mod tests {
                 version: VersionNumber::new(2),
                 payload: UpdatePayload::Delta {
                     base: VersionNumber::new(1),
+                    codec: DeltaCodec::Line,
                     encoding: TransferEncoding::Identity,
                     data: Bytes::from_static(b"w\n"),
                     digest: ContentDigest::of(b"x\n"),
@@ -1782,6 +1820,7 @@ mod tests {
                 version: VersionNumber::new(2),
                 payload: UpdatePayload::Delta {
                     base: VersionNumber::new(1),
+                    codec: DeltaCodec::Line,
                     encoding: TransferEncoding::Identity,
                     data: Bytes::from(script.to_text()),
                     digest: ContentDigest::of(new_content),
@@ -1817,6 +1856,7 @@ mod tests {
                 version: VersionNumber::new(2),
                 payload: UpdatePayload::Delta {
                     base: VersionNumber::new(1),
+                    codec: DeltaCodec::Line,
                     encoding: TransferEncoding::Identity,
                     data: Bytes::from_static(b"1c\nX\n.\nw\n"),
                     digest: ContentDigest::of(b"not what the script makes"),
@@ -1848,6 +1888,7 @@ mod tests {
                 version: VersionNumber::new(2),
                 payload: UpdatePayload::Delta {
                     base: VersionNumber::new(1),
+                    codec: DeltaCodec::Line,
                     encoding: TransferEncoding::Identity,
                     data: Bytes::from(script.to_text()),
                     digest: ContentDigest::of(new_content),
@@ -1875,6 +1916,7 @@ mod tests {
             key,
             version: VersionNumber::new(2),
             base: VersionNumber::FIRST,
+            codec: DeltaCodec::Line,
             script: Bytes::from_static(b"1c\nX\n.\nw\n"),
             digest: ContentDigest::of(b"X\n"),
         }];

@@ -6,8 +6,8 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use shadow_proto::{
-    ClientMessage, ContentDigest, DomainId, FileId, HostName, JobId, RequestId, ResumeEntry,
-    SubmitOptions, TransferEncoding, UpdatePayload, VersionNumber, PROTOCOL_VERSION,
+    ClientMessage, ContentDigest, DeltaCodec, DomainId, FileId, HostName, JobId, RequestId,
+    ResumeEntry, SubmitOptions, TransferEncoding, UpdatePayload, VersionNumber, PROTOCOL_VERSION,
 };
 use shadow_server::{CloseReason, ServerConfig, ServerEvent, ServerNode, SessionId};
 
@@ -30,12 +30,14 @@ fn arb_payload() -> impl Strategy<Value = UpdatePayload> {
         ),
         (
             0u64..4,
+            prop_oneof![Just(DeltaCodec::Line), Just(DeltaCodec::Chunk)],
             arb_encoding(),
             prop::collection::vec(any::<u8>(), 0..128),
             any::<u64>()
         )
-            .prop_map(|(base, encoding, data, d)| UpdatePayload::Delta {
+            .prop_map(|(base, codec, encoding, data, d)| UpdatePayload::Delta {
                 base: VersionNumber::new(base),
+                codec,
                 encoding,
                 data: Bytes::from(data),
                 digest: ContentDigest::from_raw(d),

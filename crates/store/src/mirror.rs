@@ -12,8 +12,10 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
-use shadow_diff::apply_delta;
-use shadow_proto::{ContentDigest, DomainId, FileId, FileKey, JobId, PersistRecord, VersionNumber};
+use shadow_diff::{apply_chunk_delta, apply_delta};
+use shadow_proto::{
+    ContentDigest, DeltaCodec, DomainId, FileId, FileKey, JobId, PersistRecord, VersionNumber,
+};
 
 /// One job output held for future delta bases, in insertion order.
 #[derive(Debug, Clone)]
@@ -53,13 +55,19 @@ impl DomainMirror {
                 key,
                 version,
                 base,
+                codec,
                 script,
                 digest,
             } => {
                 let applied = match self.cache.get(key) {
-                    Some((v, content)) if v == base => apply_delta(content, script)
-                        .ok()
-                        .filter(|out| ContentDigest::of(out) == *digest),
+                    Some((v, content)) if v == base => match codec {
+                        DeltaCodec::Line => apply_delta(content, script)
+                            .ok()
+                            .filter(|out| ContentDigest::of(out) == *digest),
+                        DeltaCodec::Chunk => apply_chunk_delta(content, script)
+                            .ok()
+                            .filter(|out| ContentDigest::of(out) == *digest),
+                    },
                     _ => None,
                 };
                 match applied {
@@ -179,9 +187,44 @@ mod tests {
             key: key(file),
             version: VersionNumber::new(version),
             base: VersionNumber::new(base),
+            codec: DeltaCodec::Line,
             script: Bytes::from(script.to_text()),
             digest: ContentDigest::of(to.as_bytes()),
         }
+    }
+
+    #[test]
+    fn chunk_delta_records_replay() {
+        use shadow_diff::chunk_delta_into;
+        let base = vec![0x42u8; 50_000];
+        let mut target = base.clone();
+        target[25_000] = 0x43;
+        let mut scratch = DiffScratch::new();
+        let mut wire = Vec::new();
+        chunk_delta_into(&base, &target, &mut scratch, &mut wire);
+        let mut mirror = DomainMirror::default();
+        assert!(mirror.apply(&PersistRecord::CacheFull {
+            key: key(9),
+            version: VersionNumber::new(1),
+            content: Bytes::from(base),
+        }));
+        assert!(mirror.apply(&PersistRecord::CacheDelta {
+            key: key(9),
+            version: VersionNumber::new(2),
+            base: VersionNumber::new(1),
+            codec: DeltaCodec::Chunk,
+            script: Bytes::from(wire),
+            digest: ContentDigest::of(&target),
+        }));
+        let out = mirror.materialize();
+        assert_eq!(
+            out,
+            vec![PersistRecord::CacheFull {
+                key: key(9),
+                version: VersionNumber::new(2),
+                content: Bytes::from(target),
+            }]
+        );
     }
 
     #[test]

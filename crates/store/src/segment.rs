@@ -26,10 +26,14 @@ use std::path::Path;
 
 use shadow_proto::{ContentDigest, Frame, PersistRecord};
 
-/// Journal segment magic ("base" semantics for `seq`).
-pub(crate) const JOURNAL_MAGIC: &[u8; 8] = b"SHDWJRN1";
+/// Journal segment magic ("base" semantics for `seq`). The trailing
+/// digit tracks the record/digest format: `2` carries the per-delta
+/// codec tag and block-wise digests (protocol version 3); older
+/// segments read as corrupt and recovery starts empty — the shadow
+/// cache is best effort, so clients simply re-seed with full transfers.
+pub(crate) const JOURNAL_MAGIC: &[u8; 8] = b"SHDWJRN2";
 /// Snapshot segment magic ("covers" semantics for `seq`).
-pub(crate) const SNAPSHOT_MAGIC: &[u8; 8] = b"SHDWSNP1";
+pub(crate) const SNAPSHOT_MAGIC: &[u8; 8] = b"SHDWSNP2";
 /// Magic plus the `seq` counter.
 pub(crate) const HEADER_LEN: usize = 16;
 /// Bytes of FNV-1a checksum trailing every record frame.
@@ -60,10 +64,12 @@ pub(crate) struct Segment {
     pub damage: Damage,
 }
 
-/// Appends one record's on-disk form (frame + checksum) to `buf`.
+/// Appends one record's on-disk form (frame + checksum) to `buf`,
+/// encoding straight into the caller's buffer (no per-record frame
+/// allocation).
 pub(crate) fn encode_record(record: &PersistRecord, buf: &mut Vec<u8>) {
     let start = buf.len();
-    buf.extend_from_slice(&Frame::encode(record));
+    Frame::encode_into(record, buf);
     let sum = ContentDigest::of(&buf[start..]).as_u64();
     buf.extend_from_slice(&sum.to_le_bytes());
 }

@@ -8,7 +8,7 @@ use std::path::{Path, PathBuf};
 use bytes::Bytes;
 use shadow_diff::{diff_docs, DiffAlgorithm, DiffScratch, DocBuf};
 use shadow_proto::{
-    ContentDigest, DomainId, FileId, FileKey, JobId, PersistRecord, VersionNumber,
+    ContentDigest, DeltaCodec, DomainId, FileId, FileKey, JobId, PersistRecord, VersionNumber,
 };
 use shadow_runtime::{shard_for, PersistSink};
 use shadow_server::{ServerConfig, ServerNode};
@@ -45,6 +45,7 @@ fn delta(domain: u64, file: u64, base: u64, version: u64, from: &str, to: &str) 
         key: key(domain, file),
         version: VersionNumber::new(version),
         base: VersionNumber::new(base),
+        codec: DeltaCodec::Line,
         script: Bytes::from(script.to_text()),
         digest: ContentDigest::of(to.as_bytes()),
     }

@@ -44,8 +44,11 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 
-use shadow_diff::{diff_docs, DiffAlgorithm, DiffScratch, DiffStats, DocBuf, EdScript};
-use shadow_proto::{ContentDigest, FileId, VersionNumber};
+use shadow_diff::{
+    choose_chunk_codec, chunk_delta_into, diff_docs, DiffAlgorithm, DiffScratch, DiffStats,
+    DocBuf, EdScript,
+};
+use shadow_proto::{ContentDigest, DeltaCodec, FileId, VersionNumber};
 
 /// Per-file version chain.
 #[derive(Debug, Clone, Default)]
@@ -252,6 +255,41 @@ impl VersionStore {
             &mut self.scratch.borrow_mut(),
         );
         Some((base, delta.to_text(), delta.stats()))
+    }
+
+    /// Computes the delta from `base` to the latest version, selecting
+    /// the delta codec per file shape: line-oriented ed script for text,
+    /// the content-defined chunk codec for binary or line-hostile
+    /// content (single-line megafiles, minified sources). The returned
+    /// [`DeltaCodec`] must travel with the bytes so the receiver applies
+    /// the matching decoder.
+    ///
+    /// Returns `None` when the base (or the file) is not retained — the
+    /// caller falls back to a full transfer, exactly as for
+    /// [`delta_from`](Self::delta_from).
+    pub fn delta_payload_from(
+        &self,
+        file: FileId,
+        base: VersionNumber,
+    ) -> Option<(VersionNumber, DeltaCodec, Vec<u8>)> {
+        let entry = self.files.get(&file)?;
+        let latest = entry.latest?;
+        let base_doc = entry.versions.get(&base)?;
+        let latest_doc = &entry.versions[&latest];
+        let mut scratch = self.scratch.borrow_mut();
+        if choose_chunk_codec(base_doc, latest_doc) {
+            let mut out = Vec::new();
+            chunk_delta_into(
+                base_doc.as_bytes(),
+                latest_doc.as_bytes(),
+                &mut scratch,
+                &mut out,
+            );
+            Some((base, DeltaCodec::Chunk, out))
+        } else {
+            let delta = diff_docs(self.algorithm, base_doc, latest_doc, &mut scratch);
+            Some((base, DeltaCodec::Line, delta.to_text()))
+        }
     }
 
     /// Notes that the server has durably cached `version`; versions older
